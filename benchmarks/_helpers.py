@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness (imported by the bench modules)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import simulate
+
+__all__ = ["mean_broadcast_time"]
+
+
+def mean_broadcast_time(protocol, graph, source, trials=3, **kwargs):
+    """Mean broadcast time over a few completed runs (asserts completion)."""
+    times = []
+    for seed in range(trials):
+        result = simulate(protocol, graph, source=source, seed=seed, **kwargs)
+        assert result.completed, f"{protocol} did not complete on {graph.name}"
+        times.append(result.broadcast_time)
+    return float(np.mean(times))

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every benchmark file regenerates one table/figure-equivalent of the paper: it
+runs a (reduced-scale) sweep through the registered experiment for that claim,
+asserts the qualitative shape the paper proves, and uses pytest-benchmark to
+time representative runs so protocol-level performance regressions are visible
+too.
+
+Run the full harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+and regenerate the paper-scale numbers with ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the sibling ``_helpers`` module importable regardless of how pytest was
+# invoked (benchmarks/ has no __init__.py on purpose).
+sys.path.insert(0, os.path.dirname(__file__))

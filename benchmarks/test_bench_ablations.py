@@ -1,0 +1,92 @@
+"""Benchmark / ablations for the model knobs called out in DESIGN.md.
+
+Three ablations, none of which should change the paper's conclusions:
+
+* **agent density** alpha in {0.5, 1, 2}: only the constants move;
+* **initial placement** (stationary vs one agent per vertex): statistically
+  indistinguishable on regular graphs (remark after Lemma 11);
+* **lazy walks**: roughly a 2x constant-factor slowdown for visit-exchange.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.graphs import random_regular_graph, star
+
+
+def regular_instance(n, seed):
+    degree = max(4, int(2 * math.log2(n)))
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, np.random.default_rng(seed))
+
+
+class TestTimings:
+    def test_visit_exchange_density_two(self, benchmark):
+        graph = regular_instance(512, 0)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "visit-exchange", graph, source=0, trials=1, agent_density=2.0
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_density_changes_constants_not_completion(self, benchmark):
+        graph = regular_instance(512, 1)
+        times = {}
+
+        def measure():
+            for density in (0.5, 1.0, 2.0):
+                times[density] = mean_broadcast_time(
+                    "visit-exchange", graph, source=0, trials=3, agent_density=density
+                )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        # More agents never hurts; fewer agents costs at most a small factor.
+        assert times[2.0] <= times[0.5]
+        assert times[0.5] < 4 * times[2.0]
+        # Everything stays in the logarithmic regime.
+        assert times[0.5] < 10 * math.log2(graph.num_vertices)
+
+    def test_initial_placement_is_irrelevant_on_regular_graphs(self, benchmark):
+        graph = regular_instance(512, 2)
+        times = {}
+
+        def measure():
+            times["stationary"] = mean_broadcast_time(
+                "visit-exchange", graph, source=0, trials=4
+            )
+            times["one-per-vertex"] = mean_broadcast_time(
+                "visit-exchange", graph, source=0, trials=4, one_agent_per_vertex=True
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        ratio = times["stationary"] / times["one-per-vertex"]
+        assert 0.6 < ratio < 1.7
+
+    def test_lazy_walks_cost_roughly_a_factor_of_two(self, benchmark):
+        graph = star(512)
+        times = {}
+
+        def measure():
+            times["simple"] = mean_broadcast_time(
+                "visit-exchange", graph, source=1, trials=4
+            )
+            times["lazy"] = mean_broadcast_time(
+                "visit-exchange", graph, source=1, trials=4, lazy=True
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        ratio = times["lazy"] / times["simple"]
+        assert 1.0 <= ratio < 4.0

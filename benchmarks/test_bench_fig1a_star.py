@@ -1,0 +1,101 @@
+"""Benchmark / reproduction of Figure 1(a): the star graph (Lemma 2).
+
+Paper claims reproduced here:
+* ``E[T_push] = Omega(n log n)`` — push is coupon-collector slow,
+* ``T_ppull <= 2``,
+* ``T_visitx = O(log n)`` and ``T_meetx = O(log n)`` w.h.p.
+
+The pytest-benchmark timings cover one run of each protocol at n = 512; the
+shape assertions compare mean broadcast times across the four protocols and
+check the growth of push against the n log n prediction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.scaling import best_growth_model
+from repro.experiments import get_experiment, run_experiment
+from repro.graphs import star
+
+from _helpers import mean_broadcast_time
+
+SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def star_graph():
+    return star(SIZE)
+
+
+class TestTimings:
+    def test_push_single_run(self, benchmark, star_graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("push", star_graph, source=1, trials=1),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_push_pull_single_run(self, benchmark, star_graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("push-pull", star_graph, source=1, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_visit_exchange_single_run(self, benchmark, star_graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("visit-exchange", star_graph, source=1, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_meet_exchange_single_run(self, benchmark, star_graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "meet-exchange", star_graph, source=1, trials=1, lazy=True
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_lemma2_orderings(self, benchmark, star_graph):
+        log_n = math.log2(SIZE)
+        times = {}
+
+        def measure():
+            times["push"] = mean_broadcast_time("push", star_graph, source=1, trials=2)
+            times["push-pull"] = mean_broadcast_time(
+                "push-pull", star_graph, source=1, trials=3
+            )
+            times["visit-exchange"] = mean_broadcast_time(
+                "visit-exchange", star_graph, source=1, trials=3
+            )
+            times["meet-exchange"] = mean_broadcast_time(
+                "meet-exchange", star_graph, source=1, trials=3, lazy=True
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["push-pull"] <= 2
+        assert times["visit-exchange"] < 6 * log_n
+        assert times["meet-exchange"] < 6 * log_n
+        assert times["push"] > 10 * times["visit-exchange"]
+
+    def test_push_growth_fits_n_log_n(self, benchmark):
+        config = get_experiment("fig1a-star")
+
+        def sweep():
+            return run_experiment(config, base_seed=0, sizes=(64, 128, 256), trials=2)
+
+        result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        sizes, push_means = result.series("push")
+        fit = best_growth_model(sizes, push_means, candidates=["log n", "n", "n log n"])
+        assert fit.growth in ("n log n", "n")
+        sizes_vx, visitx_means = result.series("visit-exchange")
+        fit_vx = best_growth_model(sizes_vx, visitx_means, candidates=["log n", "n", "n log n"])
+        assert fit_vx.growth == "log n"

@@ -1,0 +1,88 @@
+"""Benchmark / reproduction of Figure 1(b): the double star (Lemma 3).
+
+Paper claims reproduced here:
+* ``E[T_ppull] = Omega(n)`` — push-pull must sample the bridge edge,
+* ``T_visitx = O(log n)`` and ``T_meetx = O(log n)`` w.h.p.
+
+This is the paper's flagship separation in favour of the agent protocols.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.analysis.comparison import separation_exponent
+from repro.experiments import get_experiment, run_experiment
+from repro.graphs import double_star
+
+SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return double_star(SIZE)
+
+
+class TestTimings:
+    def test_push_pull_single_run(self, benchmark, graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("push-pull", graph, source=2, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_visit_exchange_single_run(self, benchmark, graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("visit-exchange", graph, source=2, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_meet_exchange_single_run(self, benchmark, graph):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "meet-exchange", graph, source=2, trials=1, lazy=True
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_lemma3_orderings(self, benchmark, graph):
+        log_n = math.log2(SIZE)
+        times = {}
+
+        def measure():
+            times["push-pull"] = mean_broadcast_time("push-pull", graph, source=2, trials=4)
+            times["visit-exchange"] = mean_broadcast_time(
+                "visit-exchange", graph, source=2, trials=4
+            )
+            times["meet-exchange"] = mean_broadcast_time(
+                "meet-exchange", graph, source=2, trials=4, lazy=True
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["visit-exchange"] < 6 * log_n
+        assert times["meet-exchange"] < 6 * log_n
+        assert times["push-pull"] > 3 * times["visit-exchange"]
+
+    def test_separation_grows_polynomially(self, benchmark):
+        # Push-pull's time on the double star is geometric (waiting for the
+        # bridge edge), so the sweep uses several trials per size and an 8x
+        # size range to keep the fitted separation exponent away from zero.
+        config = get_experiment("fig1b-double-star")
+
+        def sweep():
+            return run_experiment(config, base_seed=0, sizes=(64, 128, 256, 512), trials=6)
+
+        result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        sizes, ppull = result.series("push-pull")
+        _sizes, visitx = result.series("visit-exchange")
+        # The ratio T_ppull / T_visitx grows roughly linearly with n.
+        assert separation_exponent(sizes, ppull, visitx) > 0.3
+        assert visitx[-1] < ppull[-1]

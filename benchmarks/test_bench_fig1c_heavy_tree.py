@@ -1,0 +1,92 @@
+"""Benchmark / reproduction of Figure 1(c): the heavy binary tree (Lemma 4).
+
+Paper claims reproduced here:
+* ``T_push = O(log n)`` w.h.p.,
+* ``E[T_visitx] = Omega(n)`` — the walk volume sits on the leaf clique and no
+  agent reaches the root for a linear number of rounds,
+* ``T_meetx = O(log n)`` w.h.p. when the source is a leaf.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.analysis.comparison import separation_exponent
+from repro.experiments import get_experiment, run_experiment
+from repro.graphs import heavy_binary_tree
+from repro.graphs.heavy_binary_tree import tree_leaves
+
+SIZE = 511
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return heavy_binary_tree(SIZE)
+
+
+@pytest.fixture(scope="module")
+def leaf_source(graph):
+    return tree_leaves(graph)[0]
+
+
+class TestTimings:
+    def test_push_single_run(self, benchmark, graph, leaf_source):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("push", graph, source=leaf_source, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_visit_exchange_single_run(self, benchmark, graph, leaf_source):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "visit-exchange", graph, source=leaf_source, trials=1
+            ),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_meet_exchange_single_run(self, benchmark, graph, leaf_source):
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "meet-exchange", graph, source=leaf_source, trials=1
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_lemma4_orderings(self, benchmark, graph, leaf_source):
+        log_n = math.log2(SIZE)
+        times = {}
+
+        def measure():
+            times["push"] = mean_broadcast_time("push", graph, source=leaf_source, trials=3)
+            times["visit-exchange"] = mean_broadcast_time(
+                "visit-exchange", graph, source=leaf_source, trials=2
+            )
+            times["meet-exchange"] = mean_broadcast_time(
+                "meet-exchange", graph, source=leaf_source, trials=3
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["push"] < 6 * log_n
+        assert times["meet-exchange"] < 8 * log_n
+        assert times["visit-exchange"] > 3 * max(times["push"], times["meet-exchange"])
+
+    def test_visit_exchange_growth_is_polynomial(self, benchmark):
+        config = get_experiment("fig1c-heavy-tree")
+
+        def sweep():
+            return run_experiment(config, base_seed=0, sizes=(63, 127, 255), trials=2)
+
+        result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        sizes, visitx = result.series("visit-exchange")
+        _sizes, push = result.series("push")
+        # visit-exchange falls behind push polynomially as n grows.
+        assert separation_exponent(sizes, visitx, push) > 0.4

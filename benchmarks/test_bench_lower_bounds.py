@@ -1,0 +1,79 @@
+"""Benchmark / reproduction of Theorems 24 and 25.
+
+On d-regular graphs with ``d = Omega(log n)`` and ``O(n)`` agents, both
+visit-exchange and meet-exchange need ``Omega(log n)`` rounds w.h.p.  The
+harness measures the *minimum* broadcast time over repeated runs (a minimum is
+the natural statistic for a w.h.p. lower bound) across a size sweep and checks
+it grows with ``log n`` and never drops below a small multiple of it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro import simulate
+from repro.graphs import random_regular_graph
+
+
+def regular_instance(n, seed):
+    degree = max(4, int(2 * math.log2(n)))
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, np.random.default_rng(seed))
+
+
+def min_broadcast_time(protocol, graph, trials=5):
+    times = []
+    for seed in range(trials):
+        result = simulate(protocol, graph, source=0, seed=seed)
+        assert result.completed
+        times.append(result.broadcast_time)
+    return min(times)
+
+
+class TestTimings:
+    def test_visit_exchange_run_at_n_2048(self, benchmark):
+        graph = regular_instance(2048, 3)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("visit-exchange", graph, source=0, trials=1),
+            rounds=2,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_agent_protocols_never_beat_the_log_barrier(self, benchmark):
+        minima = {}
+
+        def sweep():
+            for index, n in enumerate((256, 512, 1024, 2048)):
+                graph = regular_instance(n, index + 7)
+                minima[n] = {
+                    "visit-exchange": min_broadcast_time("visit-exchange", graph, trials=4),
+                    "meet-exchange": min_broadcast_time("meet-exchange", graph, trials=4),
+                }
+            return minima
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for n, row in minima.items():
+            for protocol, minimum in row.items():
+                assert minimum >= 0.4 * math.log2(n), (
+                    f"{protocol} finished in {minimum} rounds at n={n}, "
+                    f"below the Omega(log n) barrier"
+                )
+
+    def test_minimum_time_grows_with_n(self, benchmark):
+        minima = {}
+
+        def sweep():
+            for index, n in enumerate((256, 2048)):
+                graph = regular_instance(n, index + 31)
+                minima[n] = min_broadcast_time("visit-exchange", graph, trials=4)
+            return minima
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        assert minima[2048] >= minima[256]

@@ -1,0 +1,127 @@
+"""Benchmark / reproduction of Theorem 1 (Theorems 10 and 19).
+
+On any d-regular graph with ``d = Omega(log n)``, push and visit-exchange have
+the same asymptotic broadcast time.  The harness checks the measured
+``T_push / T_visitx`` ratio on three regular families:
+
+* random regular graphs (logarithmic broadcast time),
+* the hypercube (structured, degree exactly ``log2 n``), and
+* a cycle of cliques (polynomial broadcast time),
+
+and asserts the ratio stays inside a constant band and does not drift with n.
+As a contrast, the same ratio on the (non-regular) double star diverges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.analysis.scaling import ratio_trend
+from repro.graphs import clique_cycle, double_star, hypercube, random_regular_graph
+
+
+def regular_instance(n, seed):
+    degree = max(4, int(2 * math.log2(n)))
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, np.random.default_rng(seed))
+
+
+class TestTimings:
+    def test_push_on_random_regular(self, benchmark):
+        graph = regular_instance(1024, 0)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("push", graph, source=0, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+    def test_visit_exchange_on_random_regular(self, benchmark):
+        graph = regular_instance(1024, 0)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("visit-exchange", graph, source=0, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_ratio_bounded_on_random_regular_graphs(self, benchmark):
+        measurements = {}
+
+        def sweep():
+            for index, n in enumerate((128, 256, 512, 1024)):
+                graph = regular_instance(n, index)
+                measurements[n] = (
+                    mean_broadcast_time("push", graph, source=0, trials=3),
+                    mean_broadcast_time("visit-exchange", graph, source=0, trials=3),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        sizes = sorted(measurements)
+        push = [measurements[n][0] for n in sizes]
+        visitx = [measurements[n][1] for n in sizes]
+        trend = ratio_trend(sizes, push, visitx)
+        assert trend["max_ratio"] < 4.0
+        assert trend["min_ratio"] > 0.25
+        assert abs(trend["log_log_slope"]) < 0.35  # no systematic drift
+
+    def test_ratio_bounded_on_hypercube(self, benchmark):
+        measurements = {}
+
+        def sweep():
+            for dimension in (7, 8, 9, 10):
+                graph = hypercube(dimension)
+                measurements[dimension] = (
+                    mean_broadcast_time("push", graph, source=0, trials=3),
+                    mean_broadcast_time("visit-exchange", graph, source=0, trials=3),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        ratios = [push / visitx for push, visitx in measurements.values()]
+        assert max(ratios) < 4.0 and min(ratios) > 0.25
+
+    def test_ratio_bounded_in_the_slow_polynomial_regime(self, benchmark):
+        measurements = {}
+
+        def sweep():
+            for cliques in (8, 16, 32):
+                graph = clique_cycle(cliques, 12)
+                measurements[cliques] = (
+                    mean_broadcast_time("push", graph, source=0, trials=2),
+                    mean_broadcast_time("visit-exchange", graph, source=0, trials=2),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        ratios = [push / visitx for push, visitx in measurements.values()]
+        assert max(ratios) < 4.0 and min(ratios) > 0.25
+        # And the broadcast time itself grows linearly with the cycle length,
+        # confirming this family exercises the polynomial regime.
+        sizes = sorted(measurements)
+        push_times = [measurements[c][0] for c in sizes]
+        assert push_times[-1] > 2.5 * push_times[0]
+
+    def test_no_such_bound_on_the_double_star(self, benchmark):
+        """Contrast: on a non-regular graph the push/visitx ratio diverges."""
+        measurements = {}
+
+        def sweep():
+            for n in (128, 512):
+                graph = double_star(n)
+                measurements[n] = (
+                    mean_broadcast_time("push", graph, source=2, trials=3),
+                    mean_broadcast_time("visit-exchange", graph, source=2, trials=3),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        small_ratio = measurements[128][0] / measurements[128][1]
+        large_ratio = measurements[512][0] / measurements[512][1]
+        assert large_ratio > 1.5 * small_ratio

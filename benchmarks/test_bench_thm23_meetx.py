@@ -1,0 +1,72 @@
+"""Benchmark / reproduction of Theorem 23.
+
+On any d-regular graph with ``d = Omega(log n)``, the broadcast time of
+visit-exchange is at most that of meet-exchange plus an additive ``O(log n)``
+(once all agents are informed, covering the remaining vertices takes O(log n)
+rounds).  The harness measures both protocols on random regular graphs across
+a size sweep and asserts the inequality with an explicit logarithmic slack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from _helpers import mean_broadcast_time
+from repro.graphs import random_regular_graph
+
+
+def regular_instance(n, seed):
+    degree = max(4, int(2 * math.log2(n)))
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, np.random.default_rng(seed))
+
+
+class TestTimings:
+    def test_meet_exchange_on_random_regular(self, benchmark):
+        graph = regular_instance(512, 1)
+        benchmark.pedantic(
+            lambda: mean_broadcast_time("meet-exchange", graph, source=0, trials=1),
+            rounds=3,
+            iterations=1,
+        )
+
+
+class TestShape:
+    def test_visitx_at_most_meetx_plus_logarithm(self, benchmark):
+        measurements = {}
+
+        def sweep():
+            for index, n in enumerate((128, 256, 512, 1024)):
+                graph = regular_instance(n, index + 50)
+                measurements[n] = (
+                    mean_broadcast_time("visit-exchange", graph, source=0, trials=3),
+                    mean_broadcast_time("meet-exchange", graph, source=0, trials=3),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        for n, (visitx, meetx) in measurements.items():
+            assert visitx <= meetx + 4 * math.log2(n), (
+                f"Theorem 23 shape violated at n={n}: visitx={visitx}, meetx={meetx}"
+            )
+
+    def test_both_protocols_logarithmic_on_random_regular(self, benchmark):
+        measurements = {}
+
+        def sweep():
+            for index, n in enumerate((256, 1024)):
+                graph = regular_instance(n, index + 80)
+                measurements[n] = (
+                    mean_broadcast_time("visit-exchange", graph, source=0, trials=3),
+                    mean_broadcast_time("meet-exchange", graph, source=0, trials=3),
+                )
+            return measurements
+
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+        # Quadrupling n should not even double either broadcast time.
+        assert measurements[1024][0] < 2 * measurements[256][0]
+        assert measurements[1024][1] < 2 * measurements[256][1]

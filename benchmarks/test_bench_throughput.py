@@ -1,0 +1,102 @@
+"""Micro-benchmarks of simulator throughput (not tied to a paper claim).
+
+These quantify the per-round cost of each protocol implementation on a
+moderately large regular graph so that performance regressions in the hot
+paths (vectorized neighbor sampling, agent stepping) show up in benchmark
+history even when the claim-level benchmarks still pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.agents import AgentSystem
+from repro.core.engine import Engine
+from repro.core.protocols import (
+    MeetExchangeProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    VisitExchangeProtocol,
+)
+from repro.core.rng import make_rng
+from repro.graphs import random_regular_graph
+
+N = 4096
+
+
+@pytest.fixture(scope="module")
+def graph():
+    degree = max(4, int(2 * math.log2(N)))
+    if (N * degree) % 2:
+        degree += 1
+    return random_regular_graph(N, degree, np.random.default_rng(0))
+
+
+class TestRoundThroughput:
+    def test_push_rounds(self, benchmark, graph):
+        protocol = PushProtocol()
+        rng = make_rng(1)
+        protocol.initialize(graph, 0, rng)
+
+        def ten_rounds():
+            for round_index in range(10):
+                protocol.execute_round(round_index + 1, rng)
+
+        benchmark(ten_rounds)
+
+    def test_push_pull_rounds(self, benchmark, graph):
+        protocol = PushPullProtocol()
+        rng = make_rng(1)
+        protocol.initialize(graph, 0, rng)
+
+        def ten_rounds():
+            for round_index in range(10):
+                protocol.execute_round(round_index + 1, rng)
+
+        benchmark(ten_rounds)
+
+    def test_visit_exchange_rounds(self, benchmark, graph):
+        protocol = VisitExchangeProtocol()
+        rng = make_rng(1)
+        protocol.initialize(graph, 0, rng)
+
+        def ten_rounds():
+            for round_index in range(10):
+                protocol.execute_round(round_index + 1, rng)
+
+        benchmark(ten_rounds)
+
+    def test_meet_exchange_rounds(self, benchmark, graph):
+        protocol = MeetExchangeProtocol()
+        rng = make_rng(1)
+        protocol.initialize(graph, 0, rng)
+
+        def ten_rounds():
+            for round_index in range(10):
+                protocol.execute_round(round_index + 1, rng)
+
+        benchmark(ten_rounds)
+
+
+class TestSubstrateThroughput:
+    def test_agent_stepping(self, benchmark, graph):
+        rng = make_rng(2)
+        agents = AgentSystem.from_stationary(graph, N, rng)
+        benchmark(lambda: agents.step(rng))
+
+    def test_vectorized_neighbor_sampling(self, benchmark, graph):
+        rng = make_rng(3)
+        vertices = np.arange(graph.num_vertices)
+        benchmark(lambda: graph.sample_neighbors(vertices, rng))
+
+    def test_full_push_pull_run(self, benchmark, graph):
+        engine = Engine(record_history=False)
+
+        def run():
+            return engine.run(PushPullProtocol(), graph, 0, seed=5)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.completed

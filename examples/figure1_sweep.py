@@ -1,0 +1,67 @@
+"""Reproduce the Figure 1 comparisons end to end using the experiment harness.
+
+This example runs (scaled-down versions of) the five registered Figure 1
+experiments and prints, for each, the size-by-protocol table of mean broadcast
+times plus the fitted growth model per protocol — i.e. exactly the evidence
+used in EXPERIMENTS.md to argue that the measured shapes match the paper's
+asymptotic claims.
+
+Run with::
+
+    python examples/figure1_sweep.py [--full]
+
+The default run uses reduced sizes and trial counts so it finishes in a couple
+of minutes; ``--full`` uses the registered (paper-scale) configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    experiment_table,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.config import scaled_sizes
+
+FIGURE1_EXPERIMENTS = [
+    "fig1a-star",
+    "fig1b-double-star",
+    "fig1c-heavy-tree",
+    "fig1d-siamese",
+    "fig1e-cycle-stars",
+]
+
+
+def main(full: bool = False) -> None:
+    """Run the five Figure 1 experiments and print their tables and fits."""
+    for experiment_id in FIGURE1_EXPERIMENTS:
+        config = get_experiment(experiment_id)
+        sizes = None if full else scaled_sizes(config.sizes, 0.5)
+        trials = None if full else 3
+        result = run_experiment(config, base_seed=0, sizes=sizes, trials=trials)
+
+        print(experiment_table(result))
+        print()
+        for label in result.protocol_labels():
+            fit = result.best_fit(
+                label, candidates=["1", "log n", "n", "n log n", "n^(2/3)", "n^(2/3) log n"]
+            )
+            exponent = result.growth_exponent(label)
+            if fit is None or exponent is None:
+                continue
+            print(
+                f"  {label:>16}: best fit ~ {fit.constant:.2f} * {fit.growth}"
+                f"   (power-law exponent {exponent:.2f})"
+            )
+        print()
+        print("-" * 78)
+        print()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the paper-scale sweeps")
+    arguments = parser.parse_args()
+    main(full=arguments.full)

@@ -1,0 +1,104 @@
+"""repro — reproduction of "How to Spread a Rumor: Call Your Neighbors or Take a Walk?".
+
+The package simulates the four information-dissemination protocols compared by
+Giakkoupis, Mallmann-Trenn and Saribekyan (PODC 2019) — PUSH, PUSH-PULL,
+VISIT-EXCHANGE and MEET-EXCHANGE — on the graph families from the paper, and
+ships the experiment harness that reproduces every claim of its evaluation.
+
+Quickstart
+----------
+>>> from repro import simulate, graphs
+>>> graph = graphs.double_star(200)
+>>> result = simulate("push-pull", graph, source=2, seed=1)
+>>> result.completed
+True
+
+See ``examples/quickstart.py`` for a guided tour and ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import analysis, core, graphs, theory
+from .core import (
+    AgentSystem,
+    CoupledPushVisitExchange,
+    Engine,
+    HybridPushPullVisitProtocol,
+    MeetExchangeProtocol,
+    PROTOCOL_REGISTRY,
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    RunResult,
+    TrialSet,
+    VisitExchangeProtocol,
+    make_protocol,
+)
+from .core.observers import ObserverGroup
+from .graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "simulate",
+    "Graph",
+    "Engine",
+    "RunResult",
+    "TrialSet",
+    "AgentSystem",
+    "PushProtocol",
+    "PushPullProtocol",
+    "PullProtocol",
+    "VisitExchangeProtocol",
+    "MeetExchangeProtocol",
+    "HybridPushPullVisitProtocol",
+    "CoupledPushVisitExchange",
+    "PROTOCOL_REGISTRY",
+    "make_protocol",
+    "graphs",
+    "core",
+    "theory",
+    "analysis",
+]
+
+
+def simulate(
+    protocol: str,
+    graph: Graph,
+    source: int = 0,
+    *,
+    seed=None,
+    max_rounds: Optional[int] = None,
+    observers: Optional[ObserverGroup] = None,
+    **protocol_kwargs,
+) -> RunResult:
+    """Run a single protocol instance and return its :class:`RunResult`.
+
+    This is the one-call convenience entry point; experiments that need
+    repeated trials, sweeps or custom instrumentation should use
+    :class:`repro.core.Engine` and :mod:`repro.experiments` directly.
+
+    Parameters
+    ----------
+    protocol:
+        Registry name: ``"push"``, ``"push-pull"``, ``"pull"``,
+        ``"visit-exchange"``, ``"meet-exchange"`` or ``"hybrid-ppull-visitx"``.
+    graph:
+        The graph to broadcast on (see :mod:`repro.graphs` for generators).
+    source:
+        The source vertex ``s``.
+    seed:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    max_rounds:
+        Round budget; defaults to a generous bound based on the graph size.
+    protocol_kwargs:
+        Extra arguments forwarded to the protocol constructor (e.g.
+        ``agent_density=2.0`` for the agent-based protocols).
+    """
+    instance = make_protocol(protocol, **protocol_kwargs)
+    engine = Engine(max_rounds=max_rounds)
+    return engine.run(instance, graph, source, seed=seed, observers=observers)

@@ -1,0 +1,52 @@
+"""Analysis layer: statistics, growth fitting, comparisons, fairness, congestion."""
+
+from .comparison import (
+    ProtocolComparison,
+    compare_trials,
+    separation_exponent,
+    winner_table,
+)
+from .congestion import CongestionSummary, summarize_coupled_runs
+from .fairness import (
+    FairnessReport,
+    edge_usage_from_walks,
+    expected_uniform_share,
+    fairness_from_counts,
+    gini_coefficient,
+)
+from .scaling import (
+    GrowthFit,
+    best_growth_model,
+    fit_growth,
+    power_law_exponent,
+    ratio_trend,
+)
+from .statistics import Summary, bootstrap_ci, summarize, summarize_trials
+from .tables import format_float, format_markdown_table, format_table, rows_from_dicts
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "summarize_trials",
+    "bootstrap_ci",
+    "GrowthFit",
+    "fit_growth",
+    "best_growth_model",
+    "power_law_exponent",
+    "ratio_trend",
+    "ProtocolComparison",
+    "compare_trials",
+    "separation_exponent",
+    "winner_table",
+    "FairnessReport",
+    "fairness_from_counts",
+    "edge_usage_from_walks",
+    "gini_coefficient",
+    "expected_uniform_share",
+    "CongestionSummary",
+    "summarize_coupled_runs",
+    "format_table",
+    "format_markdown_table",
+    "format_float",
+    "rows_from_dicts",
+]

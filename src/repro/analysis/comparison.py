@@ -1,0 +1,115 @@
+"""Protocol-versus-protocol comparison utilities.
+
+The central question of the paper is *which protocol wins where and by how
+much*.  These helpers compare trial sets of different protocols on the same
+graph, compute speedup factors, and detect whether a separation grows with
+``n`` (polynomial separation) or stays bounded (constant-factor equivalence,
+as Theorem 1 predicts for push vs visit-exchange on regular graphs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.results import TrialSet
+from .scaling import power_law_exponent
+from .statistics import summarize
+
+__all__ = ["ProtocolComparison", "compare_trials", "separation_exponent", "winner_table"]
+
+
+@dataclass(frozen=True)
+class ProtocolComparison:
+    """Pairwise comparison of two protocols on the same graph configuration."""
+
+    graph_name: str
+    num_vertices: int
+    protocol_a: str
+    protocol_b: str
+    mean_time_a: float
+    mean_time_b: float
+    speedup_of_a: float
+    faster: str
+
+    def describe(self) -> str:
+        """One-line human readable rendering."""
+        return (
+            f"{self.graph_name} (n={self.num_vertices}): {self.protocol_a} "
+            f"mean={self.mean_time_a:.1f} vs {self.protocol_b} mean={self.mean_time_b:.1f}"
+            f" -> {self.faster} is {max(self.speedup_of_a, 1/self.speedup_of_a):.2f}x faster"
+        )
+
+
+def compare_trials(trials_a: TrialSet, trials_b: TrialSet) -> ProtocolComparison:
+    """Compare the mean broadcast times of two trial sets on the same graph."""
+    if trials_a.num_vertices != trials_b.num_vertices:
+        raise ValueError("trial sets must be on graphs of the same size")
+    mean_a = trials_a.mean_broadcast_time()
+    mean_b = trials_b.mean_broadcast_time()
+    if mean_a is None or mean_b is None:
+        raise ValueError("both trial sets need at least one completed run")
+    speedup = mean_b / mean_a if mean_a > 0 else math.inf
+    faster = trials_a.protocol if mean_a <= mean_b else trials_b.protocol
+    return ProtocolComparison(
+        graph_name=trials_a.graph_name,
+        num_vertices=trials_a.num_vertices,
+        protocol_a=trials_a.protocol,
+        protocol_b=trials_b.protocol,
+        mean_time_a=float(mean_a),
+        mean_time_b=float(mean_b),
+        speedup_of_a=float(speedup),
+        faster=faster,
+    )
+
+
+def separation_exponent(
+    sizes: Sequence[float],
+    times_a: Sequence[float],
+    times_b: Sequence[float],
+) -> float:
+    """Exponent of the growth of ``T_a / T_b`` with ``n``.
+
+    A value near 0 means the two protocols are within constant factors of each
+    other (Theorem 1's regime); a clearly positive value means protocol ``a``
+    falls behind polynomially (e.g. push-pull vs visit-exchange on the double
+    star, where the exponent approaches 1).
+    """
+    sizes = np.asarray(list(sizes), dtype=float)
+    times_a = np.asarray(list(times_a), dtype=float)
+    times_b = np.asarray(list(times_b), dtype=float)
+    if not (sizes.size == times_a.size == times_b.size) or sizes.size < 2:
+        raise ValueError("need three equal-length series with at least two points")
+    ratios = times_a / np.maximum(times_b, 1e-12)
+    return power_law_exponent(sizes, np.maximum(ratios, 1e-12))
+
+
+def winner_table(trial_sets: Sequence[TrialSet]) -> Dict[str, Dict[str, float]]:
+    """Build a per-protocol summary table from trial sets on the same graph.
+
+    Returns ``{protocol: {"mean": ..., "median": ..., "max": ..., "completion_rate": ...}}``
+    sorted by mean broadcast time; incomplete protocols report ``inf`` means so
+    they naturally sort last.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for trials in trial_sets:
+        times = trials.broadcast_times()
+        if times:
+            summary = summarize(times)
+            table[trials.protocol] = {
+                "mean": summary.mean,
+                "median": summary.median,
+                "max": summary.maximum,
+                "completion_rate": trials.completion_rate,
+            }
+        else:
+            table[trials.protocol] = {
+                "mean": math.inf,
+                "median": math.inf,
+                "max": math.inf,
+                "completion_rate": trials.completion_rate,
+            }
+    return dict(sorted(table.items(), key=lambda item: item[1]["mean"]))

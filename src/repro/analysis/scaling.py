@@ -1,0 +1,127 @@
+"""Growth-rate fitting: which ``f(n)`` best explains measured broadcast times.
+
+The paper's claims are asymptotic (e.g. ``E[T_push] = Omega(n log n)`` on the
+star, ``T_visitx = O(log n)`` on the double star).  To check the *shape* of a
+measurement series ``(n_i, T_i)`` the experiments fit each candidate growth
+function ``f`` by least squares on ``T ≈ c · f(n)`` and pick the candidate
+with the smallest relative residual; a separate helper estimates the best-fit
+exponent of a pure power law, which is convenient for distinguishing
+polynomial from logarithmic growth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..theory.predictions import GROWTH_FUNCTIONS, growth_value
+
+__all__ = ["GrowthFit", "fit_growth", "best_growth_model", "power_law_exponent", "ratio_trend"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Least-squares fit of ``T ≈ c * f(n)`` for a named growth function."""
+
+    growth: str
+    constant: float
+    relative_rmse: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Predicted broadcast time at size ``n``."""
+        return self.constant * growth_value(self.growth, n)
+
+
+def fit_growth(
+    sizes: Sequence[float], times: Sequence[float], growth: str
+) -> GrowthFit:
+    """Fit a single named growth function to the measurement series."""
+    sizes = np.asarray(list(sizes), dtype=float)
+    times = np.asarray(list(times), dtype=float)
+    if sizes.size != times.size:
+        raise ValueError("sizes and times must have equal length")
+    if sizes.size < 2:
+        raise ValueError("need at least two measurements to fit a growth model")
+    basis = np.array([growth_value(growth, n) for n in sizes])
+    if np.allclose(basis, 0.0):
+        raise ValueError(f"growth function {growth!r} is degenerate on these sizes")
+    constant = float(np.dot(basis, times) / np.dot(basis, basis))
+    predictions = constant * basis
+    residuals = times - predictions
+    denom = np.maximum(np.abs(times), 1e-12)
+    relative_rmse = float(np.sqrt(np.mean((residuals / denom) ** 2)))
+    total_var = float(np.sum((times - times.mean()) ** 2))
+    r_squared = 1.0 - float(np.sum(residuals**2)) / total_var if total_var > 0 else 1.0
+    return GrowthFit(
+        growth=growth,
+        constant=constant,
+        relative_rmse=relative_rmse,
+        r_squared=r_squared,
+    )
+
+
+def best_growth_model(
+    sizes: Sequence[float],
+    times: Sequence[float],
+    *,
+    candidates: Optional[Sequence[str]] = None,
+) -> GrowthFit:
+    """Return the candidate growth function with the smallest relative RMSE."""
+    names = list(candidates) if candidates is not None else list(GROWTH_FUNCTIONS)
+    if not names:
+        raise ValueError("need at least one candidate growth function")
+    fits = [fit_growth(sizes, times, name) for name in names]
+    return min(fits, key=lambda fit: fit.relative_rmse)
+
+
+def power_law_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Estimate ``beta`` in ``T ≈ c * n^beta`` by log-log linear regression.
+
+    A measured exponent near 0 indicates (poly)logarithmic growth; near 1,
+    linear growth; near 2/3, the ``n^{2/3}`` regime of Lemma 9.
+    """
+    sizes = np.asarray(list(sizes), dtype=float)
+    times = np.asarray(list(times), dtype=float)
+    if sizes.size != times.size or sizes.size < 2:
+        raise ValueError("need two equal-length series with at least two points")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise ValueError("power-law fitting requires positive sizes and times")
+    log_n = np.log(sizes)
+    log_t = np.log(times)
+    slope, _intercept = np.polyfit(log_n, log_t, deg=1)
+    return float(slope)
+
+
+def ratio_trend(
+    sizes: Sequence[float],
+    numerator_times: Sequence[float],
+    denominator_times: Sequence[float],
+) -> Dict[str, float]:
+    """Describe how the ratio of two time series behaves as ``n`` grows.
+
+    Returns the ratio at the smallest and largest size, the max/min ratio over
+    the series, and the slope of ``log(ratio)`` against ``log n``.  Theorem 1
+    predicts a bounded, roughly flat ratio for push vs visit-exchange on
+    regular graphs; Lemma 9 predicts a ratio growing like ``log n`` for
+    meet-exchange vs visit-exchange on the cycle-of-stars graph.
+    """
+    sizes = np.asarray(list(sizes), dtype=float)
+    numerator = np.asarray(list(numerator_times), dtype=float)
+    denominator = np.asarray(list(denominator_times), dtype=float)
+    if not (sizes.size == numerator.size == denominator.size) or sizes.size < 2:
+        raise ValueError("need three equal-length series with at least two points")
+    if np.any(denominator <= 0):
+        raise ValueError("denominator times must be positive")
+    ratios = numerator / denominator
+    slope, _ = np.polyfit(np.log(sizes), np.log(np.maximum(ratios, 1e-12)), deg=1)
+    return {
+        "first_ratio": float(ratios[0]),
+        "last_ratio": float(ratios[-1]),
+        "min_ratio": float(ratios.min()),
+        "max_ratio": float(ratios.max()),
+        "log_log_slope": float(slope),
+    }

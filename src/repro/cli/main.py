@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro`` or the ``rumor`` console script.
+
+Sub-commands
+------------
+``list``
+    List every registered experiment with its paper reference.
+``run <experiment-id>``
+    Run one experiment (optionally scaled down) and print its table.
+``run-all``
+    Run every registered experiment and print all tables.
+``simulate``
+    Run a single protocol on a single graph and print the result.
+``report``
+    Regenerate the Markdown experiment report (EXPERIMENTS.md content).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .. import simulate
+from ..analysis.tables import format_table
+from ..core.protocols import PROTOCOL_REGISTRY
+from ..experiments import (
+    experiment_markdown_section,
+    experiment_table,
+    get_experiment,
+    list_experiment_ids,
+    run_coupling_experiment,
+    run_experiment,
+    run_fairness_experiment,
+)
+from ..experiments.config import scaled_sizes
+from ..experiments.reporting import coupling_markdown_section, fairness_markdown_section
+from ..graphs import (
+    complete_graph,
+    cycle_of_stars_of_cliques,
+    double_star,
+    heavy_binary_tree,
+    hypercube,
+    random_regular_graph,
+    siamese_heavy_binary_tree,
+    star,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _build_graph(family: str, size: int, seed: int):
+    """Build one of the named graph families for the ``simulate`` sub-command."""
+    import numpy as np
+
+    if family == "star":
+        return star(size)
+    if family == "double-star":
+        return double_star(size)
+    if family == "heavy-binary-tree":
+        return heavy_binary_tree(size)
+    if family == "siamese-heavy-tree":
+        return siamese_heavy_binary_tree(size)
+    if family == "cycle-stars-cliques":
+        graph, _layout = cycle_of_stars_of_cliques(size)
+        return graph
+    if family == "complete":
+        return complete_graph(size)
+    if family == "hypercube":
+        return hypercube(size)
+    if family == "random-regular":
+        import math
+
+        degree = max(4, int(2 * math.log2(max(size, 2))))
+        if (size * degree) % 2:
+            degree += 1
+        return random_regular_graph(size, degree, np.random.default_rng(seed))
+    raise SystemExit(f"unknown graph family {family!r}")
+
+
+GRAPH_FAMILIES = [
+    "star",
+    "double-star",
+    "heavy-binary-tree",
+    "siamese-heavy-tree",
+    "cycle-stars-cliques",
+    "complete",
+    "hypercube",
+    "random-regular",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="rumor",
+        description=(
+            "Reproduction of 'How to Spread a Rumor: Call Your Neighbors or "
+            "Take a Walk?' (PODC 2019)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", help="experiment id (see 'list')")
+    run_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    run_parser.add_argument("--trials", type=int, default=None, help="override trials per cell")
+    run_parser.add_argument(
+        "--scale", type=float, default=1.0, help="scale factor applied to the size sweep"
+    )
+    run_parser.add_argument(
+        "--markdown", action="store_true", help="emit the Markdown report section"
+    )
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument("--seed", type=int, default=0)
+    run_all_parser.add_argument("--trials", type=int, default=None)
+    run_all_parser.add_argument("--scale", type=float, default=1.0)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run a single protocol on a single graph"
+    )
+    simulate_parser.add_argument("protocol", choices=sorted(PROTOCOL_REGISTRY))
+    simulate_parser.add_argument("family", choices=GRAPH_FAMILIES)
+    simulate_parser.add_argument("size", type=int, help="family size parameter")
+    simulate_parser.add_argument("--source", type=int, default=0)
+    simulate_parser.add_argument("--seed", type=int, default=0)
+    simulate_parser.add_argument("--agent-density", type=float, default=1.0)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate the Markdown experiment report"
+    )
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--trials", type=int, default=None)
+    report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.add_argument(
+        "--output", default="-", help="output path, or '-' for stdout"
+    )
+
+    return parser
+
+
+def _run_one(experiment_id: str, seed: int, trials: Optional[int], scale: float):
+    config = get_experiment(experiment_id)
+    sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
+    return run_experiment(config, base_seed=seed, sizes=sizes, trials=trials)
+
+
+def _command_list() -> int:
+    rows = []
+    for experiment_id in list_experiment_ids():
+        config = get_experiment(experiment_id)
+        rows.append([experiment_id, config.paper_reference, config.title])
+    print(format_table(["experiment id", "paper reference", "title"], rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.experiment_id, args.seed, args.trials, args.scale)
+    if args.markdown:
+        print(experiment_markdown_section(result))
+    else:
+        print(experiment_table(result))
+    return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    for experiment_id in list_experiment_ids():
+        result = _run_one(experiment_id, args.seed, args.trials, args.scale)
+        print(experiment_table(result))
+        print()
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    graph = _build_graph(args.family, args.size, args.seed)
+    kwargs = {}
+    if args.protocol in ("visit-exchange", "meet-exchange", "hybrid-ppull-visitx"):
+        kwargs["agent_density"] = args.agent_density
+    result = simulate(
+        args.protocol, graph, source=args.source, seed=args.seed, **kwargs
+    )
+    print(
+        f"{result.protocol} on {result.graph_name} (n={result.num_vertices}, "
+        f"m={result.num_edges}) from source {result.source}:"
+    )
+    if result.completed:
+        print(f"  broadcast time = {result.broadcast_time} rounds")
+    else:
+        print(f"  did NOT complete within {result.rounds_executed} rounds")
+    if result.num_agents:
+        print(f"  agents = {result.num_agents}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    sections: List[str] = [
+        "# Experiment report",
+        "",
+        "Generated by `rumor report`. Mean broadcast times over independent "
+        "trials; growth fits against the candidate models of the paper.",
+        "",
+    ]
+    for experiment_id in list_experiment_ids():
+        result = _run_one(experiment_id, args.seed, args.trials, args.scale)
+        sections.append(experiment_markdown_section(result))
+    coupling = run_coupling_experiment(base_seed=args.seed)
+    sections.append(coupling_markdown_section(coupling))
+    fairness = run_fairness_experiment(base_seed=args.seed)
+    sections.append(fairness_markdown_section(fairness))
+    text = "\n".join(sections)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "run-all":
+        return _command_run_all(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "report":
+        return _command_report(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Core simulation machinery: engine, agents, protocols and the coupling."""
+
+from .agents import AgentSystem, default_agent_count
+from .coupling import CoupledPushVisitExchange, CoupledRunResult, NeighborChoices
+from .engine import Engine, RoundProtocol, default_max_rounds
+from .observers import (
+    EdgeUsageObserver,
+    InformedCountObserver,
+    Observer,
+    ObserverGroup,
+    RoundLimitGuard,
+)
+from .results import RoundRecord, RunResult, TrialSet
+from .rng import RngFactory, derive_seed, make_rng, spawn_rngs
+from .protocols import (
+    HybridPushPullVisitProtocol,
+    MeetExchangeProtocol,
+    PROTOCOL_REGISTRY,
+    PullProtocol,
+    PushProtocol,
+    PushPullProtocol,
+    VisitExchangeProtocol,
+    make_protocol,
+)
+
+__all__ = [
+    "AgentSystem",
+    "default_agent_count",
+    "CoupledPushVisitExchange",
+    "CoupledRunResult",
+    "NeighborChoices",
+    "Engine",
+    "RoundProtocol",
+    "default_max_rounds",
+    "Observer",
+    "ObserverGroup",
+    "InformedCountObserver",
+    "EdgeUsageObserver",
+    "RoundLimitGuard",
+    "RunResult",
+    "RoundRecord",
+    "TrialSet",
+    "RngFactory",
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "PushProtocol",
+    "PushPullProtocol",
+    "PullProtocol",
+    "VisitExchangeProtocol",
+    "MeetExchangeProtocol",
+    "HybridPushPullVisitProtocol",
+    "PROTOCOL_REGISTRY",
+    "make_protocol",
+]

@@ -1,0 +1,201 @@
+"""The agent substrate: collections of independent random walks.
+
+The agent-based protocols of the paper (visit-exchange and meet-exchange)
+assume a set ``A`` of agents, each performing an independent simple random
+walk, started from the stationary distribution ``deg(v) / 2|E|``.  For
+bipartite graphs the paper makes the walks *lazy* (stay put with probability
+1/2) so that meet-exchange terminates.
+
+The implementation keeps all agent positions in one numpy array and advances
+every walk in a single vectorized step per round, which is what makes the
+linear-agent regime (``|A| = Theta(n)``) affordable for the experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph, GraphError
+from .rng import make_rng
+
+__all__ = ["AgentSystem", "default_agent_count"]
+
+
+def default_agent_count(graph: Graph, density: float = 1.0) -> int:
+    """Number of agents for density ``alpha``: ``max(1, round(alpha * n))``.
+
+    The paper's analyses assume ``|A| = alpha * n`` for a constant
+    ``alpha > 0``; the experiments default to ``alpha = 1``.
+    """
+    if density <= 0:
+        raise ValueError("agent density must be positive")
+    return max(1, int(round(density * graph.num_vertices)))
+
+
+@dataclass
+class AgentSystem:
+    """A population of agents performing independent random walks on a graph.
+
+    Attributes
+    ----------
+    graph:
+        The graph the agents walk on.
+    positions:
+        ``positions[g]`` is the current vertex of agent ``g``.
+    informed:
+        Boolean array; ``informed[g]`` is True once agent ``g`` carries the rumor.
+    lazy:
+        If True each agent independently stays put with probability 1/2 every
+        round (required on bipartite graphs for meet-exchange).
+    """
+
+    graph: Graph
+    positions: np.ndarray
+    informed: np.ndarray
+    lazy: bool = False
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        self.informed = np.asarray(self.informed, dtype=bool)
+        if self.positions.shape != self.informed.shape:
+            raise ValueError("positions and informed arrays must have equal length")
+        if self.positions.size == 0:
+            raise ValueError("an agent system needs at least one agent")
+        if np.any(self.positions < 0) or np.any(self.positions >= self.graph.num_vertices):
+            raise ValueError("agent positions out of range")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stationary(
+        cls,
+        graph: Graph,
+        num_agents: int,
+        rng: np.random.Generator,
+        *,
+        lazy: bool = False,
+    ) -> "AgentSystem":
+        """Place ``num_agents`` agents i.i.d. from the stationary distribution.
+
+        This matches the paper's Section 3 model: vertex ``v`` receives each
+        agent independently with probability ``deg(v) / 2|E|``.
+        """
+        if num_agents < 1:
+            raise ValueError("need at least one agent")
+        rng = make_rng(rng)
+        stationary = graph.stationary_distribution()
+        positions = rng.choice(graph.num_vertices, size=num_agents, p=stationary)
+        informed = np.zeros(num_agents, dtype=bool)
+        return cls(graph=graph, positions=positions, informed=informed, lazy=lazy)
+
+    @classmethod
+    def one_per_vertex(
+        cls, graph: Graph, *, lazy: bool = False
+    ) -> "AgentSystem":
+        """Place exactly one agent on every vertex.
+
+        The paper remarks (after Lemma 11) that the regular-graph results also
+        hold under this initialisation; the ablation experiments compare it
+        against the stationary placement.
+        """
+        positions = np.arange(graph.num_vertices, dtype=np.int64)
+        informed = np.zeros(graph.num_vertices, dtype=bool)
+        return cls(graph=graph, positions=positions, informed=informed, lazy=lazy)
+
+    @classmethod
+    def at_positions(
+        cls,
+        graph: Graph,
+        positions,
+        *,
+        lazy: bool = False,
+        informed=None,
+    ) -> "AgentSystem":
+        """Place agents at explicitly given vertices (used heavily in tests)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if informed is None:
+            informed = np.zeros(positions.shape, dtype=bool)
+        return cls(graph=graph, positions=positions, informed=np.asarray(informed, dtype=bool), lazy=lazy)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_agents(self) -> int:
+        """Number of agents in the system."""
+        return int(self.positions.size)
+
+    @property
+    def num_informed(self) -> int:
+        """Number of agents currently carrying the rumor."""
+        return int(np.count_nonzero(self.informed))
+
+    def all_informed(self) -> bool:
+        """True once every agent carries the rumor."""
+        return bool(np.all(self.informed))
+
+    def agents_at(self, vertex: int) -> np.ndarray:
+        """Return the indices of agents currently located at ``vertex``."""
+        return np.flatnonzero(self.positions == vertex)
+
+    def occupancy(self) -> np.ndarray:
+        """Return an array ``occ`` with ``occ[v]`` = number of agents at vertex ``v``."""
+        return np.bincount(self.positions, minlength=self.graph.num_vertices)
+
+    def informed_occupancy(self) -> np.ndarray:
+        """Per-vertex count of *informed* agents."""
+        if not np.any(self.informed):
+            return np.zeros(self.graph.num_vertices, dtype=np.int64)
+        return np.bincount(
+            self.positions[self.informed], minlength=self.graph.num_vertices
+        )
+
+    # ------------------------------------------------------------------
+    # dynamics
+    # ------------------------------------------------------------------
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        """Advance every agent by one random-walk step; return previous positions.
+
+        Returns the positions *before* the step so that callers (e.g. the
+        coupling machinery) can reconstruct which edge each agent traversed.
+        """
+        rng = make_rng(rng)
+        previous = self.positions.copy()
+        new_positions = self.graph.sample_neighbors(self.positions, rng)
+        if self.lazy:
+            stay = rng.random(self.num_agents) < 0.5
+            new_positions = np.where(stay, self.positions, new_positions)
+        self.positions = new_positions.astype(np.int64, copy=False)
+        return previous
+
+    def inform_agents(self, agent_indices) -> int:
+        """Mark the given agents informed; return how many were newly informed."""
+        agent_indices = np.asarray(agent_indices, dtype=np.int64)
+        if agent_indices.size == 0:
+            return 0
+        newly = np.count_nonzero(~self.informed[agent_indices])
+        self.informed[agent_indices] = True
+        return int(newly)
+
+    def inform_agents_at(self, vertices) -> int:
+        """Inform every agent currently located on one of ``vertices``."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        mask = np.isin(self.positions, vertices)
+        newly = int(np.count_nonzero(mask & ~self.informed))
+        self.informed |= mask
+        return newly
+
+    def copy(self) -> "AgentSystem":
+        """Return an independent deep copy of the agent system."""
+        return AgentSystem(
+            graph=self.graph,
+            positions=self.positions.copy(),
+            informed=self.informed.copy(),
+            lazy=self.lazy,
+        )

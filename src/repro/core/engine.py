@@ -1,0 +1,176 @@
+"""The synchronous round-based simulation engine.
+
+All four protocols of the paper proceed in synchronous rounds on a connected
+undirected graph with a single source vertex (Section 3).  The engine owns the
+round loop, termination handling, round budgeting and observer notification;
+each protocol only implements the state initialisation and a single-round
+transition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.graph import Graph, GraphError
+from .observers import Observer, ObserverGroup
+from .results import RunResult
+from .rng import make_rng
+
+__all__ = ["Engine", "RoundProtocol", "default_max_rounds"]
+
+
+def default_max_rounds(graph: Graph, *, safety_factor: float = 50.0) -> int:
+    """A generous default round budget.
+
+    The slowest behaviour any of the paper's protocols exhibits on its example
+    graphs is linear in ``n`` (up to log factors); the cover time of a single
+    random walk on a connected graph is ``O(n^3)`` in the worst case but the
+    experiments never rely on that regime.  The default budget
+    ``safety_factor * n * log2(n)`` comfortably covers every configured
+    experiment while still terminating promptly when something is wrong.
+    """
+    n = graph.num_vertices
+    return int(max(64, safety_factor * n * max(math.log2(max(n, 2)), 1.0)))
+
+
+class RoundProtocol:
+    """Interface a protocol must implement to be driven by the :class:`Engine`.
+
+    The life cycle is::
+
+        protocol.initialize(graph, source, rng)      # round 0 of Section 3
+        while not protocol.is_complete():
+            protocol.execute_round(round_index, rng) # rounds 1, 2, ...
+
+    Implementations must be re-usable: ``initialize`` resets all state.
+    """
+
+    #: Human readable protocol identifier stored in result records.
+    name: str = "abstract"
+
+    #: Observer group set by the engine before ``initialize``; protocols that
+    #: report per-edge information flow call ``self.observers.on_edge_used``.
+    observers: ObserverGroup = ObserverGroup()
+
+    def initialize(self, graph: Graph, source: int, rng) -> None:
+        """Set up round-0 state (inform the source, place agents, ...)."""
+        raise NotImplementedError
+
+    def execute_round(self, round_index: int, rng) -> None:
+        """Advance the process by one synchronous round."""
+        raise NotImplementedError
+
+    def is_complete(self) -> bool:
+        """Return True once the broadcast is finished (protocol-specific)."""
+        raise NotImplementedError
+
+    def informed_vertex_count(self) -> int:
+        """Number of informed vertices (0 allowed for agent-only protocols)."""
+        raise NotImplementedError
+
+    def informed_agent_count(self) -> int:
+        """Number of informed agents (0 for push/push-pull)."""
+        return 0
+
+    def num_agents(self) -> int:
+        """Total number of agents (0 for push/push-pull)."""
+        return 0
+
+    def messages_sent(self) -> int:
+        """Total messages sent so far (used for communication-cost accounting)."""
+        return 0
+
+    def extra_metadata(self) -> dict:
+        """Protocol-specific fields to merge into the run's metadata."""
+        return {}
+
+
+@dataclass
+class Engine:
+    """Drives a :class:`RoundProtocol` to completion and packages the result.
+
+    Parameters
+    ----------
+    max_rounds:
+        Hard budget on the number of rounds; ``None`` selects
+        :func:`default_max_rounds` for the given graph.
+    record_history:
+        If True the per-round informed counts are stored in the result (this
+        is cheap and on by default; turn off for very long runs in benchmarks).
+    """
+
+    max_rounds: Optional[int] = None
+    record_history: bool = True
+
+    def run(
+        self,
+        protocol: RoundProtocol,
+        graph: Graph,
+        source: int,
+        seed=None,
+        *,
+        observers: Optional[ObserverGroup] = None,
+    ) -> RunResult:
+        """Run ``protocol`` on ``graph`` from ``source`` until completion or budget."""
+        if not (0 <= source < graph.num_vertices):
+            raise GraphError(f"source vertex {source} out of range")
+        if not graph.is_connected():
+            raise GraphError("the paper's protocols are defined on connected graphs")
+
+        rng = make_rng(seed)
+        group = observers if observers is not None else ObserverGroup()
+        budget = self.max_rounds if self.max_rounds is not None else default_max_rounds(graph)
+        if budget < 0:
+            raise ValueError("max_rounds must be non-negative")
+
+        group.on_run_start(graph, source)
+        protocol.observers = group
+        protocol.initialize(graph, source, rng)
+
+        vertex_history = []
+        agent_history = []
+        if self.record_history:
+            vertex_history.append(protocol.informed_vertex_count())
+            agent_history.append(protocol.informed_agent_count())
+        group.on_round_end(
+            0, protocol.informed_vertex_count(), protocol.informed_agent_count()
+        )
+
+        broadcast_time: Optional[int] = 0 if protocol.is_complete() else None
+        rounds_executed = 0
+        if broadcast_time is None:
+            for round_index in range(1, budget + 1):
+                protocol.execute_round(round_index, rng)
+                rounds_executed = round_index
+                if self.record_history:
+                    vertex_history.append(protocol.informed_vertex_count())
+                    agent_history.append(protocol.informed_agent_count())
+                group.on_round_end(
+                    round_index,
+                    protocol.informed_vertex_count(),
+                    protocol.informed_agent_count(),
+                )
+                if protocol.is_complete():
+                    broadcast_time = round_index
+                    break
+
+        completed = broadcast_time is not None
+        group.on_run_end(broadcast_time)
+
+        return RunResult(
+            protocol=protocol.name,
+            graph_name=graph.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            source=int(source),
+            broadcast_time=broadcast_time,
+            rounds_executed=rounds_executed,
+            completed=completed,
+            num_agents=protocol.num_agents(),
+            informed_vertex_history=vertex_history,
+            informed_agent_history=agent_history,
+            messages_sent=protocol.messages_sent(),
+            metadata=dict(protocol.extra_metadata()),
+        )

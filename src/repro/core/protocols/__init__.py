@@ -1,0 +1,49 @@
+"""Protocol implementations.
+
+The four protocols compared by the paper (Section 3) plus two extras used by
+the benchmarks: PULL (the missing half of push-pull, as an ablation baseline)
+and the push-pull + visit-exchange hybrid suggested by the introduction.
+"""
+
+from .push import PushProtocol
+from .push_pull import PushPullProtocol
+from .pull import PullProtocol
+from .visit_exchange import VisitExchangeProtocol
+from .meet_exchange import MeetExchangeProtocol
+from .hybrid import HybridPushPullVisitProtocol
+
+__all__ = [
+    "PushProtocol",
+    "PushPullProtocol",
+    "PullProtocol",
+    "VisitExchangeProtocol",
+    "MeetExchangeProtocol",
+    "HybridPushPullVisitProtocol",
+    "PROTOCOL_REGISTRY",
+    "make_protocol",
+]
+
+#: Mapping from protocol name to its class, used by the CLI and the
+#: experiment configuration layer.
+PROTOCOL_REGISTRY = {
+    PushProtocol.name: PushProtocol,
+    PushPullProtocol.name: PushPullProtocol,
+    PullProtocol.name: PullProtocol,
+    VisitExchangeProtocol.name: VisitExchangeProtocol,
+    MeetExchangeProtocol.name: MeetExchangeProtocol,
+    HybridPushPullVisitProtocol.name: HybridPushPullVisitProtocol,
+}
+
+
+def make_protocol(name: str, **kwargs):
+    """Instantiate a protocol by its registry name.
+
+    Keyword arguments are forwarded to the protocol constructor, e.g.
+    ``make_protocol("visit-exchange", agent_density=2.0)``.
+    """
+    try:
+        cls = PROTOCOL_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PROTOCOL_REGISTRY))
+        raise ValueError(f"unknown protocol {name!r}; known protocols: {known}") from exc
+    return cls(**kwargs)

@@ -1,0 +1,168 @@
+"""The MEET-EXCHANGE protocol (Section 3 of the paper).
+
+A set ``A`` of agents performs independent random walks from the stationary
+distribution; only *agents* store the rumor:
+
+* Round 0: every agent on the source vertex becomes informed.  If no agent is
+  on the source, the first agent(s) to visit the source in a later round
+  become informed; after that first visit the source stops informing agents.
+* Each round ``t >= 1``: all agents step; whenever two agents meet on a vertex
+  and exactly one of them was informed in a *previous* round, the other
+  becomes informed (information does not chain within a round).
+
+``T_meetx`` is the first round by which all agents are informed.  On bipartite
+graphs the walks are made lazy (stay put with probability 1/2), following the
+paper, so that the expected broadcast time is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ..agents import AgentSystem, default_agent_count
+from ..engine import RoundProtocol
+from ..rng import make_rng
+
+__all__ = ["MeetExchangeProtocol"]
+
+
+class MeetExchangeProtocol(RoundProtocol):
+    """Vectorized implementation of MEET-EXCHANGE.
+
+    Parameters
+    ----------
+    agent_density:
+        ``alpha`` such that ``|A| = round(alpha * n)``.
+    num_agents:
+        Explicit agent count overriding ``agent_density`` when given.
+    lazy:
+        Force lazy walks.  With ``lazy=None`` (the default) lazy walks are
+        enabled automatically exactly when the graph is bipartite, mirroring
+        the convention of Section 3.
+    one_agent_per_vertex:
+        Start one agent on every vertex instead of the stationary placement.
+    """
+
+    name = "meet-exchange"
+
+    def __init__(
+        self,
+        *,
+        agent_density: float = 1.0,
+        num_agents: Optional[int] = None,
+        lazy: Optional[bool] = None,
+        one_agent_per_vertex: bool = False,
+    ) -> None:
+        self.agent_density = float(agent_density)
+        self.explicit_num_agents = num_agents
+        self.lazy = lazy
+        self.one_agent_per_vertex = bool(one_agent_per_vertex)
+
+        self._graph: Optional[Graph] = None
+        self._agents: Optional[AgentSystem] = None
+        self._source: int = -1
+        self._source_still_informs = False
+        self._effective_lazy = False
+
+    # ------------------------------------------------------------------
+    # RoundProtocol interface
+    # ------------------------------------------------------------------
+    def initialize(self, graph: Graph, source: int, rng) -> None:
+        rng = make_rng(rng)
+        self._graph = graph
+        self._source = int(source)
+        self._effective_lazy = (
+            bool(self.lazy) if self.lazy is not None else graph.is_bipartite()
+        )
+
+        if self.one_agent_per_vertex:
+            agents = AgentSystem.one_per_vertex(graph, lazy=self._effective_lazy)
+        else:
+            count = (
+                int(self.explicit_num_agents)
+                if self.explicit_num_agents is not None
+                else default_agent_count(graph, self.agent_density)
+            )
+            agents = AgentSystem.from_stationary(
+                graph, count, rng, lazy=self._effective_lazy
+            )
+        self._agents = agents
+
+        # Round 0: agents on the source become informed; if none, the source
+        # keeps the rumor until its first visitor arrives.
+        at_source = agents.agents_at(self._source)
+        if at_source.size:
+            agents.inform_agents(at_source)
+            self._source_still_informs = False
+        else:
+            self._source_still_informs = True
+
+    def execute_round(self, round_index: int, rng) -> None:
+        graph = self._graph
+        agents = self._agents
+        assert graph is not None and agents is not None
+        rng = make_rng(rng)
+
+        informed_before = agents.informed.copy()
+        agents.step(rng)
+
+        # The source hands the rumor to its first visitor(s), then goes silent.
+        if self._source_still_informs:
+            visitors = agents.agents_at(self._source)
+            if visitors.size:
+                agents.inform_agents(visitors)
+                self._source_still_informs = False
+                # Agents informed directly by the source may not spread further
+                # this round (they were not informed in a previous round).
+                informed_before_mask = informed_before
+                informed_before = informed_before_mask
+
+        # Meetings: any vertex currently holding an agent informed in a
+        # previous round informs every agent located there.
+        if np.any(informed_before):
+            informed_positions = np.unique(agents.positions[informed_before])
+            meeting_mask = np.isin(agents.positions, informed_positions)
+            newly = meeting_mask & ~agents.informed
+            if np.any(newly):
+                agents.informed |= newly
+
+    def is_complete(self) -> bool:
+        assert self._agents is not None
+        return self._agents.all_informed()
+
+    def informed_vertex_count(self) -> int:
+        # Vertices do not store the rumor in meet-exchange; by convention we
+        # report the source as the single "informed" vertex.
+        return 1
+
+    def informed_agent_count(self) -> int:
+        assert self._agents is not None
+        return self._agents.num_informed
+
+    def num_agents(self) -> int:
+        assert self._agents is not None
+        return self._agents.num_agents
+
+    def extra_metadata(self) -> dict:
+        return {
+            "agent_density": self.agent_density,
+            "lazy": self._effective_lazy,
+            "one_agent_per_vertex": self.one_agent_per_vertex,
+            "source_still_informs": self._source_still_informs,
+        }
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    def agent_system(self) -> AgentSystem:
+        """The live agent system (not a copy); treat as read-only."""
+        assert self._agents is not None
+        return self._agents
+
+    @property
+    def uses_lazy_walks(self) -> bool:
+        """Whether the current run uses lazy walks."""
+        return self._effective_lazy

@@ -1,0 +1,77 @@
+"""The PUSH rumor-spreading protocol (Section 3 of the paper).
+
+In round zero the source becomes informed.  In each round ``t >= 1`` every
+vertex that was informed *in a previous round* samples a uniformly random
+neighbor and sends it the rumor; an uninformed recipient becomes informed in
+this round (and therefore starts pushing only from the next round).
+
+``T_push`` is the first round by which all vertices are informed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graphs.graph import Graph
+from ..engine import RoundProtocol
+from ..rng import make_rng
+
+__all__ = ["PushProtocol"]
+
+
+class PushProtocol(RoundProtocol):
+    """Vectorized implementation of PUSH.
+
+    All vertices informed before the current round push simultaneously; the
+    per-round work is one vectorized neighbor sample over the informed set.
+    """
+
+    name = "push"
+
+    def __init__(self) -> None:
+        self._graph: Optional[Graph] = None
+        self._informed: Optional[np.ndarray] = None
+        self._informed_count = 0
+        self._messages = 0
+
+    def initialize(self, graph: Graph, source: int, rng) -> None:
+        self._graph = graph
+        self._informed = np.zeros(graph.num_vertices, dtype=bool)
+        self._informed[source] = True
+        self._informed_count = 1
+        self._messages = 0
+
+    def execute_round(self, round_index: int, rng) -> None:
+        graph = self._graph
+        informed = self._informed
+        assert graph is not None and informed is not None
+        rng = make_rng(rng)
+
+        senders = np.flatnonzero(informed)
+        if senders.size == 0:
+            return
+        targets = graph.sample_neighbors(senders, rng)
+        self._messages += int(senders.size)
+
+        for sender, target in zip(senders.tolist(), targets.tolist()):
+            if not informed[target]:
+                informed[target] = True
+                self._informed_count += 1
+                self.observers.on_edge_used(int(sender), int(target))
+
+    def is_complete(self) -> bool:
+        assert self._graph is not None
+        return self._informed_count >= self._graph.num_vertices
+
+    def informed_vertex_count(self) -> int:
+        return self._informed_count
+
+    def messages_sent(self) -> int:
+        return self._messages
+
+    def informed_mask(self) -> np.ndarray:
+        """Return a copy of the per-vertex informed mask (for tests/analysis)."""
+        assert self._informed is not None
+        return self._informed.copy()

@@ -1,0 +1,172 @@
+"""Result records produced by protocol runs.
+
+A single protocol run produces a :class:`RunResult`; repeated trials of the
+same configuration are aggregated into a :class:`TrialSet` by the experiment
+runner.  Both are plain dataclasses so they serialize cleanly to JSON for the
+EXPERIMENTS.md report generator.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["RunResult", "TrialSet", "RoundRecord"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Per-round snapshot captured by observers.
+
+    Attributes
+    ----------
+    round_index:
+        The round number (round 0 is the initialisation round of Section 3).
+    informed_vertices:
+        Number of informed vertices after this round (protocol dependent; for
+        meet-exchange this stays at most 1, the source).
+    informed_agents:
+        Number of informed agents after this round (0 for push/push-pull).
+    extra:
+        Free-form protocol specific fields (e.g. messages sent this round).
+    """
+
+    round_index: int
+    informed_vertices: int
+    informed_agents: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one protocol run on one graph from one source.
+
+    ``broadcast_time`` follows the paper's definitions: for push, push-pull and
+    visit-exchange it is the first round by which every vertex is informed; for
+    meet-exchange it is the first round by which every agent is informed.  If
+    the run hit ``max_rounds`` before completing, ``completed`` is False and
+    ``broadcast_time`` is ``None``.
+    """
+
+    protocol: str
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    source: int
+    broadcast_time: Optional[int]
+    rounds_executed: int
+    completed: bool
+    num_agents: int = 0
+    informed_vertex_history: List[int] = field(default_factory=list)
+    informed_agent_history: List[int] = field(default_factory=list)
+    messages_sent: int = 0
+    edge_traversals: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.completed and self.broadcast_time is None:
+            raise ValueError("completed runs must record a broadcast time")
+        if not self.completed and self.broadcast_time is not None:
+            raise ValueError("incomplete runs must not record a broadcast time")
+
+    @property
+    def normalized_broadcast_time(self) -> Optional[float]:
+        """Broadcast time divided by ``log2(n)`` — a convenient scale-free view."""
+        if self.broadcast_time is None:
+            return None
+        return self.broadcast_time / max(math.log2(max(self.num_vertices, 2)), 1.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serializable dictionary representation."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """Serialize the result to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Reconstruct a :class:`RunResult` from :meth:`to_dict` output."""
+        return cls(**payload)
+
+
+@dataclass
+class TrialSet:
+    """A collection of runs of the same protocol/graph/source configuration."""
+
+    protocol: str
+    graph_name: str
+    num_vertices: int
+    results: List[RunResult] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        """Append a run result, validating that it matches the configuration."""
+        if result.protocol != self.protocol:
+            raise ValueError(
+                f"protocol mismatch: expected {self.protocol!r}, got {result.protocol!r}"
+            )
+        if result.num_vertices != self.num_vertices:
+            raise ValueError("all trials in a TrialSet must share the vertex count")
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def completed_results(self) -> List[RunResult]:
+        """Runs that finished before their round budget."""
+        return [r for r in self.results if r.completed]
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of runs that completed within the round budget."""
+        if not self.results:
+            return 0.0
+        return len(self.completed_results) / len(self.results)
+
+    def broadcast_times(self) -> List[int]:
+        """Broadcast times of the completed runs."""
+        return [r.broadcast_time for r in self.completed_results if r.broadcast_time is not None]
+
+    def mean_broadcast_time(self) -> Optional[float]:
+        """Mean broadcast time over completed runs, or None if none completed."""
+        times = self.broadcast_times()
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def max_broadcast_time(self) -> Optional[int]:
+        """Maximum broadcast time over completed runs."""
+        times = self.broadcast_times()
+        return max(times) if times else None
+
+    def min_broadcast_time(self) -> Optional[int]:
+        """Minimum broadcast time over completed runs."""
+        times = self.broadcast_times()
+        return min(times) if times else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-serializable dictionary representation."""
+        return {
+            "protocol": self.protocol,
+            "graph_name": self.graph_name,
+            "num_vertices": self.num_vertices,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_results(cls, results: Sequence[RunResult]) -> "TrialSet":
+        """Build a trial set from a non-empty homogeneous result sequence."""
+        if not results:
+            raise ValueError("cannot build a TrialSet from an empty result list")
+        first = results[0]
+        trials = cls(
+            protocol=first.protocol,
+            graph_name=first.graph_name,
+            num_vertices=first.num_vertices,
+        )
+        for result in results:
+            trials.add(result)
+        return trials

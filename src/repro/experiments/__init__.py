@@ -1,0 +1,62 @@
+"""Experiment harness: registry, runner and the paper's experiments.
+
+Importing this package registers every experiment of the reproduction (the
+Figure 1 sweeps, the regular-graph theorems, the hybrid protocol and the
+ablations) in :mod:`repro.experiments.registry`; the coupling and fairness
+experiments have their own entry points because they are not broadcast-time
+sweeps.
+"""
+
+from .config import ExperimentConfig, GraphCase, ProtocolSpec, scaled_sizes
+from .registry import all_experiments, get_experiment, list_experiment_ids, register
+from .runner import CellResult, ExperimentResult, run_experiment, run_trial_set
+
+# Importing the experiment modules registers their configurations.
+from . import ablations  # noqa: F401  (registration side effect)
+from . import figure1  # noqa: F401
+from . import hybrid_experiments  # noqa: F401
+from . import regular_graphs  # noqa: F401
+
+from .coupling_experiment import (
+    CouplingExperimentResult,
+    DEFAULT_COUPLING_SIZES,
+    run_coupling_experiment,
+)
+from .fairness_experiment import (
+    FairnessExperimentResult,
+    default_fairness_graphs,
+    run_fairness_experiment,
+)
+from .reporting import (
+    claims_for_experiment,
+    coupling_markdown_section,
+    experiment_markdown_section,
+    experiment_table,
+    fairness_markdown_section,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "GraphCase",
+    "ProtocolSpec",
+    "scaled_sizes",
+    "register",
+    "get_experiment",
+    "list_experiment_ids",
+    "all_experiments",
+    "run_experiment",
+    "run_trial_set",
+    "ExperimentResult",
+    "CellResult",
+    "CouplingExperimentResult",
+    "DEFAULT_COUPLING_SIZES",
+    "run_coupling_experiment",
+    "FairnessExperimentResult",
+    "default_fairness_graphs",
+    "run_fairness_experiment",
+    "experiment_table",
+    "experiment_markdown_section",
+    "coupling_markdown_section",
+    "fairness_markdown_section",
+    "claims_for_experiment",
+]

@@ -1,0 +1,142 @@
+"""Experiment configuration dataclasses.
+
+An *experiment* in this package corresponds to one claim-group of the paper's
+evaluation (one Figure 1 panel, or one regular-graph theorem).  A
+configuration specifies how to build the graph for a given size parameter,
+which source vertex to use, which protocols to run with which arguments, what
+sweep of sizes and how many trials — everything needed for
+:mod:`repro.experiments.runner` to produce the numbers, and for
+:mod:`repro.experiments.reporting` to render them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..graphs.graph import Graph
+
+__all__ = ["GraphCase", "ProtocolSpec", "ExperimentConfig", "scaled_sizes"]
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """A concrete graph instance plus the source vertex the experiment uses.
+
+    ``size_parameter`` is the sweep parameter that produced the instance (not
+    necessarily equal to ``graph.num_vertices``; e.g. the cycle-of-stars family
+    is parameterised by ``k`` with ``n = k + k^2 + k^3``).
+    """
+
+    graph: Graph
+    source: int
+    size_parameter: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the instance."""
+        return self.graph.num_vertices
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol to run within an experiment.
+
+    ``label`` distinguishes multiple configurations of the same protocol in a
+    single experiment (e.g. visit-exchange with different agent densities in
+    the ablation experiment).
+    """
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def display_label(self) -> str:
+        """Label used in tables; defaults to the protocol name."""
+        return self.label if self.label is not None else self.name
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one reproducible experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable identifier used by the registry, the CLI and EXPERIMENTS.md
+        (e.g. ``"fig1a-star"``).
+    title / paper_reference / description:
+        Human readable context for the generated report.
+    graph_builder:
+        Callable mapping a size parameter (and a seed, for random families) to
+        a :class:`GraphCase`.
+    sizes:
+        The sweep of size parameters, smallest first.
+    protocols:
+        The protocols to run at every size.
+    trials:
+        Number of independent trials per (size, protocol) cell.
+    max_rounds:
+        Optional callable ``size_parameter -> round budget``; ``None`` uses the
+        engine default.
+    claim_ids:
+        The paper predictions (see :mod:`repro.theory.predictions`) this
+        experiment checks.
+    notes:
+        Free text recorded in the report (substitutions, source restrictions).
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    description: str
+    graph_builder: Callable[[int, int], GraphCase]
+    sizes: Tuple[int, ...]
+    protocols: Tuple[ProtocolSpec, ...]
+    trials: int = 5
+    max_rounds: Optional[Callable[[int], int]] = None
+    claim_ids: Tuple[str, ...] = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("an experiment needs at least one size")
+        if not self.protocols:
+            raise ValueError("an experiment needs at least one protocol")
+        if self.trials < 1:
+            raise ValueError("trials must be at least 1")
+        if len({spec.display_label for spec in self.protocols}) != len(self.protocols):
+            raise ValueError("protocol display labels must be unique within an experiment")
+
+    def build_case(self, size_parameter: int, seed: int) -> GraphCase:
+        """Build the graph case for one sweep point."""
+        return self.graph_builder(size_parameter, seed)
+
+    def round_budget(self, size_parameter: int) -> Optional[int]:
+        """Round budget for one sweep point (None = engine default)."""
+        if self.max_rounds is None:
+            return None
+        return int(self.max_rounds(size_parameter))
+
+
+def scaled_sizes(sizes: Sequence[int], scale: float, *, minimum: int = 4) -> Tuple[int, ...]:
+    """Scale a size sweep down for quick runs (used by tests and benchmarks).
+
+    Keeps the number of sweep points but shrinks each size parameter by the
+    given factor, never going below ``minimum`` and keeping the result
+    strictly increasing where possible.  The default minimum of 4 is the
+    smallest size parameter accepted by every registered graph family.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    scaled = []
+    previous = 0
+    for size in sizes:
+        value = max(int(round(size * scale)), minimum)
+        if value <= previous:
+            value = previous + 1
+        scaled.append(value)
+        previous = value
+    return tuple(scaled)

@@ -1,0 +1,93 @@
+"""The coupling/congestion experiment (Section 5, Lemmas 13 and 14).
+
+Unlike the broadcast-time sweeps, this experiment runs the *coupled* push /
+visit-exchange processes of Section 5.1 and checks the two quantities the
+proof of Theorem 10 relies on:
+
+* Lemma 13 as an exact invariant: ``tau_u <= C_u(t_u)`` for every vertex of
+  every run, and
+* the congestion bound empirically: ``max_u C_u(t_u) / T_visitx`` stays
+  bounded by a constant across graph sizes (this is the quantity Theorem 10
+  bounds by the constant ``beta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..analysis.congestion import CongestionSummary, summarize_coupled_runs
+from ..core.coupling import CoupledPushVisitExchange, CoupledRunResult
+from ..core.rng import derive_seed
+from ..graphs.regular import random_regular_graph
+from .regular_graphs import regular_degree_for
+
+__all__ = ["CouplingExperimentResult", "run_coupling_experiment", "DEFAULT_COUPLING_SIZES"]
+
+#: Default sweep for the coupling experiment.  The coupled simulator steps
+#: agents one at a time in Python (the coupling forces per-agent decisions), so
+#: the sizes are kept moderate.
+DEFAULT_COUPLING_SIZES = (64, 128, 256)
+
+
+@dataclass
+class CouplingExperimentResult:
+    """Per-size congestion summaries of the coupling experiment."""
+
+    sizes: List[int] = field(default_factory=list)
+    summaries: Dict[int, CongestionSummary] = field(default_factory=dict)
+    runs: Dict[int, List[CoupledRunResult]] = field(default_factory=dict)
+
+    def lemma13_always_holds(self) -> bool:
+        """True if no run at any size violated Lemma 13."""
+        return all(summary.lemma13_always_holds for summary in self.summaries.values())
+
+    def max_congestion_ratio(self) -> float:
+        """Largest observed ``max_u C_u(t_u) / T_visitx`` over the whole sweep."""
+        return max(summary.max_congestion_ratio for summary in self.summaries.values())
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Rows for the report: one per size."""
+        rows = []
+        for size in self.sizes:
+            summary = self.summaries[size]
+            rows.append(
+                {
+                    "n": size,
+                    "runs": summary.num_runs,
+                    "lemma13 violations": summary.lemma13_violation_count,
+                    "mean T_push": summary.mean_push_time,
+                    "mean T_visitx": summary.mean_visitx_time,
+                    "mean T_push/T_visitx": summary.mean_broadcast_ratio,
+                    "max congestion/T_visitx": summary.max_congestion_ratio,
+                }
+            )
+        return rows
+
+
+def run_coupling_experiment(
+    *,
+    sizes: Sequence[int] = DEFAULT_COUPLING_SIZES,
+    runs_per_size: int = 3,
+    base_seed: int = 0,
+    agent_density: float = 1.0,
+) -> CouplingExperimentResult:
+    """Run the coupled processes on random regular graphs over a size sweep."""
+    if runs_per_size < 1:
+        raise ValueError("runs_per_size must be at least 1")
+    result = CouplingExperimentResult()
+    for size in sizes:
+        degree = regular_degree_for(size)
+        runs: List[CoupledRunResult] = []
+        for run_index in range(runs_per_size):
+            graph_seed = derive_seed(base_seed, "coupling", size, run_index, "graph")
+            run_seed = derive_seed(base_seed, "coupling", size, run_index, "run")
+            graph = random_regular_graph(size, degree, np.random.default_rng(graph_seed))
+            coupled = CoupledPushVisitExchange(agent_density=agent_density)
+            runs.append(coupled.run(graph, source=0, seed=run_seed))
+        result.sizes.append(int(size))
+        result.summaries[int(size)] = summarize_coupled_runs(runs)
+        result.runs[int(size)] = runs
+    return result

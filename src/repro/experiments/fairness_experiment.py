@@ -1,0 +1,126 @@
+"""The edge-usage fairness experiment (Section 1's "locally fair" claim).
+
+The experiment measures, on the star, the double star and a random regular
+graph:
+
+* the per-edge traversal distribution of a stationary agent population (the
+  agent protocols' "bandwidth" usage), which the paper argues is uniform over
+  edges, and
+* the per-edge distribution of *sampled exchanges* under push-pull (every call
+  a vertex makes, informing or not), which on the double star starves the
+  single bridge edge: it is selected with probability only O(1/n) per round.
+
+The headline numbers are the Gini coefficient of the per-edge usage counts and
+the maximum single-edge share of the total traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..analysis.fairness import FairnessReport, edge_usage_from_walks, fairness_from_counts
+from ..core.engine import Engine
+from ..core.observers import EdgeUsageObserver, ObserverGroup
+from ..core.protocols import make_protocol
+from ..core.rng import derive_seed
+from ..graphs.double_star import double_star
+from ..graphs.graph import Graph
+from ..graphs.regular import random_regular_graph
+from ..graphs.star import star
+from .regular_graphs import regular_degree_for
+
+__all__ = ["FairnessExperimentResult", "run_fairness_experiment", "default_fairness_graphs"]
+
+
+def default_fairness_graphs(size: int, seed: int) -> Dict[str, Graph]:
+    """The three graphs the fairness experiment compares."""
+    degree = regular_degree_for(size)
+    rng = np.random.default_rng(seed)
+    return {
+        "star": star(size),
+        "double-star": double_star(size),
+        "random-regular": random_regular_graph(size, degree, rng),
+    }
+
+
+@dataclass
+class FairnessExperimentResult:
+    """Fairness reports keyed by (graph label, mechanism label)."""
+
+    size: int
+    reports: Dict[str, Dict[str, FairnessReport]] = field(default_factory=dict)
+
+    def gini(self, graph_label: str, mechanism: str) -> float:
+        """Convenience accessor for the Gini coefficient of one cell."""
+        return self.reports[graph_label][mechanism].gini
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Rows for the report: one per (graph, mechanism)."""
+        rows = []
+        for graph_label in sorted(self.reports):
+            for mechanism, report in sorted(self.reports[graph_label].items()):
+                rows.append(
+                    {
+                        "graph": graph_label,
+                        "mechanism": mechanism,
+                        "edges": report.num_edges,
+                        "total uses": report.total_uses,
+                        "gini": report.gini,
+                        "max edge share": report.max_share,
+                        "min edge share": report.min_share,
+                        "unused edges": report.unused_edges,
+                    }
+                )
+        return rows
+
+
+def _push_pull_edge_usage(graph: Graph, source: int, seed: int, trials: int) -> FairnessReport:
+    """Aggregate sampled-exchange edge usage of push-pull over several runs."""
+    combined: Dict[tuple, int] = {}
+    for trial in range(trials):
+        observer = EdgeUsageObserver()
+        engine = Engine(record_history=False)
+        protocol = make_protocol("push-pull", track_all_exchanges=True)
+        engine.run(
+            protocol,
+            graph,
+            source,
+            seed=derive_seed(seed, "fairness-ppull", trial),
+            observers=ObserverGroup([observer]),
+        )
+        for edge, count in observer.counts.items():
+            combined[edge] = combined.get(edge, 0) + count
+    return fairness_from_counts(graph, combined)
+
+
+def run_fairness_experiment(
+    *,
+    size: int = 256,
+    walk_rounds: int = 200,
+    push_pull_trials: int = 5,
+    base_seed: int = 0,
+) -> FairnessExperimentResult:
+    """Measure edge-usage fairness of agents vs push-pull on three graphs."""
+    graphs = default_fairness_graphs(size, derive_seed(base_seed, "fairness-graphs", size))
+    result = FairnessExperimentResult(size=size)
+    for label, graph in graphs.items():
+        agent_report = edge_usage_from_walks(
+            graph,
+            rounds=walk_rounds,
+            seed=derive_seed(base_seed, "fairness-walks", label),
+            lazy=graph.is_bipartite(),
+        )
+        ppull_report = _push_pull_edge_usage(
+            graph,
+            source=2 if graph.num_vertices > 2 else 0,
+            seed=derive_seed(base_seed, "fairness-ppull", label),
+            trials=push_pull_trials,
+        )
+        result.reports[label] = {
+            "agents (all traversals)": agent_report,
+            "push-pull (sampled edges)": ppull_report,
+        }
+    return result

@@ -1,0 +1,57 @@
+"""Registry of reproducible experiments keyed by their DESIGN.md ids.
+
+Every experiment of the reproduction registers itself here (the modules in
+this package call :func:`register` at import time).  The CLI, the test suite
+and the EXPERIMENTS.md generator all look experiments up through this module,
+so the ids in DESIGN.md, the code and the report always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .config import ExperimentConfig
+
+__all__ = ["register", "get_experiment", "list_experiment_ids", "all_experiments"]
+
+_REGISTRY: Dict[str, Callable[[], ExperimentConfig]] = {}
+
+
+def register(experiment_id: str, factory: Callable[[], ExperimentConfig]) -> None:
+    """Register a configuration factory under a stable experiment id.
+
+    A factory (rather than an instance) is registered so that building the
+    configuration stays cheap at import time and experiments can be
+    re-instantiated independently.
+    """
+    if experiment_id in _REGISTRY:
+        raise ValueError(f"experiment id {experiment_id!r} is already registered")
+    _REGISTRY[experiment_id] = factory
+
+
+def get_experiment(experiment_id: str) -> ExperimentConfig:
+    """Instantiate the configuration registered under ``experiment_id``."""
+    try:
+        factory = _REGISTRY[experiment_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known experiments: {known}"
+        ) from exc
+    config = factory()
+    if config.experiment_id != experiment_id:
+        raise ValueError(
+            f"experiment factory for {experiment_id!r} produced a config with id "
+            f"{config.experiment_id!r}"
+        )
+    return config
+
+
+def list_experiment_ids() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> List[ExperimentConfig]:
+    """Instantiate every registered experiment configuration."""
+    return [get_experiment(experiment_id) for experiment_id in list_experiment_ids()]

@@ -1,0 +1,197 @@
+"""Execution of experiment configurations.
+
+The runner walks an :class:`~repro.experiments.config.ExperimentConfig` over
+its size sweep, runs every protocol the configured number of trials at every
+size, and packages everything into an :class:`ExperimentResult` with
+per-(size, protocol) summaries and per-protocol series that the reporting and
+shape-checking code consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.scaling import best_growth_model, power_law_exponent
+from ..analysis.statistics import Summary, summarize_trials
+from ..core.engine import Engine
+from ..core.protocols import make_protocol
+from ..core.results import RunResult, TrialSet
+from ..core.rng import derive_seed
+from .config import ExperimentConfig, GraphCase, ProtocolSpec
+
+__all__ = ["CellResult", "ExperimentResult", "run_trial_set", "run_experiment"]
+
+
+@dataclass
+class CellResult:
+    """Results of all trials of one protocol at one sweep point."""
+
+    experiment_id: str
+    size_parameter: int
+    num_vertices: int
+    protocol_label: str
+    protocol_name: str
+    trials: TrialSet
+    summary: Optional[Summary]
+
+    @property
+    def mean_time(self) -> Optional[float]:
+        """Mean broadcast time over completed trials (None if none completed)."""
+        return self.summary.mean if self.summary is not None else None
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of trials that completed within the round budget."""
+        return self.trials.completion_rate
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flatten into a report-table row."""
+        row: Dict[str, Any] = {
+            "experiment": self.experiment_id,
+            "size": self.size_parameter,
+            "n": self.num_vertices,
+            "protocol": self.protocol_label,
+            "trials": len(self.trials),
+            "completed": len(self.trials.completed_results),
+        }
+        if self.summary is not None:
+            row.update(
+                {
+                    "mean": self.summary.mean,
+                    "median": self.summary.median,
+                    "max": self.summary.maximum,
+                    "ci_low": self.summary.ci_low,
+                    "ci_high": self.summary.ci_high,
+                }
+            )
+        else:
+            row.update({"mean": None, "median": None, "max": None, "ci_low": None, "ci_high": None})
+        return row
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment run, with convenience accessors."""
+
+    config: ExperimentConfig
+    cells: List[CellResult] = field(default_factory=list)
+    base_seed: int = 0
+
+    def protocol_labels(self) -> List[str]:
+        """Distinct protocol labels in configuration order."""
+        return [spec.display_label for spec in self.config.protocols]
+
+    def cells_for(self, protocol_label: str) -> List[CellResult]:
+        """All cells of one protocol, ordered by sweep size."""
+        selected = [c for c in self.cells if c.protocol_label == protocol_label]
+        return sorted(selected, key=lambda cell: cell.size_parameter)
+
+    def series(self, protocol_label: str) -> Tuple[List[int], List[float]]:
+        """Return ``(vertex counts, mean broadcast times)`` for one protocol.
+
+        Sweep points where no trial completed are skipped (their mean is
+        undefined); callers that care about completion should inspect the
+        cells directly.
+        """
+        sizes: List[int] = []
+        means: List[float] = []
+        for cell in self.cells_for(protocol_label):
+            if cell.mean_time is not None:
+                sizes.append(cell.num_vertices)
+                means.append(cell.mean_time)
+        return sizes, means
+
+    def growth_exponent(self, protocol_label: str) -> Optional[float]:
+        """Log-log slope of the protocol's mean broadcast time against ``n``."""
+        sizes, means = self.series(protocol_label)
+        if len(sizes) < 2 or any(m <= 0 for m in means):
+            return None
+        return power_law_exponent(sizes, means)
+
+    def best_fit(self, protocol_label: str, candidates: Optional[Sequence[str]] = None):
+        """Best-fitting named growth model for the protocol's series."""
+        sizes, means = self.series(protocol_label)
+        if len(sizes) < 2:
+            return None
+        return best_growth_model(sizes, means, candidates=candidates)
+
+    def table_rows(self) -> List[Dict[str, Any]]:
+        """All cells flattened into report-table rows."""
+        return [cell.as_row() for cell in sorted(
+            self.cells, key=lambda c: (c.size_parameter, c.protocol_label)
+        )]
+
+
+def run_trial_set(
+    protocol_spec: ProtocolSpec,
+    case: GraphCase,
+    *,
+    trials: int,
+    base_seed: int,
+    experiment_id: str = "adhoc",
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+) -> TrialSet:
+    """Run ``trials`` independent runs of one protocol on one graph case."""
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    engine = Engine(max_rounds=max_rounds, record_history=record_history)
+    results: List[RunResult] = []
+    for trial_index in range(trials):
+        seed = derive_seed(
+            base_seed, experiment_id, protocol_spec.display_label, case.size_parameter, trial_index
+        )
+        protocol = make_protocol(protocol_spec.name, **protocol_spec.kwargs)
+        results.append(engine.run(protocol, case.graph, case.source, seed=seed))
+    trial_set = TrialSet(
+        protocol=protocol_spec.name,
+        graph_name=case.graph.name,
+        num_vertices=case.graph.num_vertices,
+    )
+    for result in results:
+        trial_set.add(result)
+    return trial_set
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    base_seed: int = 0,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+) -> ExperimentResult:
+    """Run a full experiment sweep.
+
+    ``sizes`` and ``trials`` override the configuration (used by tests and
+    benchmarks to run scaled-down versions of the registered experiments).
+    """
+    sweep = tuple(sizes) if sizes is not None else config.sizes
+    num_trials = int(trials) if trials is not None else config.trials
+    result = ExperimentResult(config=config, base_seed=base_seed)
+
+    for size_parameter in sweep:
+        case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
+        case = config.build_case(size_parameter, case_seed)
+        budget = config.round_budget(size_parameter)
+        for spec in config.protocols:
+            trial_set = run_trial_set(
+                spec,
+                case,
+                trials=num_trials,
+                base_seed=base_seed,
+                experiment_id=config.experiment_id,
+                max_rounds=budget,
+            )
+            result.cells.append(
+                CellResult(
+                    experiment_id=config.experiment_id,
+                    size_parameter=size_parameter,
+                    num_vertices=case.num_vertices,
+                    protocol_label=spec.display_label,
+                    protocol_name=spec.name,
+                    trials=trial_set,
+                    summary=summarize_trials(trial_set),
+                )
+            )
+    return result

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core model.
+
+These modules implement the settings the paper motivates or leaves as open
+problems, so they can be studied empirically with the same substrate:
+
+* :mod:`repro.extensions.multi_rumor` — many rumors injected over time and
+  carried in parallel by one agent population (the setting that motivates the
+  stationary-start assumption in Section 1).
+* :mod:`repro.extensions.dynamic_agents` — visit-exchange with agent churn
+  (aging/dying agents, births at a proportional rate, one-off failures), the
+  fault-tolerance direction suggested in Section 9.
+"""
+
+from .dynamic_agents import DynamicAgentsResult, DynamicVisitExchange
+from .multi_rumor import MultiRumorResult, MultiRumorVisitExchange, RumorInjection
+
+__all__ = [
+    "RumorInjection",
+    "MultiRumorResult",
+    "MultiRumorVisitExchange",
+    "DynamicAgentsResult",
+    "DynamicVisitExchange",
+]

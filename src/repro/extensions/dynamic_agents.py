@@ -1,0 +1,202 @@
+"""Visit-exchange with a dynamic, failure-prone agent population.
+
+The paper's open-problems section (Section 9) observes that the agent-based
+protocols are probably not as failure-robust as rumor spreading — agents can
+get lost on faulty nodes or links — and suggests that "the protocols could
+tolerate some number of lost agents, if a dynamic set of agents were used,
+where agents age with time and die, while new agents are born at a
+proportional rate."
+
+This module implements exactly that dynamic population for the visit-exchange
+mechanics so the suggestion can be evaluated empirically:
+
+* every round, each agent independently dies with probability ``death_rate``;
+* new agents are born at vertices sampled from the stationary distribution, at
+  a rate chosen so the expected population stays at its initial size
+  (``birth_rate`` can also be set explicitly);
+* newborn agents start uninformed; they pick the rumor up from informed
+  vertices exactly like ordinary agents;
+* optionally, a one-off *failure event* kills a fraction of the population at
+  a chosen round (to measure recovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.rng import make_rng
+from ..graphs.graph import Graph, GraphError
+
+__all__ = ["DynamicAgentsResult", "DynamicVisitExchange"]
+
+
+@dataclass
+class DynamicAgentsResult:
+    """Outcome of one dynamic-population visit-exchange run."""
+
+    graph_name: str
+    num_vertices: int
+    initial_agents: int
+    broadcast_time: Optional[int]
+    completed: bool
+    rounds_executed: int
+    population_history: List[int]
+    informed_vertex_history: List[int]
+    total_births: int
+    total_deaths: int
+
+    @property
+    def min_population(self) -> int:
+        """Smallest population size observed during the run."""
+        return int(min(self.population_history))
+
+    @property
+    def mean_population(self) -> float:
+        """Average population size over the run."""
+        return float(np.mean(self.population_history))
+
+
+class DynamicVisitExchange:
+    """Visit-exchange whose agent population churns over time.
+
+    Parameters
+    ----------
+    agent_density:
+        Initial population: ``round(agent_density * n)`` agents from the
+        stationary distribution.
+    death_rate:
+        Per-agent, per-round probability of disappearing.
+    birth_rate:
+        Expected number of new agents per round.  ``None`` (default) balances
+        deaths: ``death_rate * initial_population``.
+    failure_round / failure_fraction:
+        Optional one-off failure: at ``failure_round``, a uniformly random
+        ``failure_fraction`` of the current population is removed.
+    lazy:
+        Use lazy walks.
+    """
+
+    def __init__(
+        self,
+        *,
+        agent_density: float = 1.0,
+        death_rate: float = 0.01,
+        birth_rate: Optional[float] = None,
+        failure_round: Optional[int] = None,
+        failure_fraction: float = 0.0,
+        lazy: bool = False,
+    ) -> None:
+        if not 0.0 <= death_rate < 1.0:
+            raise ValueError("death_rate must lie in [0, 1)")
+        if not 0.0 <= failure_fraction <= 1.0:
+            raise ValueError("failure_fraction must lie in [0, 1]")
+        if agent_density <= 0:
+            raise ValueError("agent_density must be positive")
+        self.agent_density = float(agent_density)
+        self.death_rate = float(death_rate)
+        self.birth_rate = birth_rate
+        self.failure_round = failure_round
+        self.failure_fraction = float(failure_fraction)
+        self.lazy = bool(lazy)
+
+    def run(
+        self,
+        graph: Graph,
+        source: int,
+        *,
+        seed=None,
+        max_rounds: Optional[int] = None,
+    ) -> DynamicAgentsResult:
+        """Run until all vertices are informed or the round budget is exhausted."""
+        if not (0 <= source < graph.num_vertices):
+            raise GraphError("source vertex out of range")
+        if not graph.is_connected():
+            raise GraphError("visit-exchange is defined on connected graphs")
+
+        rng = make_rng(seed)
+        n = graph.num_vertices
+        initial = max(1, int(round(self.agent_density * n)))
+        stationary = graph.stationary_distribution()
+
+        positions = rng.choice(n, size=initial, p=stationary).astype(np.int64)
+        informed_agents = np.zeros(initial, dtype=bool)
+        vertex_informed = np.zeros(n, dtype=bool)
+        vertex_informed[source] = True
+        informed_agents[positions == source] = True
+
+        births_per_round = (
+            float(self.birth_rate)
+            if self.birth_rate is not None
+            else self.death_rate * initial
+        )
+        budget = int(max_rounds) if max_rounds is not None else max(1024, 400 * n)
+
+        population_history = [int(positions.size)]
+        informed_history = [int(np.count_nonzero(vertex_informed))]
+        total_births = 0
+        total_deaths = 0
+
+        broadcast_time: Optional[int] = (
+            0 if int(np.count_nonzero(vertex_informed)) == n else None
+        )
+        round_index = 0
+        while broadcast_time is None and round_index < budget:
+            round_index += 1
+
+            # --- churn: deaths (including the optional one-off failure) -----
+            if positions.size:
+                survive = rng.random(positions.size) >= self.death_rate
+                if self.failure_round is not None and round_index == self.failure_round:
+                    failure_survivors = rng.random(positions.size) >= self.failure_fraction
+                    survive &= failure_survivors
+                total_deaths += int(np.count_nonzero(~survive))
+                positions = positions[survive]
+                informed_agents = informed_agents[survive]
+
+            # --- churn: births ------------------------------------------------
+            num_births = int(rng.poisson(births_per_round)) if births_per_round > 0 else 0
+            if num_births:
+                born_at = rng.choice(n, size=num_births, p=stationary).astype(np.int64)
+                positions = np.concatenate([positions, born_at])
+                informed_agents = np.concatenate(
+                    [informed_agents, np.zeros(num_births, dtype=bool)]
+                )
+                total_births += num_births
+
+            # --- walk step ------------------------------------------------------
+            if positions.size:
+                informed_before = informed_agents.copy()
+                new_positions = graph.sample_neighbors(positions, rng)
+                if self.lazy:
+                    stay = rng.random(positions.size) < 0.5
+                    new_positions = np.where(stay, positions, new_positions)
+                positions = new_positions.astype(np.int64, copy=False)
+
+                # Informed agents inform the vertices they visit.
+                informing = positions[informed_before]
+                if informing.size:
+                    vertex_informed[informing] = True
+                # Agents learn from informed vertices.
+                informed_agents |= vertex_informed[positions]
+
+            population_history.append(int(positions.size))
+            informed_count = int(np.count_nonzero(vertex_informed))
+            informed_history.append(informed_count)
+            if informed_count == n:
+                broadcast_time = round_index
+
+        return DynamicAgentsResult(
+            graph_name=graph.name,
+            num_vertices=n,
+            initial_agents=initial,
+            broadcast_time=broadcast_time,
+            completed=broadcast_time is not None,
+            rounds_executed=round_index,
+            population_history=population_history,
+            informed_vertex_history=informed_history,
+            total_births=total_births,
+            total_deaths=total_deaths,
+        )

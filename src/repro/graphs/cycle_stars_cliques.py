@@ -1,0 +1,128 @@
+"""The cycle-of-stars-of-cliques graph of Figure 1(e).
+
+Construction (Lemma 9): take a cycle of ``k`` vertices ``c_i``.  Attach to each
+``c_i`` a set of ``k`` star-leaf vertices ``l_{i,j}``.  For each ``l_{i,j}``
+attach ``k`` clique vertices ``q_{i,j,*}``, pairwise connected and each also
+connected to ``l_{i,j}``, so ``{l_{i,j}} ∪ {q_{i,j,*}}`` induces a
+``(k+1)``-clique.  With ``k = n^{1/3}`` the graph has ``Theta(n)`` vertices and
+is almost regular (degrees ``k`` or ``k+1`` except the ring vertices with
+``k + 2``).
+
+Lemma 9 shows ``E[T_visitx] = O(n^{2/3})`` while
+``E[T_meetx] = Omega(n^{2/3} log n)`` — the only known example (in the paper)
+where visit-exchange beats meet-exchange, and only by a logarithmic factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .graph import Graph, GraphError
+
+__all__ = ["cycle_of_stars_of_cliques", "CycleStarsLayout", "cycle_stars_layout"]
+
+
+@dataclass(frozen=True)
+class CycleStarsLayout:
+    """Vertex-id layout of a cycle-of-stars-of-cliques graph.
+
+    Attributes
+    ----------
+    k:
+        The construction parameter (number of ring vertices, stars per ring
+        vertex, and clique vertices per star leaf).
+    ring:
+        Vertex ids of the ring vertices ``c_i``.
+    star_leaves:
+        ``star_leaves[i][j]`` is the vertex id of ``l_{i,j}``.
+    clique_members:
+        ``clique_members[i][j]`` is the list of ids of ``q_{i,j,*}``.
+    """
+
+    k: int
+    ring: List[int]
+    star_leaves: List[List[int]]
+    clique_members: List[List[List[int]]]
+
+    def clique_of(self, i: int, j: int) -> List[int]:
+        """Return all vertices of the clique ``Q_{i,j}`` (leaf plus members)."""
+        return [self.star_leaves[i][j]] + list(self.clique_members[i][j])
+
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices: ``k + k^2 + k^3``."""
+        return self.k + self.k**2 + self.k**3
+
+
+def cycle_stars_layout(k: int) -> CycleStarsLayout:
+    """Compute the vertex-id layout for construction parameter ``k``."""
+    if k < 3:
+        raise GraphError("cycle-of-stars-of-cliques needs k >= 3")
+    k = int(k)
+    ring = list(range(k))
+    star_leaves: List[List[int]] = []
+    clique_members: List[List[List[int]]] = []
+    next_id = k
+    for i in range(k):
+        star_leaves.append([])
+        clique_members.append([])
+        for j in range(k):
+            star_leaves[i].append(next_id)
+            next_id += 1
+    for i in range(k):
+        for j in range(k):
+            members = list(range(next_id, next_id + k))
+            next_id += k
+            clique_members[i].append(members)
+    return CycleStarsLayout(k=k, ring=ring, star_leaves=star_leaves, clique_members=clique_members)
+
+
+def cycle_of_stars_of_cliques(k: int) -> Tuple[Graph, CycleStarsLayout]:
+    """Build the Figure 1(e) graph with construction parameter ``k``.
+
+    Returns the graph together with its :class:`CycleStarsLayout`, which maps
+    the structural roles (ring vertex, star leaf, clique member) back to vertex
+    ids; the experiments use the layout to pick sources and to track when ring
+    vertices become informed.
+    """
+    layout = cycle_stars_layout(k)
+    edges: List[Tuple[int, int]] = []
+
+    # Ring edges c_i -- c_{i+1}.
+    for i in range(k):
+        edges.append((layout.ring[i], layout.ring[(i + 1) % k]))
+
+    for i in range(k):
+        for j in range(k):
+            leaf = layout.star_leaves[i][j]
+            # Star edge c_i -- l_{i,j}.
+            edges.append((layout.ring[i], leaf))
+            members = layout.clique_members[i][j]
+            # Clique edges within {l_{i,j}} ∪ Q_{i,j}.
+            for a_index, a in enumerate(members):
+                edges.append((leaf, a))
+                for b in members[a_index + 1 :]:
+                    edges.append((a, b))
+
+    graph = Graph(
+        layout.num_vertices, edges, name=f"cycle_of_stars_of_cliques(k={k})"
+    )
+    return graph, layout
+
+
+def parameter_for_target_size(num_vertices: int) -> int:
+    """Return the ``k`` whose graph size ``k + k^2 + k^3`` is closest to ``num_vertices``."""
+    if num_vertices < 39:  # size at k = 3
+        raise GraphError("target size too small for the construction (k >= 3)")
+    best_k, best_gap = 3, abs(39 - num_vertices)
+    k = 3
+    while True:
+        size = k + k**2 + k**3
+        gap = abs(size - num_vertices)
+        if gap < best_gap:
+            best_k, best_gap = k, gap
+        if size > num_vertices and k > 3:
+            break
+        k += 1
+    return best_k

@@ -1,0 +1,326 @@
+"""Static graph representation used by every simulator in this package.
+
+The protocols simulated here (push, push-pull, visit-exchange, meet-exchange)
+sample uniformly random neighbors of vertices millions of times per run.  A
+compressed-sparse-row (CSR) adjacency layout backed by numpy arrays makes that
+sampling a constant-time, vectorizable operation, which is what keeps the
+experiment sweeps in ``repro.experiments`` tractable on a laptop.
+
+The class interoperates with :mod:`networkx` (conversion in both directions)
+but does not depend on it for the hot simulation path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph cannot be constructed or is structurally invalid."""
+
+
+class Graph:
+    """An undirected, simple graph stored in CSR (adjacency array) form.
+
+    Vertices are the integers ``0 .. n-1``.  Parallel edges and self loops are
+    rejected at construction time, because none of the paper's protocols are
+    defined on multigraphs.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n``.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < n`` and ``u != v``.
+        Each undirected edge should appear once; duplicates are rejected.
+    """
+
+    __slots__ = ("_n", "_m", "_indptr", "_indices", "_degrees", "_name")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        name: str = "graph",
+    ) -> None:
+        if num_vertices <= 0:
+            raise GraphError("a graph needs at least one vertex")
+        n = int(num_vertices)
+
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        for u, v in edge_list:
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
+            if u == v:
+                raise GraphError(f"self loop ({u}, {v}) is not allowed")
+
+        canonical = {(min(u, v), max(u, v)) for (u, v) in edge_list}
+        if len(canonical) != len(edge_list):
+            raise GraphError("duplicate edges are not allowed")
+
+        degrees = np.zeros(n, dtype=np.int64)
+        for u, v in canonical:
+            degrees[u] += 1
+            degrees[v] += 1
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for u, v in sorted(canonical):
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+
+        self._n = n
+        self._m = len(canonical)
+        self._indptr = indptr
+        self._indices = indices
+        self._degrees = degrees
+        self._name = str(name)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human readable name of the graph family instance."""
+        return self._name
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._m
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row-pointer array of length ``n + 1`` (read-only view)."""
+        view = self._indptr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column-index array of length ``2m`` (read-only view)."""
+        view = self._indices.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Array of vertex degrees (read-only view)."""
+        view = self._degrees.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Graph(name={self._name!r}, n={self._n}, m={self._m})"
+
+    # ------------------------------------------------------------------
+    # vertex-level queries
+    # ------------------------------------------------------------------
+    def degree(self, u: int) -> int:
+        """Return the degree of vertex ``u``."""
+        return int(self._degrees[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Return the neighbors of ``u`` as a read-only numpy array."""
+        view = self._indices[self._indptr[u] : self._indptr[u + 1]].view()
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if ``{u, v}`` is an edge of the graph."""
+        if u == v:
+            return False
+        return int(v) in self.neighbors(int(u))
+
+    def vertices(self) -> range:
+        """Return an iterable over all vertex ids."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once as a pair ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, int(v))
+
+    # ------------------------------------------------------------------
+    # random sampling (hot path used by the protocols)
+    # ------------------------------------------------------------------
+    def sample_neighbor(self, u: int, rng: np.random.Generator) -> int:
+        """Sample a uniformly random neighbor of ``u``."""
+        start = self._indptr[u]
+        deg = self._degrees[u]
+        if deg == 0:
+            raise GraphError(f"vertex {u} is isolated and has no neighbors")
+        return int(self._indices[start + rng.integers(deg)])
+
+    def sample_neighbors(
+        self, vertices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample one uniformly random neighbor for each vertex in ``vertices``.
+
+        This is the vectorized version of :meth:`sample_neighbor` used by the
+        agent subsystem, where all agents step simultaneously each round.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        degs = self._degrees[vertices]
+        if np.any(degs == 0):
+            raise GraphError("cannot sample a neighbor of an isolated vertex")
+        offsets = rng.integers(0, degs)
+        return self._indices[self._indptr[vertices] + offsets]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Return the stationary distribution of a simple random walk.
+
+        For an undirected graph this is ``deg(v) / (2 |E|)`` (Section 3 of the
+        paper uses exactly this distribution to place agents initially).
+        """
+        return self._degrees / float(2 * self._m)
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+    def is_regular(self) -> bool:
+        """Return ``True`` if all vertices have the same degree."""
+        return bool(np.all(self._degrees == self._degrees[0]))
+
+    def regularity_degree(self) -> int:
+        """Return ``d`` if the graph is d-regular, raise otherwise."""
+        if not self.is_regular():
+            raise GraphError("graph is not regular")
+        return int(self._degrees[0])
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if the graph is connected (BFS from vertex 0)."""
+        return len(self.bfs_order(0)) == self._n
+
+    def is_bipartite(self) -> bool:
+        """Return ``True`` if the graph is bipartite (two-coloring via BFS)."""
+        color = np.full(self._n, -1, dtype=np.int8)
+        for start in range(self._n):
+            if color[start] != -1:
+                continue
+            color[start] = 0
+            queue = [start]
+            while queue:
+                u = queue.pop()
+                for v in self.neighbors(u):
+                    v = int(v)
+                    if color[v] == -1:
+                        color[v] = 1 - color[u]
+                        queue.append(v)
+                    elif color[v] == color[u]:
+                        return False
+        return True
+
+    def bfs_order(self, source: int) -> List[int]:
+        """Return vertices reachable from ``source`` in BFS order."""
+        seen = np.zeros(self._n, dtype=bool)
+        seen[source] = True
+        order = [int(source)]
+        frontier = [int(source)]
+        while frontier:
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    v = int(v)
+                    if not seen[v]:
+                        seen[v] = True
+                        order.append(v)
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return order
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Return BFS distances from ``source`` (-1 for unreachable vertices)."""
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = [int(source)]
+        level = 0
+        while frontier:
+            level += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    v = int(v)
+                    if dist[v] == -1:
+                        dist[v] = level
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return dist
+
+    def diameter(self) -> int:
+        """Return the exact diameter (expensive: one BFS per vertex)."""
+        if not self.is_connected():
+            raise GraphError("diameter is undefined for disconnected graphs")
+        best = 0
+        for u in range(self._n):
+            best = max(best, int(self.distances_from(u).max()))
+        return best
+
+    # ------------------------------------------------------------------
+    # constructors / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Sequence[Tuple[int, int]], *, name: str = "graph"
+    ) -> "Graph":
+        """Build a graph from an explicit edge list."""
+        return cls(num_vertices, edges, name=name)
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Sequence[Sequence[int]], *, name: str = "graph"
+    ) -> "Graph":
+        """Build a graph from an adjacency-list representation."""
+        edges = []
+        for u, nbrs in enumerate(adjacency):
+            for v in nbrs:
+                if u < v:
+                    edges.append((u, int(v)))
+        return cls(len(adjacency), edges, name=name)
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, name: str = None) -> "Graph":
+        """Convert a :class:`networkx.Graph`; node labels are relabelled 0..n-1."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[u], index[v]) for u, v in nx_graph.edges()]
+        return cls(len(nodes), edges, name=name or "networkx")
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (lazy import of networkx)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._n))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def relabeled(self, name: str) -> "Graph":
+        """Return a shallow copy of the graph carrying a different name."""
+        clone = Graph.__new__(Graph)
+        clone._n = self._n
+        clone._m = self._m
+        clone._indptr = self._indptr
+        clone._indices = self._indices
+        clone._degrees = self._degrees
+        clone._name = str(name)
+        return clone

@@ -1,0 +1,94 @@
+"""The heavy binary tree ``B_n`` of Figure 1(c).
+
+``B_n`` is a balanced binary tree on ``n`` vertices in which every pair of
+leaves is additionally connected by an edge, so the leaves induce a clique of
+``l = ceil(n/2)`` vertices.  Lemma 4 shows that on this graph
+
+* ``T_push = O(log n)`` w.h.p.,
+* ``E[T_visitx] = Omega(n)`` — essentially all random-walk volume is on the
+  leaf clique, so no agent reaches the root for a linear number of rounds, and
+* ``T_meetx = O(log n)`` w.h.p. when the source is a leaf — all agents meet
+  quickly inside the leaf clique.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .graph import Graph, GraphError
+
+__all__ = [
+    "heavy_binary_tree",
+    "ROOT",
+    "tree_leaves",
+    "internal_vertices",
+    "complete_binary_tree_edges",
+]
+
+#: Vertex id of the root in graphs produced by :func:`heavy_binary_tree`.
+ROOT = 0
+
+
+def complete_binary_tree_edges(num_vertices: int) -> List[tuple]:
+    """Return the parent-child edges of a complete binary tree on ``n`` vertices.
+
+    Vertices are numbered in heap order: the children of ``i`` are ``2i + 1``
+    and ``2i + 2``.
+    """
+    edges = []
+    for child in range(1, num_vertices):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+    return edges
+
+
+def _heap_leaves(num_vertices: int) -> List[int]:
+    """Return the leaf ids of a complete binary tree in heap order."""
+    n = int(num_vertices)
+    return [v for v in range(n) if 2 * v + 1 >= n]
+
+
+def heavy_binary_tree(num_vertices: int) -> Graph:
+    """Build the heavy binary tree ``B_n`` on ``num_vertices`` vertices.
+
+    The underlying structure is a complete binary tree in heap order (vertex 0
+    is the root).  All leaves of that tree are then pairwise connected, forming
+    a clique.  ``num_vertices`` must be at least 3.
+    """
+    if num_vertices < 3:
+        raise GraphError("a heavy binary tree needs at least 3 vertices")
+    n = int(num_vertices)
+    edges = complete_binary_tree_edges(n)
+    leaves = _heap_leaves(n)
+    for i, u in enumerate(leaves):
+        for v in leaves[i + 1 :]:
+            edges.append((u, v))
+    return Graph(n, edges, name=f"heavy_binary_tree(n={n})")
+
+
+def tree_leaves(graph: Graph) -> List[int]:
+    """Return the leaf vertices (clique members) of a heavy binary tree.
+
+    Works on any graph produced by :func:`heavy_binary_tree` by recomputing the
+    heap-order leaf set from the vertex count.
+    """
+    return _heap_leaves(graph.num_vertices)
+
+
+def internal_vertices(graph: Graph) -> List[int]:
+    """Return the internal (non-leaf) vertices of a heavy binary tree."""
+    leaves = set(_heap_leaves(graph.num_vertices))
+    return [v for v in range(graph.num_vertices) if v not in leaves]
+
+
+def leaf_volume_fraction(graph: Graph) -> float:
+    """Fraction of total degree concentrated on the leaf clique.
+
+    Lemma 4(b) relies on this fraction being ``1 - O(1/n)``; exposing it makes
+    the property easy to verify in tests.
+    """
+    leaves = _heap_leaves(graph.num_vertices)
+    degs = graph.degrees
+    return float(np.sum(degs[leaves]) / np.sum(degs))

@@ -1,0 +1,247 @@
+"""Regular graph families used for Theorems 1, 10, 19, 23, 24 and 25.
+
+The paper's main technical result (Theorem 1) concerns d-regular graphs with
+``d = Omega(log n)``.  The experiments exercise it on several regular families
+with qualitatively different broadcast times:
+
+* random d-regular graphs (logarithmic broadcast time),
+* the hypercube (logarithmic degree and broadcast time),
+* cliques joined in a cycle or path (polynomial broadcast time — the paper's
+  "path of d-cliques where the broadcast time is Omega(n)" remark),
+* complete graphs, cycles and torus grids as further reference points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .graph import Graph, GraphError
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "hypercube",
+    "torus_grid",
+    "random_regular_graph",
+    "clique_path",
+    "clique_cycle",
+    "circulant_graph",
+]
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """Build the complete graph ``K_n`` (the original push-pull setting)."""
+    if num_vertices < 2:
+        raise GraphError("a complete graph needs at least 2 vertices")
+    n = int(num_vertices)
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"complete(n={n})")
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """Build the cycle ``C_n`` (2-regular; degree below the log n regime)."""
+    if num_vertices < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    n = int(num_vertices)
+    edges = [(u, (u + 1) % n) for u in range(n)]
+    return Graph(n, edges, name=f"cycle(n={n})")
+
+
+def circulant_graph(num_vertices: int, offsets: List[int]) -> Graph:
+    """Build a circulant graph: vertex ``u`` is adjacent to ``u ± o`` for each offset.
+
+    Circulants give an easy deterministic way to produce d-regular graphs with
+    tunable degree; they are used in the ablation benchmarks.
+    """
+    n = int(num_vertices)
+    if n < 3:
+        raise GraphError("a circulant graph needs at least 3 vertices")
+    edges = set()
+    for offset in offsets:
+        offset = int(offset) % n
+        if offset == 0 or 2 * offset == n and n % 2 == 0 and offset * 2 == n:
+            # offset n/2 gives each edge once; handled below uniformly.
+            pass
+        if offset == 0:
+            raise GraphError("offset 0 would create self loops")
+        for u in range(n):
+            v = (u + offset) % n
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=f"circulant(n={n}, offsets={sorted(set(offsets))})")
+
+
+def hypercube(dimension: int) -> Graph:
+    """Build the ``dimension``-dimensional hypercube (``2^dimension`` vertices).
+
+    The hypercube is d-regular with ``d = log2(n)``, right at the boundary of
+    the paper's ``d = Omega(log n)`` assumption.
+    """
+    if dimension < 1:
+        raise GraphError("hypercube dimension must be at least 1")
+    d = int(dimension)
+    n = 1 << d
+    edges = []
+    for u in range(n):
+        for bit in range(d):
+            v = u ^ (1 << bit)
+            if u < v:
+                edges.append((u, v))
+    return Graph(n, edges, name=f"hypercube(d={d})")
+
+
+def torus_grid(rows: int, cols: int) -> Graph:
+    """Build a 2-dimensional torus grid (4-regular when rows, cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise GraphError("torus grid needs at least 3 rows and 3 columns")
+    rows, cols = int(rows), int(cols)
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            u = vid(r, c)
+            for v in (vid(r + 1, c), vid(r, c + 1)):
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=f"torus({rows}x{cols})")
+
+
+def random_regular_graph(
+    num_vertices: int, degree: int, rng: np.random.Generator, *, max_attempts: int = 200
+) -> Graph:
+    """Sample a random d-regular graph via the configuration (pairing) model.
+
+    Pairings with self loops or parallel edges are rejected and resampled,
+    which for ``d = O(polylog n)`` succeeds after O(1) expected attempts per
+    simple-graph restriction; if the budget is exhausted a final attempt uses a
+    local edge-switching repair so the function always returns a simple
+    d-regular graph.
+    """
+    n, d = int(num_vertices), int(degree)
+    if n * d % 2 != 0:
+        raise GraphError("n * d must be even for a d-regular graph to exist")
+    if d >= n:
+        raise GraphError("degree must be smaller than the number of vertices")
+    if d < 1:
+        raise GraphError("degree must be at least 1")
+
+    for _ in range(max_attempts):
+        edges = _configuration_model_attempt(n, d, rng)
+        if edges is not None:
+            return Graph(n, edges, name=f"random_regular(n={n}, d={d})")
+    edges = _configuration_model_with_repair(n, d, rng)
+    return Graph(n, edges, name=f"random_regular(n={n}, d={d})")
+
+
+def _configuration_model_attempt(
+    n: int, d: int, rng: np.random.Generator
+) -> List[Tuple[int, int]] | None:
+    """One attempt of the pairing model; returns None if not simple."""
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    first = stubs[0::2]
+    second = stubs[1::2]
+    if np.any(first == second):
+        return None
+    lo = np.minimum(first, second)
+    hi = np.maximum(first, second)
+    keys = lo * n + hi
+    if len(np.unique(keys)) != len(keys):
+        return None
+    return list(zip(lo.tolist(), hi.tolist()))
+
+
+def _configuration_model_with_repair(
+    n: int, d: int, rng: np.random.Generator, *, max_switches: int = 100000
+) -> List[Tuple[int, int]]:
+    """Pairing model followed by double-edge switches to remove defects."""
+    stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+    rng.shuffle(stubs)
+    pairs = [(int(stubs[i]), int(stubs[i + 1])) for i in range(0, len(stubs), 2)]
+
+    for _ in range(max_switches):
+        edge_set = set()
+        defects = []
+        for index, (u, v) in enumerate(pairs):
+            key = (min(u, v), max(u, v))
+            if u == v or key in edge_set:
+                defects.append(index)
+            else:
+                edge_set.add(key)
+        if not defects:
+            break
+        for index in defects:
+            other = int(rng.integers(len(pairs)))
+            u, v = pairs[index]
+            x, y = pairs[other]
+            pairs[index] = (u, y)
+            pairs[other] = (x, v)
+    else:  # pragma: no cover - pathological inputs only
+        raise GraphError("failed to repair configuration-model sample")
+
+    return sorted({(min(u, v), max(u, v)) for u, v in pairs})
+
+
+def clique_path(num_cliques: int, clique_size: int) -> Graph:
+    """Build a path of cliques joined by perfect matchings between neighbors.
+
+    Each vertex has ``clique_size - 1`` edges inside its clique plus one
+    matching edge to each adjacent clique, so interior cliques are
+    ``(clique_size + 1)``-regular while the two end cliques have degree
+    ``clique_size``.  For an exactly regular variant use :func:`clique_cycle`.
+
+    This family realises the paper's remark that the broadcast time of push on
+    regular(-ish) graphs can be polynomial (``Omega(n)`` for a path of
+    d-cliques).
+    """
+    if num_cliques < 2:
+        raise GraphError("need at least 2 cliques")
+    if clique_size < 2:
+        raise GraphError("clique size must be at least 2")
+    k, s = int(num_cliques), int(clique_size)
+    n = k * s
+    edges = []
+    for c in range(k):
+        base = c * s
+        for i in range(s):
+            for j in range(i + 1, s):
+                edges.append((base + i, base + j))
+        if c + 1 < k:
+            nxt = (c + 1) * s
+            for i in range(s):
+                edges.append((base + i, nxt + i))
+    return Graph(n, edges, name=f"clique_path(k={k}, s={s})")
+
+
+def clique_cycle(num_cliques: int, clique_size: int) -> Graph:
+    """Build a cycle of cliques joined by perfect matchings (exactly regular).
+
+    Every vertex has degree ``clique_size + 1``: ``clique_size - 1`` inside its
+    clique and one matching edge to each of the two neighboring cliques.  The
+    broadcast time of push on this family is ``Theta(num_cliques)``, i.e.
+    polynomial in ``n`` for constant clique size — a regular family where all
+    protocols are slow, complementing the fast random-regular case.
+    """
+    if num_cliques < 3:
+        raise GraphError("need at least 3 cliques for a cycle")
+    if clique_size < 2:
+        raise GraphError("clique size must be at least 2")
+    k, s = int(num_cliques), int(clique_size)
+    n = k * s
+    edges = set()
+    for c in range(k):
+        base = c * s
+        for i in range(s):
+            for j in range(i + 1, s):
+                edges.add((base + i, base + j))
+        nxt = ((c + 1) % k) * s
+        for i in range(s):
+            u, v = base + i, nxt + i
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=f"clique_cycle(k={k}, s={s})")

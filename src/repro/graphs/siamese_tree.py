@@ -1,0 +1,72 @@
+"""The siamese heavy binary tree ``D_n`` of Figure 1(d).
+
+``D_n`` is obtained by taking two copies of the heavy binary tree ``B_n`` and
+merging their roots into a single vertex.  Lemma 8 shows that on this graph
+
+* ``T_push = O(log n)`` w.h.p., while
+* ``E[T_visitx] = Omega(n)`` and ``E[T_meetx] = Omega(n)`` — the agents split
+  between the two leaf cliques, and information can only pass between the two
+  halves through the (rarely visited) root.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import Graph, GraphError
+from .heavy_binary_tree import complete_binary_tree_edges
+
+__all__ = ["siamese_heavy_binary_tree", "ROOT", "left_leaves", "right_leaves"]
+
+#: Vertex id of the shared root.
+ROOT = 0
+
+
+def _heap_leaves(num_vertices: int) -> List[int]:
+    n = int(num_vertices)
+    return [v for v in range(n) if 2 * v + 1 >= n]
+
+
+def siamese_heavy_binary_tree(tree_vertices: int) -> Graph:
+    """Build the siamese heavy binary tree from two ``B_n`` copies.
+
+    ``tree_vertices`` is the number of vertices of each copy (the resulting
+    graph has ``2 * tree_vertices - 1`` vertices since the roots are merged).
+
+    Vertex layout: vertex 0 is the shared root; vertices ``1..tree_vertices-1``
+    are the rest of the left copy (heap order, shifted); vertices
+    ``tree_vertices..2*tree_vertices-2`` are the rest of the right copy.
+    """
+    if tree_vertices < 3:
+        raise GraphError("each tree copy needs at least 3 vertices")
+    n_tree = int(tree_vertices)
+    n_total = 2 * n_tree - 1
+
+    def remap(vertex: int, side: int) -> int:
+        """Map heap-order vertex ids of one copy into the merged id space."""
+        if vertex == 0:
+            return ROOT
+        return vertex if side == 0 else vertex + (n_tree - 1)
+
+    edges = set()
+    leaves = _heap_leaves(n_tree)
+    for side in (0, 1):
+        for u, v in complete_binary_tree_edges(n_tree):
+            edges.add((remap(u, side), remap(v, side)))
+        mapped_leaves = [remap(leaf, side) for leaf in leaves]
+        for i, u in enumerate(mapped_leaves):
+            for v in mapped_leaves[i + 1 :]:
+                edges.add((u, v))
+    return Graph(n_total, sorted(edges), name=f"siamese_heavy_binary_tree(n={n_total})")
+
+
+def left_leaves(graph: Graph) -> List[int]:
+    """Return the leaf-clique vertices of the left copy."""
+    n_tree = (graph.num_vertices + 1) // 2
+    return [leaf for leaf in _heap_leaves(n_tree) if leaf != 0]
+
+
+def right_leaves(graph: Graph) -> List[int]:
+    """Return the leaf-clique vertices of the right copy."""
+    n_tree = (graph.num_vertices + 1) // 2
+    return [leaf + (n_tree - 1) for leaf in _heap_leaves(n_tree) if leaf != 0]

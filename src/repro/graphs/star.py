@@ -1,0 +1,36 @@
+"""The star graph ``S_n`` of Figure 1(a).
+
+A star with ``n`` leaves has one internal vertex (the center) adjacent to every
+leaf.  Lemma 2 of the paper shows that on this graph
+
+* ``E[T_push] = Omega(n log n)`` (coupon collector at the center),
+* ``T_ppull <= 2``,
+* ``T_visitx = O(log n)`` w.h.p., and
+* ``T_meetx = O(log n)`` w.h.p. (with lazy walks, as the star is bipartite).
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, GraphError
+
+__all__ = ["star", "CENTER", "leaf_vertices"]
+
+#: Vertex id of the star center in graphs produced by :func:`star`.
+CENTER = 0
+
+
+def star(num_leaves: int) -> Graph:
+    """Build the star graph with ``num_leaves`` leaves.
+
+    Vertex ``0`` is the center; vertices ``1 .. num_leaves`` are leaves.  The
+    graph has ``num_leaves + 1`` vertices in total.
+    """
+    if num_leaves < 1:
+        raise GraphError("a star needs at least one leaf")
+    edges = [(CENTER, leaf) for leaf in range(1, num_leaves + 1)]
+    return Graph(num_leaves + 1, edges, name=f"star(n={num_leaves})")
+
+
+def leaf_vertices(graph: Graph) -> range:
+    """Return the leaf vertex ids of a graph produced by :func:`star`."""
+    return range(1, graph.num_vertices)

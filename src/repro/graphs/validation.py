@@ -1,0 +1,110 @@
+"""Structural validation helpers for graphs used in experiments.
+
+All protocols in the paper assume a connected undirected graph; the regular
+graph theorems additionally need ``d = Omega(log n)``.  The helpers here turn
+those assumptions into explicit, testable checks so experiments fail loudly on
+an invalid substrate rather than producing silently meaningless numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .graph import Graph, GraphError
+
+__all__ = [
+    "GraphReport",
+    "inspect_graph",
+    "require_connected",
+    "require_regular",
+    "require_degree_at_least_log",
+    "degree_histogram",
+]
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Summary of the structural properties relevant to the paper's theorems."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    is_connected: bool
+    is_regular: bool
+    is_bipartite: bool
+    meets_log_degree: bool
+
+    def describe(self) -> str:
+        """Return a one-line human readable summary."""
+        flags = []
+        if self.is_regular:
+            flags.append(f"{self.min_degree}-regular")
+        if self.is_bipartite:
+            flags.append("bipartite")
+        if self.meets_log_degree:
+            flags.append("d>=log n")
+        flag_text = ", ".join(flags) if flags else "irregular"
+        return (
+            f"{self.name}: n={self.num_vertices}, m={self.num_edges}, "
+            f"deg in [{self.min_degree}, {self.max_degree}] "
+            f"(mean {self.mean_degree:.2f}), connected={self.is_connected} [{flag_text}]"
+        )
+
+
+def inspect_graph(graph: Graph) -> GraphReport:
+    """Compute a :class:`GraphReport` for ``graph``."""
+    degrees = graph.degrees
+    n = graph.num_vertices
+    min_degree = int(degrees.min())
+    return GraphReport(
+        name=graph.name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        min_degree=min_degree,
+        max_degree=int(degrees.max()),
+        mean_degree=float(degrees.mean()),
+        is_connected=graph.is_connected(),
+        is_regular=graph.is_regular(),
+        is_bipartite=graph.is_bipartite(),
+        meets_log_degree=min_degree >= math.log(max(n, 2)),
+    )
+
+
+def require_connected(graph: Graph) -> Graph:
+    """Return ``graph`` unchanged or raise if it is not connected."""
+    if not graph.is_connected():
+        raise GraphError(f"graph {graph.name!r} is not connected")
+    return graph
+
+
+def require_regular(graph: Graph) -> int:
+    """Return the common degree ``d`` or raise if the graph is not regular."""
+    if not graph.is_regular():
+        raise GraphError(f"graph {graph.name!r} is not regular")
+    return graph.regularity_degree()
+
+
+def require_degree_at_least_log(graph: Graph, *, factor: float = 1.0) -> Graph:
+    """Check the ``d >= factor * ln n`` assumption used by Theorems 10/19/23."""
+    threshold = factor * math.log(max(graph.num_vertices, 2))
+    min_degree = int(graph.degrees.min())
+    if min_degree < threshold:
+        raise GraphError(
+            f"graph {graph.name!r} has minimum degree {min_degree} < "
+            f"{threshold:.2f} required by the logarithmic-degree assumption"
+        )
+    return graph
+
+
+def degree_histogram(graph: Graph) -> List[int]:
+    """Return ``hist`` where ``hist[d]`` counts vertices of degree ``d``."""
+    degrees = graph.degrees
+    hist = np.bincount(degrees.astype(np.int64))
+    return [int(x) for x in hist]

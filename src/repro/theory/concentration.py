@@ -1,0 +1,97 @@
+"""Concentration inequalities used throughout the paper's proofs.
+
+The appendix of the paper collects the bounds its arguments rely on:
+multiplicative Chernoff bounds for sums of independent 0/1 variables
+(Theorem 26), a tail bound for sums of i.i.d. geometric variables (Lemma 27)
+and a stochastic-domination composition lemma (Lemma 28).  This module
+provides the same bounds as plain functions so the tests can check the
+simulators' empirical tails against them, plus binomial-tail helpers used by
+the t-visit-exchange congestion argument of Section 5.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper_multiplicative",
+    "chernoff_upper_heavy",
+    "chernoff_lower_multiplicative",
+    "geometric_sum_tail",
+    "binomial_tail_upper",
+    "expected_geometric_sum",
+]
+
+
+def chernoff_upper_multiplicative(mean: float, delta: float) -> float:
+    """Theorem 26(a): ``P[X >= (1 + delta) mu] <= exp(-mu delta^2 / 3)`` for 0 < delta <= 1."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if not 0 < delta <= 1:
+        raise ValueError("delta must lie in (0, 1]")
+    return float(min(1.0, math.exp(-mean * delta * delta / 3.0)))
+
+
+def chernoff_upper_heavy(mean: float, factor: float) -> float:
+    """Theorem 26(b): ``P[X >= beta mu] <= 2^{-beta mu}`` for ``beta >= 2e``."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if factor < 2 * math.e:
+        raise ValueError("factor must be at least 2e")
+    return float(min(1.0, 2.0 ** (-factor * mean)))
+
+
+def chernoff_lower_multiplicative(mean: float, delta: float) -> float:
+    """Theorem 26(c): ``P[X <= (1 - delta) mu] <= exp(-mu delta^2 / 2)`` for 0 < delta < 1."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if not 0 < delta < 1:
+        raise ValueError("delta must lie in (0, 1)")
+    return float(min(1.0, math.exp(-mean * delta * delta / 2.0)))
+
+
+def expected_geometric_sum(count: int, success_probability: float) -> float:
+    """Expectation of a sum of ``count`` i.i.d. Geometric(p) variables: ``count / p``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0 < success_probability <= 1:
+        raise ValueError("success probability must lie in (0, 1]")
+    return count / success_probability
+
+
+def geometric_sum_tail(
+    count: int, success_probability: float, threshold: float
+) -> float:
+    """Lemma 27: ``P[F >= k] <= exp(-k p / 8)`` for ``k >= 2 * E[F]``.
+
+    ``F`` is a sum of ``count`` i.i.d. geometric variables with parameter ``p``.
+    For thresholds below ``2 E[F]`` the bound does not apply and 1.0 is
+    returned (a trivially valid bound).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0 < success_probability <= 1:
+        raise ValueError("success probability must lie in (0, 1]")
+    mean = expected_geometric_sum(count, success_probability)
+    if threshold < 2 * mean:
+        return 1.0
+    return float(min(1.0, math.exp(-threshold * success_probability / 8.0)))
+
+
+def binomial_tail_upper(trials: int, probability: float, threshold: int) -> float:
+    """Crude upper bound ``P[Bin(n, p) >= k] <= (e n p / k)^k`` used in Lemma 17.
+
+    The proof of Lemma 17 bounds the number of agents visiting a vertex of a
+    tweaked visit-exchange round by ``(e gamma / i)^i``; this helper exposes
+    the same binomial-to-power bound for the tests of the congestion analysis.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0 <= probability <= 1:
+        raise ValueError("probability must lie in [0, 1]")
+    if threshold <= 0:
+        return 1.0
+    mean = trials * probability
+    if mean == 0:
+        return 0.0 if threshold > 0 else 1.0
+    return float(min(1.0, (math.e * mean / threshold) ** threshold))

@@ -1,0 +1,153 @@
+"""Asymptotic predictions of the paper, one entry per claim.
+
+Each claim of the evaluation (Lemmas 2, 3, 4, 8, 9 and Theorems 1, 23, 24, 25)
+is encoded as a :class:`Prediction`: which protocol, which graph family, and
+the growth function ``f(n)`` such that the broadcast time is ``Theta/O/Omega``
+of ``f(n)``.  The experiment harness uses these records both to annotate the
+generated reports and to check measured growth exponents against the expected
+shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List
+
+__all__ = [
+    "BoundKind",
+    "Prediction",
+    "PAPER_PREDICTIONS",
+    "predictions_for",
+    "growth_value",
+    "GROWTH_FUNCTIONS",
+]
+
+
+class BoundKind(str, Enum):
+    """Whether the paper's bound is an upper bound, lower bound, or tight."""
+
+    UPPER = "O"
+    LOWER = "Omega"
+    TIGHT = "Theta"
+
+
+#: Named growth functions used by the predictions and the fitting code.
+GROWTH_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log(max(n, 2.0)),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log(max(n, 2.0)),
+    "n^(1/3)": lambda n: n ** (1.0 / 3.0),
+    "n^(2/3)": lambda n: n ** (2.0 / 3.0),
+    "n^(2/3) log n": lambda n: (n ** (2.0 / 3.0)) * math.log(max(n, 2.0)),
+    "sqrt(n)": lambda n: math.sqrt(n),
+    "n^2": lambda n: float(n) ** 2,
+}
+
+
+def growth_value(name: str, n: float) -> float:
+    """Evaluate the named growth function at ``n``."""
+    try:
+        return GROWTH_FUNCTIONS[name](float(n))
+    except KeyError as exc:
+        known = ", ".join(sorted(GROWTH_FUNCTIONS))
+        raise ValueError(f"unknown growth function {name!r}; known: {known}") from exc
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A single asymptotic claim from the paper.
+
+    Attributes
+    ----------
+    claim_id:
+        Stable identifier, e.g. ``"lemma2a"``.
+    source:
+        Paper reference (lemma/theorem and figure).
+    family:
+        Graph-family key (matches the experiment registry), e.g. ``"star"``.
+    protocol:
+        Protocol registry name.
+    kind:
+        Whether the growth function is an upper bound, lower bound or tight.
+    growth:
+        Name of the growth function in :data:`GROWTH_FUNCTIONS`.
+    notes:
+        Short free-text context (source restrictions, lazy walks, ...).
+    """
+
+    claim_id: str
+    source: str
+    family: str
+    protocol: str
+    kind: BoundKind
+    growth: str
+    notes: str = ""
+
+    def evaluate(self, n: float) -> float:
+        """Evaluate the growth function at ``n`` (no constant factor)."""
+        return growth_value(self.growth, n)
+
+    def describe(self) -> str:
+        """One-line human readable statement of the claim."""
+        return (
+            f"[{self.claim_id}] {self.source}: T_{self.protocol} = "
+            f"{self.kind.value}({self.growth}) on {self.family}"
+            + (f" ({self.notes})" if self.notes else "")
+        )
+
+
+#: Every asymptotic claim of the paper's evaluation, in paper order.
+PAPER_PREDICTIONS: List[Prediction] = [
+    # --- Lemma 2, star graph, Fig 1(a) ---------------------------------------
+    Prediction("lemma2a", "Lemma 2(a), Fig 1(a)", "star", "push", BoundKind.LOWER, "n log n",
+               "coupon collector at the center"),
+    Prediction("lemma2b", "Lemma 2(b), Fig 1(a)", "star", "push-pull", BoundKind.UPPER, "1",
+               "at most 2 rounds"),
+    Prediction("lemma2c", "Lemma 2(c), Fig 1(a)", "star", "visit-exchange", BoundKind.UPPER, "log n"),
+    Prediction("lemma2d", "Lemma 2(d), Fig 1(a)", "star", "meet-exchange", BoundKind.UPPER, "log n",
+               "lazy walks (bipartite graph)"),
+    # --- Lemma 3, double star, Fig 1(b) ---------------------------------------
+    Prediction("lemma3a", "Lemma 3(a), Fig 1(b)", "double-star", "push-pull", BoundKind.LOWER, "n",
+               "bridge edge sampled with probability O(1/n)"),
+    Prediction("lemma3b", "Lemma 3(b), Fig 1(b)", "double-star", "visit-exchange", BoundKind.UPPER, "log n"),
+    Prediction("lemma3c", "Lemma 3(c), Fig 1(b)", "double-star", "meet-exchange", BoundKind.UPPER, "log n",
+               "lazy walks (bipartite graph)"),
+    # --- Lemma 4, heavy binary tree, Fig 1(c) ---------------------------------
+    Prediction("lemma4a", "Lemma 4(a), Fig 1(c)", "heavy-binary-tree", "push", BoundKind.UPPER, "log n"),
+    Prediction("lemma4b", "Lemma 4(b), Fig 1(c)", "heavy-binary-tree", "visit-exchange", BoundKind.LOWER, "n",
+               "no agent reaches the root for Omega(n) rounds"),
+    Prediction("lemma4c", "Lemma 4(c), Fig 1(c)", "heavy-binary-tree", "meet-exchange", BoundKind.UPPER, "log n",
+               "source must be a leaf"),
+    # --- Lemma 8, siamese heavy binary trees, Fig 1(d) --------------------------
+    Prediction("lemma8a", "Lemma 8(a), Fig 1(d)", "siamese-heavy-tree", "push", BoundKind.UPPER, "log n"),
+    Prediction("lemma8b", "Lemma 8(b), Fig 1(d)", "siamese-heavy-tree", "visit-exchange", BoundKind.LOWER, "n"),
+    Prediction("lemma8c", "Lemma 8(c), Fig 1(d)", "siamese-heavy-tree", "meet-exchange", BoundKind.LOWER, "n",
+               "information must cross the shared root"),
+    # --- Lemma 9, cycle of stars of cliques, Fig 1(e) ---------------------------
+    Prediction("lemma9a", "Lemma 9(a), Fig 1(e)", "cycle-stars-cliques", "visit-exchange", BoundKind.UPPER, "n^(2/3)"),
+    Prediction("lemma9b", "Lemma 9(b), Fig 1(e)", "cycle-stars-cliques", "meet-exchange", BoundKind.LOWER, "n^(2/3) log n"),
+    # --- Theorem 1 / 10 / 19, regular graphs -----------------------------------
+    Prediction("thm1", "Theorem 1 (Thms 10 & 19)", "regular", "push", BoundKind.TIGHT, "1",
+               "T_push = Theta(T_visitx): the protocols' ratio is bounded by constants"),
+    # --- Theorem 23, regular graphs ---------------------------------------------
+    Prediction("thm23", "Theorem 23", "regular", "visit-exchange", BoundKind.UPPER, "1",
+               "T_visitx <= T_meetx + O(log n) on regular graphs"),
+    # --- Theorems 24 & 25, logarithmic lower bounds ------------------------------
+    Prediction("thm24", "Theorem 24", "regular", "visit-exchange", BoundKind.LOWER, "log n"),
+    Prediction("thm25", "Theorem 25", "regular", "meet-exchange", BoundKind.LOWER, "log n"),
+]
+
+
+def predictions_for(*, family: str = None, protocol: str = None) -> List[Prediction]:
+    """Filter the paper's predictions by graph family and/or protocol."""
+    selected = []
+    for prediction in PAPER_PREDICTIONS:
+        if family is not None and prediction.family != family:
+            continue
+        if protocol is not None and prediction.protocol != protocol:
+            continue
+        selected.append(prediction)
+    return selected

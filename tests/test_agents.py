@@ -1,0 +1,162 @@
+"""Tests for the agent substrate (repro.core.agents)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.agents import AgentSystem, default_agent_count
+from repro.graphs import Graph, double_star, star
+
+
+class TestDefaultAgentCount:
+    def test_density_one_matches_vertex_count(self, small_star):
+        assert default_agent_count(small_star) == small_star.num_vertices
+
+    def test_density_scaling(self, small_star):
+        assert default_agent_count(small_star, 2.0) == 2 * small_star.num_vertices
+        assert default_agent_count(small_star, 0.5) == round(0.5 * small_star.num_vertices)
+
+    def test_minimum_one_agent(self):
+        graph = Graph(2, [(0, 1)])
+        assert default_agent_count(graph, 0.01) == 1
+
+    def test_rejects_non_positive_density(self, small_star):
+        with pytest.raises(ValueError):
+            default_agent_count(small_star, 0)
+
+
+class TestConstruction:
+    def test_stationary_placement_counts(self, small_heavy_tree, rng):
+        agents = AgentSystem.from_stationary(small_heavy_tree, 100, rng)
+        assert agents.num_agents == 100
+        assert agents.num_informed == 0
+        assert np.all(agents.positions >= 0)
+        assert np.all(agents.positions < small_heavy_tree.num_vertices)
+
+    def test_stationary_placement_prefers_high_degree(self, rng):
+        # On the star, the center has half the total degree, so roughly half of
+        # a large agent population starts there.
+        graph = star(100)
+        agents = AgentSystem.from_stationary(graph, 4000, rng)
+        at_center = int(np.count_nonzero(agents.positions == 0))
+        assert 1700 < at_center < 2300
+
+    def test_one_per_vertex(self, small_double_star):
+        agents = AgentSystem.one_per_vertex(small_double_star)
+        assert agents.num_agents == small_double_star.num_vertices
+        assert sorted(agents.positions.tolist()) == list(range(small_double_star.num_vertices))
+
+    def test_at_positions_explicit(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [0, 0, 3], informed=[True, False, False])
+        assert agents.num_agents == 3
+        assert agents.num_informed == 1
+
+    def test_rejects_empty_population(self, small_star):
+        with pytest.raises(ValueError):
+            AgentSystem.at_positions(small_star, [])
+
+    def test_rejects_out_of_range_positions(self, small_star):
+        with pytest.raises(ValueError):
+            AgentSystem.at_positions(small_star, [99])
+
+    def test_rejects_mismatched_arrays(self, small_star):
+        with pytest.raises(ValueError):
+            AgentSystem(graph=small_star, positions=np.array([0, 1]), informed=np.array([True]))
+
+    def test_rejects_zero_agents_from_stationary(self, small_star, rng):
+        with pytest.raises(ValueError):
+            AgentSystem.from_stationary(small_star, 0, rng)
+
+
+class TestQueries:
+    def test_agents_at(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [2, 5, 2, 7])
+        assert agents.agents_at(2).tolist() == [0, 2]
+        assert agents.agents_at(9).tolist() == []
+
+    def test_occupancy(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [0, 0, 3])
+        occupancy = agents.occupancy()
+        assert occupancy[0] == 2
+        assert occupancy[3] == 1
+        assert occupancy.sum() == 3
+
+    def test_informed_occupancy(self, small_star):
+        agents = AgentSystem.at_positions(
+            small_star, [0, 0, 3], informed=[True, False, True]
+        )
+        informed_occ = agents.informed_occupancy()
+        assert informed_occ[0] == 1
+        assert informed_occ[3] == 1
+
+    def test_informed_occupancy_when_none_informed(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [1, 2, 3])
+        assert agents.informed_occupancy().sum() == 0
+
+    def test_all_informed(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [1, 2], informed=[True, True])
+        assert agents.all_informed()
+
+
+class TestDynamics:
+    def test_step_moves_to_neighbors(self, small_heavy_tree, rng):
+        agents = AgentSystem.from_stationary(small_heavy_tree, 50, rng)
+        previous = agents.step(rng)
+        for old, new in zip(previous.tolist(), agents.positions.tolist()):
+            assert small_heavy_tree.has_edge(old, new)
+
+    def test_step_returns_previous_positions(self, small_star, rng):
+        agents = AgentSystem.at_positions(small_star, [1, 2, 3])
+        previous = agents.step(rng)
+        assert previous.tolist() == [1, 2, 3]
+        # On the star every leaf moves to the center.
+        assert agents.positions.tolist() == [0, 0, 0]
+
+    def test_lazy_step_sometimes_stays(self, small_star):
+        rng = np.random.default_rng(0)
+        agents = AgentSystem.at_positions(small_star, [1] * 200, lazy=True)
+        agents.step(rng)
+        stayed = int(np.count_nonzero(agents.positions == 1))
+        moved = int(np.count_nonzero(agents.positions == 0))
+        assert stayed + moved == 200
+        assert 60 < stayed < 140  # roughly half stay put
+
+    def test_non_lazy_step_never_stays_on_star_leaf(self, small_star, rng):
+        agents = AgentSystem.at_positions(small_star, [1] * 50, lazy=False)
+        agents.step(rng)
+        assert np.all(agents.positions == 0)
+
+    def test_inform_agents_counts_new_only(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [1, 2, 3])
+        assert agents.inform_agents([0, 1]) == 2
+        assert agents.inform_agents([1, 2]) == 1
+        assert agents.inform_agents([]) == 0
+        assert agents.num_informed == 3
+
+    def test_inform_agents_at_vertices(self, small_star):
+        agents = AgentSystem.at_positions(small_star, [1, 2, 2, 5])
+        newly = agents.inform_agents_at([2, 5])
+        assert newly == 3
+        assert agents.num_informed == 3
+        assert agents.inform_agents_at([]) == 0
+
+    def test_copy_is_independent(self, small_star, rng):
+        agents = AgentSystem.at_positions(small_star, [1, 2, 3])
+        clone = agents.copy()
+        agents.step(rng)
+        agents.inform_agents([0])
+        assert clone.positions.tolist() == [1, 2, 3]
+        assert clone.num_informed == 0
+
+    def test_stationarity_preserved_over_steps(self, rng):
+        # After stepping, the occupancy distribution should still track the
+        # stationary distribution (within sampling noise): on the star, about
+        # half the agents occupy the center after every even number of steps
+        # from stationarity.
+        graph = star(50)
+        agents = AgentSystem.from_stationary(graph, 5000, rng)
+        for _ in range(4):
+            agents.step(rng)
+        at_center = int(np.count_nonzero(agents.positions == 0))
+        assert 2200 < at_center < 2800

@@ -1,0 +1,116 @@
+"""Tests for protocol comparison helpers (repro.analysis.comparison)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import (
+    ProtocolComparison,
+    compare_trials,
+    separation_exponent,
+    winner_table,
+)
+from repro.core.results import RunResult, TrialSet
+
+
+def trialset(protocol, times, n=100, incomplete=0):
+    results = [
+        RunResult(
+            protocol=protocol,
+            graph_name="toy",
+            num_vertices=n,
+            num_edges=n - 1,
+            source=0,
+            broadcast_time=t,
+            rounds_executed=t,
+            completed=True,
+        )
+        for t in times
+    ]
+    results += [
+        RunResult(
+            protocol=protocol,
+            graph_name="toy",
+            num_vertices=n,
+            num_edges=n - 1,
+            source=0,
+            broadcast_time=None,
+            rounds_executed=999,
+            completed=False,
+        )
+        for _ in range(incomplete)
+    ]
+    return TrialSet.from_results(results)
+
+
+class TestCompareTrials:
+    def test_identifies_faster_protocol(self):
+        comparison = compare_trials(
+            trialset("push", [100, 120]), trialset("visit-exchange", [10, 12])
+        )
+        assert comparison.faster == "visit-exchange"
+        assert comparison.speedup_of_a == pytest.approx(11 / 110)
+
+    def test_describe_mentions_both_protocols(self):
+        comparison = compare_trials(
+            trialset("push", [10]), trialset("push-pull", [5])
+        )
+        text = comparison.describe()
+        assert "push" in text and "push-pull" in text
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_trials(trialset("push", [10], n=50), trialset("pull", [10], n=60))
+
+    def test_requires_completed_runs(self):
+        with pytest.raises(ValueError):
+            compare_trials(
+                trialset("push", [], incomplete=2), trialset("pull", [10])
+            )
+
+
+class TestSeparationExponent:
+    def test_constant_factor_separation_is_flat(self):
+        sizes = [100, 200, 400, 800]
+        a = [2.0 * math.log(n) for n in sizes]
+        b = [1.0 * math.log(n) for n in sizes]
+        assert abs(separation_exponent(sizes, a, b)) < 0.01
+
+    def test_polynomial_separation_detected(self):
+        sizes = [100, 200, 400, 800]
+        a = [float(n) for n in sizes]          # linear protocol
+        b = [math.log(n) for n in sizes]       # logarithmic protocol
+        assert separation_exponent(sizes, a, b) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            separation_exponent([1], [1.0], [1.0])
+
+
+class TestWinnerTable:
+    def test_sorted_by_mean(self):
+        table = winner_table(
+            [
+                trialset("push", [100, 110]),
+                trialset("visit-exchange", [10, 12]),
+                trialset("push-pull", [30, 40]),
+            ]
+        )
+        assert list(table.keys()) == ["visit-exchange", "push-pull", "push"]
+
+    def test_incomplete_protocols_sort_last(self):
+        table = winner_table(
+            [
+                trialset("push", [50]),
+                trialset("meet-exchange", [], incomplete=3),
+            ]
+        )
+        assert list(table.keys())[-1] == "meet-exchange"
+        assert table["meet-exchange"]["mean"] == math.inf
+        assert table["meet-exchange"]["completion_rate"] == 0.0
+
+    def test_completion_rate_reported(self):
+        table = winner_table([trialset("push", [10, 20], incomplete=2)])
+        assert table["push"]["completion_rate"] == pytest.approx(0.5)

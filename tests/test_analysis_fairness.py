@@ -1,0 +1,105 @@
+"""Tests for edge-usage fairness metrics (repro.analysis.fairness)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    FairnessReport,
+    edge_usage_from_walks,
+    expected_uniform_share,
+    fairness_from_counts,
+    gini_coefficient,
+)
+from repro.graphs import complete_graph, double_star, random_regular_graph, star
+
+
+class TestGiniCoefficient:
+    def test_uniform_distribution_has_zero_gini(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_totally_concentrated_distribution(self):
+        # All mass on one of many items: Gini approaches 1 - 1/n.
+        values = [0] * 99 + [100]
+        assert gini_coefficient(values) == pytest.approx(0.99, abs=0.01)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_scale_invariant(self):
+        a = gini_coefficient([1, 2, 3, 4])
+        b = gini_coefficient([10, 20, 30, 40])
+        assert a == pytest.approx(b)
+
+    def test_more_unequal_means_larger_gini(self):
+        assert gini_coefficient([1, 1, 1, 7]) > gini_coefficient([2, 2, 3, 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+
+class TestUniformShare:
+    def test_value(self):
+        assert expected_uniform_share(200) == pytest.approx(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_uniform_share(0)
+
+
+class TestFairnessFromCounts:
+    def test_uniform_counts(self):
+        graph = complete_graph(6)
+        counts = {edge: 3 for edge in graph.edges()}
+        report = fairness_from_counts(graph, counts)
+        assert report.gini == pytest.approx(0.0, abs=1e-12)
+        assert report.unused_edges == 0
+        assert report.total_uses == 3 * graph.num_edges
+        assert report.max_share == pytest.approx(expected_uniform_share(graph.num_edges))
+
+    def test_missing_edges_count_as_zero(self):
+        graph = star(5)
+        report = fairness_from_counts(graph, {(0, 1): 10})
+        assert report.unused_edges == 4
+        assert report.max_share == pytest.approx(1.0)
+
+    def test_non_canonical_keys_merged(self):
+        graph = star(3)
+        report = fairness_from_counts(graph, {(0, 1): 2, (1, 0): 3})
+        assert report.total_uses == 5
+
+    def test_describe_contains_gini(self):
+        graph = star(4)
+        report = fairness_from_counts(graph, {(0, 1): 1})
+        assert "gini=" in report.describe()
+
+
+class TestEdgeUsageFromWalks:
+    def test_agents_use_edges_nearly_uniformly_on_regular_graph(self, rng):
+        graph = random_regular_graph(40, 6, rng)
+        report = edge_usage_from_walks(graph, rounds=300, seed=1)
+        # Stationary independent walks on a regular graph use every edge at the
+        # same rate; with 300 rounds x 40 agents the Gini should be small.
+        assert report.gini < 0.25
+        assert report.unused_edges == 0
+
+    def test_agents_use_edges_nearly_uniformly_on_star(self):
+        # The paper's point: fairness holds even on highly non-regular graphs.
+        graph = star(30)
+        report = edge_usage_from_walks(graph, rounds=300, seed=2, lazy=True)
+        assert report.gini < 0.25
+
+    def test_bridge_edge_gets_fair_share_on_double_star(self):
+        graph = double_star(40)
+        report = edge_usage_from_walks(graph, rounds=400, seed=3, lazy=True)
+        # With 39 edges, a fair share is ~2.6%; the bridge must not be starved.
+        assert report.min_share > 0.2 * expected_uniform_share(graph.num_edges)
+
+    def test_num_agents_override(self):
+        graph = star(10)
+        report = edge_usage_from_walks(graph, num_agents=5, rounds=50, seed=0)
+        assert report.total_uses <= 5 * 50

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig1a-star", "--seed", "3", "--trials", "2", "--scale", "0.5"]
+        )
+        assert args.experiment_id == "fig1a-star"
+        assert args.seed == 3
+        assert args.trials == 2
+        assert args.scale == 0.5
+
+    def test_simulate_command_parses(self):
+        args = build_parser().parse_args(
+            ["simulate", "push", "star", "100", "--source", "2"]
+        )
+        assert args.protocol == "push"
+        assert args.family == "star"
+        assert args.size == 100
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "gossip-9000", "star", "10"])
+
+
+class TestCommands:
+    def test_list_outputs_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig1a-star" in output
+        assert "thm1-regular-random" in output
+
+    def test_simulate_star(self, capsys):
+        assert main(["simulate", "push-pull", "star", "30", "--source", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "broadcast time" in output
+
+    def test_simulate_visit_exchange_reports_agents(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "visit-exchange",
+                    "double-star",
+                    "40",
+                    "--source",
+                    "2",
+                    "--agent-density",
+                    "2.0",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "agents = 80" in output
+
+    def test_simulate_every_family_builds(self, capsys):
+        families_and_sizes = [
+            ("star", "20"),
+            ("double-star", "20"),
+            ("heavy-binary-tree", "15"),
+            ("siamese-heavy-tree", "15"),
+            ("cycle-stars-cliques", "3"),
+            ("complete", "12"),
+            ("hypercube", "4"),
+            ("random-regular", "16"),
+        ]
+        for family, size in families_and_sizes:
+            assert main(["simulate", "push-pull", family, size]) == 0
+
+    def test_run_scaled_experiment(self, capsys):
+        assert (
+            main(["run", "fig1a-star", "--scale", "0.1", "--trials", "1"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "Star graph" in output
+
+    def test_run_markdown_mode(self, capsys):
+        assert (
+            main(
+                ["run", "fig1b-double-star", "--scale", "0.1", "--trials", "1", "--markdown"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert output.startswith("### `fig1b-double-star`")
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "unknown-experiment"])

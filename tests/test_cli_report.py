@@ -1,0 +1,43 @@
+"""Tests for the CLI report command and run-all (slower CLI paths)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli.main import main
+
+
+class TestReportCommand:
+    def test_report_written_to_file(self, tmp_path: Path, capsys):
+        output = tmp_path / "report.md"
+        # A very small scale keeps this test cheap while still exercising the
+        # full pipeline (every registered experiment + coupling + fairness).
+        exit_code = main(
+            ["report", "--scale", "0.1", "--trials", "1", "--output", str(output)]
+        )
+        assert exit_code == 0
+        text = output.read_text()
+        assert text.startswith("# Experiment report")
+        assert "### `fig1a-star`" in text
+        assert "### `coupling-congestion`" in text
+        assert "### `fairness`" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_report_to_stdout(self, capsys):
+        exit_code = main(["report", "--scale", "0.08", "--trials", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "# Experiment report" in out
+        assert "thm24-25-lower" in out
+
+
+class TestRunAllCommand:
+    def test_run_all_prints_every_experiment_table(self, capsys):
+        exit_code = main(["run-all", "--scale", "0.08", "--trials", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Star graph" in out
+        assert "Double star" in out
+        assert "random regular graphs (Theorem 1)" in out

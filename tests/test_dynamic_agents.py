@@ -1,0 +1,104 @@
+"""Tests for the dynamic-population extension (repro.extensions.dynamic_agents)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate
+from repro.extensions import DynamicVisitExchange
+from repro.graphs import GraphError, complete_graph, double_star, random_regular_graph
+
+
+class TestValidation:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicVisitExchange(death_rate=1.0)
+        with pytest.raises(ValueError):
+            DynamicVisitExchange(failure_fraction=1.5)
+        with pytest.raises(ValueError):
+            DynamicVisitExchange(agent_density=0)
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicVisitExchange().run(complete_graph(10), 99, seed=0)
+
+
+class TestZeroChurnMatchesStaticProtocol:
+    def test_no_deaths_no_births_behaves_like_visit_exchange(self):
+        graph = double_star(100)
+        dynamic = DynamicVisitExchange(death_rate=0.0, birth_rate=0.0)
+        dynamic_times = []
+        static_times = []
+        for seed in range(5):
+            result = dynamic.run(graph, 2, seed=seed)
+            assert result.completed
+            assert result.total_births == 0
+            assert result.total_deaths == 0
+            assert result.min_population == result.initial_agents
+            dynamic_times.append(result.broadcast_time)
+            static_times.append(
+                simulate("visit-exchange", graph, source=2, seed=50 + seed).broadcast_time
+            )
+        assert 0.4 * np.mean(static_times) < np.mean(dynamic_times) < 2.5 * np.mean(static_times)
+
+
+class TestChurn:
+    def test_population_stays_near_initial_with_balanced_churn(self, rng):
+        graph = random_regular_graph(100, 10, rng)
+        result = DynamicVisitExchange(death_rate=0.05).run(
+            graph, 0, seed=3, max_rounds=200
+        )
+        assert result.total_deaths > 0
+        assert result.total_births > 0
+        assert 0.5 * result.initial_agents < result.mean_population < 1.5 * result.initial_agents
+
+    def test_broadcast_still_completes_under_churn(self, rng):
+        graph = random_regular_graph(128, 12, rng)
+        result = DynamicVisitExchange(death_rate=0.05).run(graph, 0, seed=4)
+        assert result.completed
+        # Still roughly logarithmic: far below anything linear in n.
+        assert result.broadcast_time < 128
+
+    def test_modest_churn_costs_only_a_constant_factor(self, rng):
+        graph = random_regular_graph(128, 12, rng)
+        static_times = [
+            DynamicVisitExchange(death_rate=0.0, birth_rate=0.0)
+            .run(graph, 0, seed=s)
+            .broadcast_time
+            for s in range(4)
+        ]
+        churn_times = [
+            DynamicVisitExchange(death_rate=0.05).run(graph, 0, seed=s).broadcast_time
+            for s in range(4)
+        ]
+        assert np.mean(churn_times) < 4 * np.mean(static_times) + 10
+
+    def test_histories_have_matching_lengths(self, rng):
+        graph = random_regular_graph(64, 8, rng)
+        result = DynamicVisitExchange(death_rate=0.02).run(graph, 0, seed=5)
+        assert len(result.population_history) == len(result.informed_vertex_history)
+        assert len(result.population_history) == result.rounds_executed + 1
+
+
+class TestFailureInjection:
+    def test_mass_failure_kills_agents_but_broadcast_recovers(self, rng):
+        graph = random_regular_graph(128, 12, rng)
+        result = DynamicVisitExchange(
+            death_rate=0.02, failure_round=3, failure_fraction=0.8
+        ).run(graph, 0, seed=6)
+        # The failure is visible in the population history...
+        population_before = result.population_history[2]
+        population_after = result.population_history[3]
+        assert population_after < 0.5 * population_before
+        # ...but births replenish the population and the broadcast completes.
+        assert result.completed
+        assert result.population_history[-1] > population_after
+
+    def test_failure_without_births_still_completes_if_some_agents_survive(self, rng):
+        graph = complete_graph(64)
+        result = DynamicVisitExchange(
+            death_rate=0.0, birth_rate=0.0, failure_round=2, failure_fraction=0.9
+        ).run(graph, 0, seed=7)
+        assert result.completed
+        assert result.min_population >= 1

@@ -1,0 +1,138 @@
+"""Tests for the simulation engine (repro.core.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine, RoundProtocol, default_max_rounds
+from repro.core.observers import InformedCountObserver, ObserverGroup
+from repro.core.protocols import PushProtocol
+from repro.graphs import Graph, star
+
+
+class CountdownProtocol(RoundProtocol):
+    """Toy protocol that informs one extra vertex per round."""
+
+    name = "countdown"
+
+    def __init__(self):
+        self._n = 0
+        self._informed = 0
+
+    def initialize(self, graph, source, rng):
+        self._n = graph.num_vertices
+        self._informed = 1
+
+    def execute_round(self, round_index, rng):
+        self._informed = min(self._informed + 1, self._n)
+
+    def is_complete(self):
+        return self._informed >= self._n
+
+    def informed_vertex_count(self):
+        return self._informed
+
+
+class StallingProtocol(CountdownProtocol):
+    """Toy protocol that never completes."""
+
+    name = "stalling"
+
+    def execute_round(self, round_index, rng):
+        pass
+
+
+class TestDefaultMaxRounds:
+    def test_scales_with_graph_size(self):
+        small = default_max_rounds(star(10))
+        large = default_max_rounds(star(1000))
+        assert large > small
+
+    def test_has_floor(self):
+        assert default_max_rounds(Graph(2, [(0, 1)])) >= 64
+
+
+class TestEngineRun:
+    def test_linear_protocol_completes_in_n_minus_one_rounds(self):
+        graph = star(9)  # 10 vertices
+        result = Engine().run(CountdownProtocol(), graph, 0, seed=0)
+        assert result.completed
+        assert result.broadcast_time == 9
+        assert result.protocol == "countdown"
+        assert result.num_vertices == 10
+
+    def test_history_recorded_by_default(self):
+        graph = star(4)
+        result = Engine().run(CountdownProtocol(), graph, 0, seed=0)
+        assert result.informed_vertex_history == [1, 2, 3, 4, 5]
+
+    def test_history_disabled(self):
+        graph = star(4)
+        result = Engine(record_history=False).run(CountdownProtocol(), graph, 0, seed=0)
+        assert result.informed_vertex_history == []
+
+    def test_round_budget_produces_incomplete_result(self):
+        graph = star(9)
+        result = Engine(max_rounds=3).run(StallingProtocol(), graph, 0, seed=0)
+        assert not result.completed
+        assert result.broadcast_time is None
+        assert result.rounds_executed == 3
+
+    def test_source_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            Engine().run(CountdownProtocol(), star(5), 99, seed=0)
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(Exception):
+            Engine().run(CountdownProtocol(), graph, 0, seed=0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(max_rounds=-1).run(CountdownProtocol(), star(5), 0, seed=0)
+
+    def test_already_complete_at_round_zero(self):
+        graph = Graph(2, [(0, 1)])
+
+        class InstantProtocol(CountdownProtocol):
+            name = "instant"
+
+            def initialize(self, graph, source, rng):
+                self._n = graph.num_vertices
+                self._informed = graph.num_vertices
+
+        result = Engine().run(InstantProtocol(), graph, 0, seed=0)
+        assert result.completed
+        assert result.broadcast_time == 0
+        assert result.rounds_executed == 0
+
+    def test_observers_receive_round_events(self):
+        observer = InformedCountObserver()
+        graph = star(4)
+        Engine().run(
+            CountdownProtocol(), graph, 0, seed=0, observers=ObserverGroup([observer])
+        )
+        assert observer.vertex_history[0] == 1
+        assert observer.vertex_history[-1] == 5
+        assert observer.broadcast_time == 4
+
+    def test_engine_reusable_across_runs(self):
+        engine = Engine()
+        graph = star(6)
+        first = engine.run(PushProtocol(), graph, 0, seed=1)
+        second = engine.run(PushProtocol(), graph, 0, seed=1)
+        assert first.broadcast_time == second.broadcast_time
+
+    def test_same_seed_reproducible(self):
+        graph = star(30)
+        a = Engine().run(PushProtocol(), graph, 0, seed=42)
+        b = Engine().run(PushProtocol(), graph, 0, seed=42)
+        assert a.broadcast_time == b.broadcast_time
+        assert a.informed_vertex_history == b.informed_vertex_history
+
+    def test_different_seeds_usually_differ(self):
+        graph = star(30)
+        times = {
+            Engine().run(PushProtocol(), graph, 0, seed=s).broadcast_time for s in range(5)
+        }
+        assert len(times) > 1

@@ -1,0 +1,111 @@
+"""Tests for the experiment registry and the registered definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
+from repro.experiments.registry import get_experiment, list_experiment_ids, register
+from repro.graphs import star
+from repro.theory.predictions import PAPER_PREDICTIONS
+
+
+EXPECTED_IDS = {
+    "fig1a-star",
+    "fig1b-double-star",
+    "fig1c-heavy-tree",
+    "fig1d-siamese",
+    "fig1e-cycle-stars",
+    "thm1-regular-random",
+    "thm1-regular-slow",
+    "thm1-regular-hypercube",
+    "thm23-meetx-regular",
+    "thm24-25-lower",
+    "hybrid-double-star",
+    "hybrid-heavy-tree",
+    "ablation-agent-density",
+    "ablation-initial-placement",
+    "ablation-laziness",
+}
+
+
+class TestRegistry:
+    def test_all_expected_experiments_registered(self):
+        assert EXPECTED_IDS.issubset(set(list_experiment_ids()))
+
+    def test_get_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        def factory():
+            return ExperimentConfig(
+                experiment_id="fig1a-star",
+                title="dup",
+                paper_reference="",
+                description="",
+                graph_builder=lambda n, s: GraphCase(star(n), 0, n),
+                sizes=(4,),
+                protocols=(ProtocolSpec("push"),),
+            )
+
+        with pytest.raises(ValueError):
+            register("fig1a-star", factory)
+
+    def test_registered_factories_produce_matching_ids(self):
+        for experiment_id in list_experiment_ids():
+            config = get_experiment(experiment_id)
+            assert config.experiment_id == experiment_id
+
+
+class TestRegisteredDefinitions:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+    def test_every_experiment_builds_its_smallest_case(self, experiment_id):
+        config = get_experiment(experiment_id)
+        case = config.build_case(config.sizes[0], seed=0)
+        assert case.graph.is_connected()
+        assert 0 <= case.source < case.graph.num_vertices
+        assert config.sizes == tuple(sorted(config.sizes))
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+    def test_round_budgets_are_positive(self, experiment_id):
+        config = get_experiment(experiment_id)
+        budget = config.round_budget(config.sizes[0])
+        assert budget is None or budget > 0
+
+    def test_claim_ids_reference_known_predictions(self):
+        known = {p.claim_id for p in PAPER_PREDICTIONS}
+        for experiment_id in list_experiment_ids():
+            config = get_experiment(experiment_id)
+            for claim in config.claim_ids:
+                assert claim in known, f"{experiment_id} references unknown claim {claim}"
+
+    def test_figure1_experiments_cover_all_figure1_claims(self):
+        covered = set()
+        for experiment_id in EXPECTED_IDS:
+            if experiment_id.startswith("fig1"):
+                covered.update(get_experiment(experiment_id).claim_ids)
+        figure1_claims = {p.claim_id for p in PAPER_PREDICTIONS if p.claim_id.startswith("lemma")}
+        assert figure1_claims.issubset(covered)
+
+    def test_heavy_tree_experiment_uses_leaf_source(self):
+        config = get_experiment("fig1c-heavy-tree")
+        case = config.build_case(config.sizes[0], seed=0)
+        from repro.graphs.heavy_binary_tree import tree_leaves
+
+        assert case.source in tree_leaves(case.graph)
+
+    def test_regular_experiments_build_regular_graphs(self):
+        for experiment_id in ("thm1-regular-random", "thm1-regular-slow", "thm23-meetx-regular"):
+            config = get_experiment(experiment_id)
+            case = config.build_case(config.sizes[0], seed=0)
+            assert case.graph.is_regular()
+
+    def test_regular_degree_meets_log_assumption(self):
+        import math
+
+        config = get_experiment("thm1-regular-random")
+        case = config.build_case(config.sizes[-1], seed=0)
+        degree = case.graph.regularity_degree()
+        assert degree >= math.log(case.graph.num_vertices)

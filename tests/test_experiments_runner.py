@@ -1,0 +1,133 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
+from repro.experiments.runner import (
+    CellResult,
+    ExperimentResult,
+    run_experiment,
+    run_trial_set,
+)
+from repro.graphs import complete_graph, star
+
+
+def star_builder(size, seed):
+    return GraphCase(graph=star(size), source=0, size_parameter=size)
+
+
+def complete_builder(size, seed):
+    return GraphCase(graph=complete_graph(size), source=0, size_parameter=size)
+
+
+TOY_CONFIG = ExperimentConfig(
+    experiment_id="toy-complete",
+    title="Toy complete-graph experiment",
+    paper_reference="none",
+    description="fast experiment used by the unit tests",
+    graph_builder=complete_builder,
+    sizes=(8, 16, 32),
+    protocols=(ProtocolSpec("push"), ProtocolSpec("push-pull")),
+    trials=3,
+)
+
+
+class TestRunTrialSet:
+    def test_runs_requested_number_of_trials(self):
+        case = star_builder(10, 0)
+        trials = run_trial_set(ProtocolSpec("push"), case, trials=4, base_seed=1)
+        assert len(trials) == 4
+        assert trials.completion_rate == 1.0
+
+    def test_protocol_kwargs_forwarded(self):
+        case = complete_builder(12, 0)
+        trials = run_trial_set(
+            ProtocolSpec("visit-exchange", kwargs={"agent_density": 2.0}),
+            case,
+            trials=1,
+            base_seed=1,
+        )
+        assert trials.results[0].num_agents == 24
+
+    def test_max_rounds_enforced(self):
+        case = star_builder(50, 0)
+        trials = run_trial_set(
+            ProtocolSpec("push"), case, trials=2, base_seed=1, max_rounds=1
+        )
+        assert trials.completion_rate == 0.0
+
+    def test_reproducible_given_base_seed(self):
+        case = star_builder(20, 0)
+        a = run_trial_set(ProtocolSpec("push"), case, trials=3, base_seed=7)
+        b = run_trial_set(ProtocolSpec("push"), case, trials=3, base_seed=7)
+        assert a.broadcast_times() == b.broadcast_times()
+
+    def test_trials_differ_within_a_set(self):
+        case = star_builder(40, 0)
+        trials = run_trial_set(ProtocolSpec("push"), case, trials=5, base_seed=3)
+        assert len(set(trials.broadcast_times())) > 1
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_trial_set(ProtocolSpec("push"), star_builder(5, 0), trials=0, base_seed=0)
+
+
+class TestRunExperiment:
+    def test_produces_cell_per_size_and_protocol(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0)
+        assert len(result.cells) == 3 * 2
+        assert set(result.protocol_labels()) == {"push", "push-pull"}
+
+    def test_series_sorted_by_size(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0)
+        sizes, means = result.series("push")
+        assert sizes == sorted(sizes)
+        assert len(sizes) == len(means) == 3
+        assert all(m > 0 for m in means)
+
+    def test_size_and_trial_overrides(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0, sizes=(8,), trials=1)
+        assert len(result.cells) == 2
+        assert all(len(cell.trials) == 1 for cell in result.cells)
+
+    def test_growth_exponent_available(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0)
+        exponent = result.growth_exponent("push")
+        assert exponent is not None
+        # Push on the complete graph is logarithmic: exponent well below 1.
+        assert exponent < 0.6
+
+    def test_best_fit_returns_growth_model(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0)
+        fit = result.best_fit("push", candidates=["log n", "n"])
+        assert fit is not None
+        assert fit.growth in ("log n", "n")
+
+    def test_table_rows_structure(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0, sizes=(8,), trials=1)
+        rows = result.table_rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["experiment"] == "toy-complete"
+            assert row["n"] == 8
+            assert row["mean"] is not None
+
+    def test_cells_for_unknown_protocol_empty(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0, sizes=(8,), trials=1)
+        assert result.cells_for("nonexistent") == []
+
+    def test_reproducibility_of_whole_experiment(self):
+        a = run_experiment(TOY_CONFIG, base_seed=5, sizes=(8, 16), trials=2)
+        b = run_experiment(TOY_CONFIG, base_seed=5, sizes=(8, 16), trials=2)
+        assert [c.mean_time for c in a.cells] == [c.mean_time for c in b.cells]
+
+
+class TestCellResult:
+    def test_as_row_handles_missing_summary(self):
+        result = run_experiment(TOY_CONFIG, base_seed=0, sizes=(8,), trials=1)
+        cell = result.cells[0]
+        row = cell.as_row()
+        assert row["protocol"] in ("push", "push-pull")
+        assert row["completed"] == 1

@@ -1,0 +1,104 @@
+"""Tests for the multi-rumor extension (repro.extensions.multi_rumor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate
+from repro.extensions import MultiRumorVisitExchange, RumorInjection
+from repro.graphs import GraphError, complete_graph, double_star, star
+
+
+class TestRumorInjection:
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            RumorInjection(round_index=-1, source=0)
+
+    def test_label_stored(self):
+        injection = RumorInjection(round_index=3, source=5, label="update-7")
+        assert injection.label == "update-7"
+
+
+class TestSingleRumorConsistency:
+    def test_single_rumor_matches_visit_exchange_distribution(self):
+        # With one rumor injected at round 0, the multi-rumor simulator is
+        # exactly visit-exchange; the mean broadcast times should agree.
+        graph = double_star(100)
+        multi = MultiRumorVisitExchange()
+        multi_times = []
+        single_times = []
+        for seed in range(5):
+            result = multi.run(graph, [RumorInjection(0, 2)], seed=seed)
+            assert result.all_completed
+            multi_times.append(result.broadcast_times[0])
+            single_times.append(
+                simulate("visit-exchange", graph, source=2, seed=100 + seed).broadcast_time
+            )
+        assert 0.4 * np.mean(single_times) < np.mean(multi_times) < 2.5 * np.mean(single_times)
+
+
+class TestManyRumors:
+    def test_all_rumors_complete_on_complete_graph(self):
+        graph = complete_graph(40)
+        injections = [RumorInjection(round_index=2 * i, source=i) for i in range(8)]
+        result = MultiRumorVisitExchange().run(graph, injections, seed=1)
+        assert result.all_completed
+        assert len(result.broadcast_times) == 8
+        assert all(t is not None and t >= 1 for t in result.broadcast_times)
+
+    def test_later_injections_complete_later_in_absolute_time(self):
+        graph = complete_graph(30)
+        injections = [RumorInjection(0, 0), RumorInjection(20, 1)]
+        result = MultiRumorVisitExchange().run(graph, injections, seed=2)
+        assert result.all_completed
+        assert result.completion_rounds[1] >= 20
+        assert result.completion_rounds[1] > result.completion_rounds[0]
+
+    def test_broadcast_time_measured_from_injection(self):
+        graph = complete_graph(30)
+        injections = [RumorInjection(0, 0), RumorInjection(15, 3)]
+        result = MultiRumorVisitExchange().run(graph, injections, seed=3)
+        assert result.all_completed
+        # Each rumor's latency should be far smaller than the absolute round
+        # at which the second rumor completed.
+        assert result.broadcast_times[1] == result.completion_rounds[1] - 15
+        assert result.broadcast_times[1] < result.completion_rounds[1]
+
+    def test_parallel_rumors_have_similar_latencies(self):
+        # The point of the shared agent population: a batch of rumors injected
+        # together is delivered in parallel, each within the usual O(log n).
+        graph = star(100)
+        injections = [RumorInjection(0, source) for source in (1, 5, 9, 13)]
+        result = MultiRumorVisitExchange().run(graph, injections, seed=4)
+        assert result.all_completed
+        times = result.broadcast_times
+        assert max(times) < 80
+        assert result.mean_broadcast_time() is not None
+        assert result.max_broadcast_time() == max(times)
+
+    def test_statistics_with_incomplete_runs(self):
+        graph = double_star(60)
+        result = MultiRumorVisitExchange().run(
+            graph, [RumorInjection(0, 2)], seed=5, max_rounds=1
+        )
+        assert not result.all_completed
+        assert result.max_broadcast_time() is None
+        assert result.broadcast_times == [None]
+
+
+class TestValidation:
+    def test_empty_injections_rejected(self):
+        with pytest.raises(ValueError):
+            MultiRumorVisitExchange().run(star(5), [], seed=0)
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(GraphError):
+            MultiRumorVisitExchange().run(star(5), [RumorInjection(0, 99)], seed=0)
+
+    def test_agent_count_override(self):
+        graph = star(20)
+        result = MultiRumorVisitExchange(num_agents=7).run(
+            graph, [RumorInjection(0, 0)], seed=0
+        )
+        assert result.num_agents == 7

@@ -1,0 +1,86 @@
+"""Tests for the non-regular random graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphError
+from repro.graphs.random_graphs import (
+    connected_erdos_renyi,
+    erdos_renyi,
+    preferential_attachment,
+)
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self, rng):
+        graph = erdos_renyi(30, 0.0, rng)
+        assert graph.num_edges == 0
+
+    def test_p_one_is_complete(self, rng):
+        graph = erdos_renyi(12, 1.0, rng)
+        assert graph.num_edges == 12 * 11 // 2
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        counts = [
+            erdos_renyi(n, p, np.random.default_rng(seed)).num_edges for seed in range(5)
+        ]
+        expected = p * n * (n - 1) / 2
+        assert abs(np.mean(counts) - expected) < 0.15 * expected
+
+    def test_all_edges_valid(self, rng):
+        graph = erdos_renyi(50, 0.2, rng)
+        for u, v in graph.edges():
+            assert 0 <= u < v < 50
+
+    def test_invalid_probability_rejected(self, rng):
+        with pytest.raises(GraphError):
+            erdos_renyi(10, 1.5, rng)
+
+    def test_too_few_vertices_rejected(self, rng):
+        with pytest.raises(GraphError):
+            erdos_renyi(1, 0.5, rng)
+
+    def test_reproducible_with_same_seed(self):
+        a = erdos_renyi(40, 0.15, np.random.default_rng(3))
+        b = erdos_renyi(40, 0.15, np.random.default_rng(3))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestConnectedErdosRenyi:
+    def test_returns_connected_graph(self, rng):
+        graph = connected_erdos_renyi(60, 0.15, rng)
+        assert graph.is_connected()
+
+    def test_raises_when_probability_hopeless(self, rng):
+        with pytest.raises(GraphError):
+            connected_erdos_renyi(100, 0.001, rng, max_attempts=3)
+
+
+class TestPreferentialAttachment:
+    def test_vertex_count(self, rng):
+        graph = preferential_attachment(100, 3, rng)
+        assert graph.num_vertices == 100
+
+    def test_connected(self, rng):
+        graph = preferential_attachment(150, 2, rng)
+        assert graph.is_connected()
+
+    def test_minimum_degree_at_least_m(self, rng):
+        graph = preferential_attachment(120, 3, rng)
+        # Every vertex added after the seed star attaches to exactly 3 targets.
+        assert int(graph.degrees.min()) >= 1
+        late_vertices = range(4, 120)
+        assert all(graph.degree(v) >= 3 for v in late_vertices)
+
+    def test_heavy_tail_hub_exists(self, rng):
+        graph = preferential_attachment(400, 2, rng)
+        assert int(graph.degrees.max()) > 5 * int(np.median(graph.degrees))
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(GraphError):
+            preferential_attachment(5, 0, rng)
+        with pytest.raises(GraphError):
+            preferential_attachment(3, 3, rng)

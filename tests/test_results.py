@@ -1,0 +1,120 @@
+"""Tests for result records (repro.core.results)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.results import RoundRecord, RunResult, TrialSet
+
+
+def make_result(
+    broadcast_time=7,
+    completed=True,
+    protocol="push",
+    num_vertices=10,
+    **overrides,
+):
+    payload = dict(
+        protocol=protocol,
+        graph_name="toy",
+        num_vertices=num_vertices,
+        num_edges=9,
+        source=0,
+        broadcast_time=broadcast_time,
+        rounds_executed=broadcast_time or 5,
+        completed=completed,
+    )
+    payload.update(overrides)
+    return RunResult(**payload)
+
+
+class TestRunResult:
+    def test_completed_requires_broadcast_time(self):
+        with pytest.raises(ValueError):
+            make_result(broadcast_time=None, completed=True)
+
+    def test_incomplete_must_not_have_broadcast_time(self):
+        with pytest.raises(ValueError):
+            make_result(broadcast_time=5, completed=False)
+
+    def test_incomplete_result_is_valid(self):
+        result = make_result(broadcast_time=None, completed=False)
+        assert not result.completed
+        assert result.broadcast_time is None
+
+    def test_normalized_broadcast_time(self):
+        result = make_result(broadcast_time=20, num_vertices=16)
+        assert result.normalized_broadcast_time == pytest.approx(20 / 4.0)
+
+    def test_normalized_none_when_incomplete(self):
+        result = make_result(broadcast_time=None, completed=False)
+        assert result.normalized_broadcast_time is None
+
+    def test_round_trip_dict(self):
+        result = make_result(metadata={"alpha": 1.0})
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_to_json_is_valid_json(self):
+        text = make_result().to_json()
+        assert json.loads(text)["protocol"] == "push"
+
+
+class TestRoundRecord:
+    def test_defaults(self):
+        record = RoundRecord(round_index=3, informed_vertices=5)
+        assert record.informed_agents == 0
+        assert record.extra == {}
+
+
+class TestTrialSet:
+    def test_add_and_len(self):
+        trials = TrialSet(protocol="push", graph_name="toy", num_vertices=10)
+        trials.add(make_result())
+        trials.add(make_result(broadcast_time=9))
+        assert len(trials) == 2
+
+    def test_protocol_mismatch_rejected(self):
+        trials = TrialSet(protocol="push", graph_name="toy", num_vertices=10)
+        with pytest.raises(ValueError):
+            trials.add(make_result(protocol="pull"))
+
+    def test_vertex_count_mismatch_rejected(self):
+        trials = TrialSet(protocol="push", graph_name="toy", num_vertices=10)
+        with pytest.raises(ValueError):
+            trials.add(make_result(num_vertices=20))
+
+    def test_broadcast_time_statistics(self):
+        trials = TrialSet.from_results(
+            [make_result(broadcast_time=t) for t in (4, 6, 8)]
+        )
+        assert trials.broadcast_times() == [4, 6, 8]
+        assert trials.mean_broadcast_time() == pytest.approx(6.0)
+        assert trials.min_broadcast_time() == 4
+        assert trials.max_broadcast_time() == 8
+
+    def test_completion_rate_with_failures(self):
+        trials = TrialSet(protocol="push", graph_name="toy", num_vertices=10)
+        trials.add(make_result())
+        trials.add(make_result(broadcast_time=None, completed=False))
+        assert trials.completion_rate == pytest.approx(0.5)
+        assert len(trials.completed_results) == 1
+
+    def test_empty_statistics(self):
+        trials = TrialSet(protocol="push", graph_name="toy", num_vertices=10)
+        assert trials.mean_broadcast_time() is None
+        assert trials.max_broadcast_time() is None
+        assert trials.completion_rate == 0.0
+
+    def test_from_results_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TrialSet.from_results([])
+
+    def test_to_dict_round_trips_counts(self):
+        trials = TrialSet.from_results([make_result(), make_result(broadcast_time=3)])
+        payload = trials.to_dict()
+        assert payload["protocol"] == "push"
+        assert len(payload["results"]) == 2

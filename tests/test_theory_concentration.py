@@ -1,0 +1,115 @@
+"""Tests for the concentration-bound helpers (repro.theory.concentration)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.concentration import (
+    binomial_tail_upper,
+    chernoff_lower_multiplicative,
+    chernoff_upper_heavy,
+    chernoff_upper_multiplicative,
+    expected_geometric_sum,
+    geometric_sum_tail,
+)
+
+
+class TestChernoffBounds:
+    def test_upper_multiplicative_formula(self):
+        assert chernoff_upper_multiplicative(30, 0.5) == pytest.approx(
+            math.exp(-30 * 0.25 / 3)
+        )
+
+    def test_upper_multiplicative_validates_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_multiplicative(10, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_multiplicative(10, 0.0)
+
+    def test_upper_heavy_formula(self):
+        assert chernoff_upper_heavy(2.0, 6.0) == pytest.approx(2.0 ** (-12.0))
+
+    def test_upper_heavy_requires_large_factor(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_heavy(2.0, 2.0)
+
+    def test_lower_multiplicative_formula(self):
+        assert chernoff_lower_multiplicative(40, 0.5) == pytest.approx(
+            math.exp(-40 * 0.25 / 2)
+        )
+
+    def test_bounds_capped_at_one(self):
+        assert chernoff_upper_multiplicative(0.0, 0.5) == 1.0
+        assert chernoff_lower_multiplicative(0.0, 0.5) == 1.0
+
+    def test_empirical_binomial_tail_respects_upper_bound(self):
+        # P[Bin(n, p) >= (1+delta) mu] must not exceed the Chernoff bound by
+        # much (it is an upper bound, so empirically it should be below).
+        rng = np.random.default_rng(0)
+        n, p, delta = 200, 0.3, 0.5
+        mean = n * p
+        samples = rng.binomial(n, p, size=20000)
+        empirical = np.mean(samples >= (1 + delta) * mean)
+        assert empirical <= chernoff_upper_multiplicative(mean, delta) + 0.01
+
+
+class TestGeometricSum:
+    def test_expected_value(self):
+        assert expected_geometric_sum(10, 0.5) == pytest.approx(20.0)
+
+    def test_tail_is_one_below_twice_mean(self):
+        assert geometric_sum_tail(10, 0.5, threshold=30) == 1.0
+
+    def test_tail_formula_above_twice_mean(self):
+        assert geometric_sum_tail(10, 0.5, threshold=50) == pytest.approx(
+            math.exp(-50 * 0.5 / 8)
+        )
+
+    def test_tail_bound_holds_empirically(self):
+        rng = np.random.default_rng(1)
+        count, p = 5, 0.4
+        threshold = 2.5 * expected_geometric_sum(count, p)
+        samples = rng.geometric(p, size=(20000, count)).sum(axis=1)
+        empirical = np.mean(samples >= threshold)
+        assert empirical <= geometric_sum_tail(count, p, threshold) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_geometric_sum(-1, 0.5)
+        with pytest.raises(ValueError):
+            expected_geometric_sum(3, 0.0)
+        with pytest.raises(ValueError):
+            geometric_sum_tail(3, 1.5, 10)
+
+
+class TestBinomialTail:
+    def test_zero_mean(self):
+        assert binomial_tail_upper(10, 0.0, 1) == 0.0
+
+    def test_threshold_zero_gives_one(self):
+        assert binomial_tail_upper(10, 0.5, 0) == 1.0
+
+    def test_formula(self):
+        assert binomial_tail_upper(100, 0.01, 5) == pytest.approx(
+            (math.e * 1.0 / 5) ** 5
+        )
+
+    def test_monotone_decreasing_in_threshold(self):
+        values = [binomial_tail_upper(100, 0.02, k) for k in range(3, 12)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_empirical_tail_respects_bound(self):
+        rng = np.random.default_rng(2)
+        n, p, k = 64, 1 / 16, 8
+        samples = rng.binomial(n, p, size=20000)
+        empirical = np.mean(samples >= k)
+        assert empirical <= binomial_tail_upper(n, p, k) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_tail_upper(-1, 0.5, 2)
+        with pytest.raises(ValueError):
+            binomial_tail_upper(10, 2.0, 2)

@@ -1,0 +1,96 @@
+"""Tests for coupon-collector helpers (repro.theory.coupon_collector)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.coupon_collector import (
+    collection_time_tail_bound,
+    expected_collection_time,
+    expected_partial_collection_time,
+    harmonic_number,
+    simulate_collection_time,
+)
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == pytest.approx(1.0)
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_close_to_log_for_large_n(self):
+        n = 10000
+        assert harmonic_number(n) == pytest.approx(math.log(n) + 0.5772, abs=0.01)
+
+    def test_asymptotic_branch_continuous(self):
+        # The asymptotic expansion used above 10^6 must agree with direct
+        # summation at the crossover point.
+        direct = float(np.sum(1.0 / np.arange(1, 10**6 + 1)))
+        assert harmonic_number(10**6 + 1) == pytest.approx(direct + 1 / (10**6 + 1), rel=1e-9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)
+
+
+class TestExpectations:
+    def test_full_collection_formula(self):
+        assert expected_collection_time(1) == pytest.approx(1.0)
+        assert expected_collection_time(2) == pytest.approx(3.0)
+        assert expected_collection_time(3) == pytest.approx(5.5)
+
+    def test_partial_collection_boundaries(self):
+        assert expected_partial_collection_time(10, 0) == 0.0
+        assert expected_partial_collection_time(10, 10) == pytest.approx(
+            expected_collection_time(10)
+        )
+
+    def test_partial_collection_monotone_in_target(self):
+        values = [expected_partial_collection_time(20, t) for t in range(21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_partial_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            expected_partial_collection_time(5, 6)
+
+    def test_full_rejects_zero(self):
+        with pytest.raises(ValueError):
+            expected_collection_time(0)
+
+
+class TestTailBound:
+    def test_bound_decreases_with_deviation(self):
+        assert collection_time_tail_bound(10, 1.0) > collection_time_tail_bound(10, 3.0)
+
+    def test_bound_at_most_one(self):
+        assert collection_time_tail_bound(10, -5.0) == 1.0
+
+
+class TestSimulation:
+    def test_simulated_mean_matches_formula(self):
+        n = 20
+        rng = np.random.default_rng(0)
+        samples = [simulate_collection_time(n, rng) for _ in range(300)]
+        expected = expected_collection_time(n)
+        assert abs(np.mean(samples) - expected) < 0.15 * expected
+
+    def test_partial_target(self):
+        rng = np.random.default_rng(1)
+        draws = simulate_collection_time(10, rng, target=3)
+        assert draws >= 3
+
+    def test_zero_target(self):
+        rng = np.random.default_rng(1)
+        assert simulate_collection_time(10, rng, target=0) == 0
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            simulate_collection_time(0, rng)
+        with pytest.raises(ValueError):
+            simulate_collection_time(5, rng, target=9)

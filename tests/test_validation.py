@@ -1,0 +1,87 @@
+"""Tests for graph structural validation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    double_star,
+    hypercube,
+    inspect_graph,
+    require_connected,
+    require_degree_at_least_log,
+    require_regular,
+    star,
+)
+from repro.graphs.graph import Graph
+
+
+class TestInspectGraph:
+    def test_star_report(self):
+        report = inspect_graph(star(20))
+        assert report.num_vertices == 21
+        assert report.num_edges == 20
+        assert report.min_degree == 1
+        assert report.max_degree == 20
+        assert report.is_connected
+        assert not report.is_regular
+        assert report.is_bipartite
+        assert not report.meets_log_degree
+
+    def test_complete_graph_report(self):
+        report = inspect_graph(complete_graph(16))
+        assert report.is_regular
+        assert report.meets_log_degree
+        assert not report.is_bipartite
+
+    def test_describe_contains_name_and_counts(self):
+        report = inspect_graph(hypercube(4))
+        text = report.describe()
+        assert "hypercube" in text
+        assert "n=16" in text
+        assert "4-regular" in text
+
+    def test_mean_degree(self):
+        report = inspect_graph(cycle_graph(10))
+        assert report.mean_degree == pytest.approx(2.0)
+
+
+class TestRequireHelpers:
+    def test_require_connected_passes_and_fails(self):
+        assert require_connected(star(5)) is not None
+        with pytest.raises(GraphError):
+            require_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_require_regular(self):
+        assert require_regular(hypercube(3)) == 3
+        with pytest.raises(GraphError):
+            require_regular(double_star(10))
+
+    def test_require_degree_at_least_log(self):
+        # Complete graph on 32 vertices: degree 31 >> ln 32.
+        require_degree_at_least_log(complete_graph(32))
+        with pytest.raises(GraphError):
+            require_degree_at_least_log(cycle_graph(64))
+
+    def test_require_degree_with_factor(self):
+        graph = hypercube(5)  # degree 5, n = 32, ln n ~ 3.46
+        require_degree_at_least_log(graph, factor=1.0)
+        with pytest.raises(GraphError):
+            require_degree_at_least_log(graph, factor=2.0)
+
+
+class TestDegreeHistogram:
+    def test_star_histogram(self):
+        hist = degree_histogram(star(10))
+        assert hist[1] == 10
+        assert hist[10] == 1
+
+    def test_histogram_sums_to_vertex_count(self):
+        graph = double_star(30)
+        assert sum(degree_histogram(graph)) == 30
