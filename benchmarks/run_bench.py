@@ -1,0 +1,132 @@
+"""Fixed-size benchmark of the batched backend vs. the sequential engine.
+
+Runs a 50-trial visit-exchange / push-pull sweep at ``n = 1024`` on a random
+regular graph (the graph family of the paper's Theorems 1-3) through both
+trial-execution backends of :func:`repro.experiments.runner.run_trial_set`,
+and writes the wall-clock times and speedups to ``BENCH_batch.json`` at the
+repository root.  The file is checked in so later PRs have a perf baseline to
+regress against::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+Star-graph cells are measured as supplementary data: the batch advantage is
+smaller on heavily skewed degree distributions, and recording that honestly
+keeps the baseline useful.  The means of both backends are stored alongside
+the timings so a statistical regression in either backend is also visible.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import GraphCase, ProtocolSpec  # noqa: E402
+from repro.experiments.runner import run_trial_set  # noqa: E402
+from repro.graphs import random_regular_graph, star  # noqa: E402
+
+TRIALS = 50
+N = 1024
+BASE_SEED = 0
+REPEATS = 5
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def sweep_cases():
+    regular = random_regular_graph(N, 12, np.random.default_rng(0))
+    return [GraphCase(graph=regular, source=0, size_parameter=N)]
+
+
+def extra_cases():
+    return [GraphCase(graph=star(N - 1), source=1, size_parameter=N)]
+
+
+def time_backend(spec, case, backend):
+    """Best-of-``REPEATS`` wall clock (first call doubles as warm-up)."""
+    elapsed = float("inf")
+    trials = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        trials = run_trial_set(
+            spec,
+            case,
+            trials=TRIALS,
+            base_seed=BASE_SEED,
+            experiment_id="bench-batch",
+            backend=backend,
+        )
+        elapsed = min(elapsed, time.perf_counter() - start)
+    return elapsed, trials
+
+
+def measure_cells(cases):
+    cells = []
+    for case in cases:
+        for protocol in ("visit-exchange", "push-pull"):
+            spec = ProtocolSpec(protocol)
+            seq_time, seq_trials = time_backend(spec, case, "sequential")
+            bat_time, bat_trials = time_backend(spec, case, "batched")
+            cell = {
+                "protocol": protocol,
+                "graph": case.graph.name,
+                "n": case.graph.num_vertices,
+                "trials": TRIALS,
+                "sequential_seconds": round(seq_time, 4),
+                "batched_seconds": round(bat_time, 4),
+                "speedup": round(seq_time / bat_time, 2),
+                "sequential_mean_time": seq_trials.mean_broadcast_time(),
+                "batched_mean_time": bat_trials.mean_broadcast_time(),
+                "sequential_completion_rate": seq_trials.completion_rate,
+                "batched_completion_rate": bat_trials.completion_rate,
+            }
+            cells.append(cell)
+            print(
+                f"{protocol:15s} {case.graph.name:28s} "
+                f"seq {seq_time * 1000:8.1f} ms   batch {bat_time * 1000:7.1f} ms   "
+                f"speedup {cell['speedup']:5.2f}x"
+            )
+    return cells
+
+
+def main() -> int:
+    print(f"-- acceptance sweep: {TRIALS} trials, n={N}, visit-exchange + push-pull --")
+    sweep_cells = measure_cells(sweep_cases())
+    print("-- supplementary cells (skewed-degree family) --")
+    extra_cells = measure_cells(extra_cases())
+
+    sweep_seq = sum(c["sequential_seconds"] for c in sweep_cells)
+    sweep_bat = sum(c["batched_seconds"] for c in sweep_cells)
+    overall = round(sweep_seq / sweep_bat, 2)
+    print(f"{'sweep overall':44s} seq {sweep_seq * 1000:8.1f} ms   "
+          f"batch {sweep_bat * 1000:7.1f} ms   speedup {overall:5.2f}x")
+
+    payload = {
+        "benchmark": "bench-batch",
+        "description": (
+            f"{TRIALS}-trial visit-exchange/push-pull sweep at n={N} on a "
+            "random 12-regular graph: sequential Engine backend vs. batched "
+            "multi-trial backend (best of "
+            f"{REPEATS} runs each); star-graph cells recorded as supplementary "
+            "data"
+        ),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "sweep_cells": sweep_cells,
+        "extra_cells": extra_cells,
+        "sweep_sequential_seconds": round(sweep_seq, 4),
+        "sweep_batched_seconds": round(sweep_bat, 4),
+        "overall_speedup": overall,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0 if overall >= 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,7 +83,10 @@ class TestShape:
         config = get_experiment("fig1c-heavy-tree")
 
         def sweep():
-            return run_experiment(config, base_seed=0, sizes=(63, 127, 255), trials=2)
+            # Visit-exchange on the heavy tree is heavy-tailed (the rumor must
+            # climb out of a leaf), so the per-size means get 16 (batched,
+            # cheap) trials to keep the fitted separation exponent stable.
+            return run_experiment(config, base_seed=0, sizes=(63, 127, 255), trials=16)
 
         result = benchmark.pedantic(sweep, rounds=1, iterations=1)
         sizes, visitx = result.series("visit-exchange")

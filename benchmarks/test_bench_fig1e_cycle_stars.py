@@ -55,10 +55,10 @@ class TestShape:
                 rows[k] = {
                     "n": graph.num_vertices,
                     "visitx": mean_broadcast_time(
-                        "visit-exchange", graph, source=source, trials=3
+                        "visit-exchange", graph, source=source, trials=10
                     ),
                     "meetx": mean_broadcast_time(
-                        "meet-exchange", graph, source=source, trials=3
+                        "meet-exchange", graph, source=source, trials=10
                     ),
                 }
             return rows

@@ -1,0 +1,10 @@
+"""Compatibility shim for legacy editable installs.
+
+All project metadata lives in ``pyproject.toml``.  This file only enables
+``pip install -e . --no-use-pep517`` on environments without the ``wheel``
+package (modern environments can simply run ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

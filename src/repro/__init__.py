@@ -24,6 +24,8 @@ from typing import Optional
 from . import analysis, core, graphs, theory
 from .core import (
     AgentSystem,
+    BatchResult,
+    run_batch,
     CoupledPushVisitExchange,
     Engine,
     HybridPushPullVisitProtocol,
@@ -45,6 +47,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "simulate",
+    "simulate_batch",
+    "run_batch",
+    "BatchResult",
     "Graph",
     "Engine",
     "RunResult",
@@ -102,3 +107,34 @@ def simulate(
     instance = make_protocol(protocol, **protocol_kwargs)
     engine = Engine(max_rounds=max_rounds)
     return engine.run(instance, graph, source, seed=seed, observers=observers)
+
+
+def simulate_batch(
+    protocol: str,
+    graph: Graph,
+    source: int = 0,
+    *,
+    trials: int,
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+    **protocol_kwargs,
+) -> BatchResult:
+    """Run ``trials`` independent trials of one protocol simultaneously.
+
+    This is the batched counterpart of :func:`simulate`: all trials advance
+    together on 2-D numpy state (see :mod:`repro.core.batch`), which is an
+    order of magnitude faster than looping :func:`simulate` when estimating
+    broadcast-time statistics.  Trial ``t`` draws from its own stream derived
+    from ``(seed, "simulate-batch", t)``, so per-trial results are
+    reproducible and independent of the batch size.
+
+    Only the four paper protocols are batched (``push``, ``push-pull``,
+    ``visit-exchange``, ``meet-exchange``) and observer instrumentation is not
+    available here; use :func:`simulate` for those cases.
+    """
+    from .core.batch import trial_seeds
+
+    seeds = trial_seeds(seed, "simulate-batch", trials=trials)
+    return run_batch(
+        protocol, graph, source, seeds=seeds, max_rounds=max_rounds, **protocol_kwargs
+    )

@@ -1,6 +1,13 @@
 """Core simulation machinery: engine, agents, protocols and the coupling."""
 
 from .agents import AgentSystem, default_agent_count
+from .batch import (
+    BATCHED_PROTOCOLS,
+    BatchResult,
+    run_batch,
+    supports_batched,
+    trial_seeds,
+)
 from .coupling import CoupledPushVisitExchange, CoupledRunResult, NeighborChoices
 from .engine import Engine, RoundProtocol, default_max_rounds
 from .observers import (
@@ -26,6 +33,11 @@ from .protocols import (
 __all__ = [
     "AgentSystem",
     "default_agent_count",
+    "BATCHED_PROTOCOLS",
+    "BatchResult",
+    "run_batch",
+    "supports_batched",
+    "trial_seeds",
     "CoupledPushVisitExchange",
     "CoupledRunResult",
     "NeighborChoices",

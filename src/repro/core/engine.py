@@ -125,18 +125,23 @@ class Engine:
         if budget < 0:
             raise ValueError("max_rounds must be non-negative")
 
-        group.on_run_start(graph, source)
+        if group:
+            group.on_run_start(graph, source)
         protocol.observers = group
         protocol.initialize(graph, source, rng)
 
+        # Informed counts are computed once per round and shared between the
+        # history and the observer hooks; an empty observer group short-circuits
+        # the dispatch entirely (the group is falsy when it has no observers).
         vertex_history = []
         agent_history = []
+        vertex_count = protocol.informed_vertex_count()
+        agent_count = protocol.informed_agent_count()
         if self.record_history:
-            vertex_history.append(protocol.informed_vertex_count())
-            agent_history.append(protocol.informed_agent_count())
-        group.on_round_end(
-            0, protocol.informed_vertex_count(), protocol.informed_agent_count()
-        )
+            vertex_history.append(vertex_count)
+            agent_history.append(agent_count)
+        if group:
+            group.on_round_end(0, vertex_count, agent_count)
 
         broadcast_time: Optional[int] = 0 if protocol.is_complete() else None
         rounds_executed = 0
@@ -144,20 +149,21 @@ class Engine:
             for round_index in range(1, budget + 1):
                 protocol.execute_round(round_index, rng)
                 rounds_executed = round_index
-                if self.record_history:
-                    vertex_history.append(protocol.informed_vertex_count())
-                    agent_history.append(protocol.informed_agent_count())
-                group.on_round_end(
-                    round_index,
-                    protocol.informed_vertex_count(),
-                    protocol.informed_agent_count(),
-                )
+                if self.record_history or group:
+                    vertex_count = protocol.informed_vertex_count()
+                    agent_count = protocol.informed_agent_count()
+                    if self.record_history:
+                        vertex_history.append(vertex_count)
+                        agent_history.append(agent_count)
+                    if group:
+                        group.on_round_end(round_index, vertex_count, agent_count)
                 if protocol.is_complete():
                     broadcast_time = round_index
                     break
 
         completed = broadcast_time is not None
-        group.on_run_end(broadcast_time)
+        if group:
+            group.on_run_end(broadcast_time)
 
         return RunResult(
             protocol=protocol.name,

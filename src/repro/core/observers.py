@@ -39,12 +39,27 @@ class Observer:
     def on_edge_used(self, u: int, v: int) -> None:
         """Called when a protocol sends information across edge ``{u, v}``."""
 
+    def on_edges_used(self, us, vs) -> None:
+        """Batch form of :meth:`on_edge_used` for vectorized protocols.
+
+        ``us`` and ``vs`` are equal-length sequences of endpoints.  The default
+        implementation fans out to :meth:`on_edge_used`; observers that can
+        consume whole arrays may override it.
+        """
+        for u, v in zip(us, vs):
+            self.on_edge_used(int(u), int(v))
+
     def on_run_end(self, broadcast_time: Optional[int]) -> None:
         """Called once when the run terminates (successfully or not)."""
 
 
 class ObserverGroup(Observer):
-    """Fan-out composite that forwards every hook to a list of observers."""
+    """Fan-out composite that forwards every hook to a list of observers.
+
+    An empty group is falsy, which gives protocols and the engine a no-op
+    fast path: hot loops test ``if self.observers:`` before doing any
+    per-edge bookkeeping, so uninstrumented runs pay nothing for the hooks.
+    """
 
     def __init__(self, observers: Sequence[Observer] = ()) -> None:
         self._observers: List[Observer] = list(observers)
@@ -72,6 +87,12 @@ class ObserverGroup(Observer):
     def on_edge_used(self, u: int, v: int) -> None:
         for observer in self._observers:
             observer.on_edge_used(u, v)
+
+    def on_edges_used(self, us, vs) -> None:
+        if not self._observers:
+            return
+        for observer in self._observers:
+            observer.on_edges_used(us, vs)
 
     def on_run_end(self, broadcast_time: Optional[int]) -> None:
         for observer in self._observers:

@@ -55,11 +55,18 @@ class PushProtocol(RoundProtocol):
         targets = graph.sample_neighbors(senders, rng)
         self._messages += int(senders.size)
 
-        for sender, target in zip(senders.tolist(), targets.tolist()):
-            if not informed[target]:
-                informed[target] = True
-                self._informed_count += 1
-                self.observers.on_edge_used(int(sender), int(target))
+        hits = ~informed[targets]
+        if not np.any(hits):
+            return
+        newly = np.unique(targets[hits])
+        informed[newly] = True
+        self._informed_count += int(newly.size)
+        if self.observers:
+            # Report each newly informed vertex with the first sender that hit
+            # it (matching the former sequential scan over senders).
+            hit_targets = targets[hits]
+            _, first = np.unique(hit_targets, return_index=True)
+            self.observers.on_edges_used(senders[hits][first], hit_targets[first])
 
     def is_complete(self) -> bool:
         assert self._graph is not None

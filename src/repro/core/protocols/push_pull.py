@@ -61,9 +61,8 @@ class PushPullProtocol(RoundProtocol):
         callees = graph.sample_neighbors(callers, rng)
         self._messages += int(callers.size)
 
-        if self.track_all_exchanges:
-            for caller, callee in zip(callers.tolist(), callees.tolist()):
-                self.observers.on_edge_used(int(caller), int(callee))
+        if self.track_all_exchanges and self.observers:
+            self.observers.on_edges_used(callers, callees)
 
         caller_informed = informed_before[callers]
         callee_informed = informed_before[callees]
@@ -79,15 +78,9 @@ class PushPullProtocol(RoundProtocol):
         newly_informed &= ~informed_before
 
         if np.any(newly_informed):
-            if not self.track_all_exchanges:
-                for caller, callee in zip(
-                    callers[push_mask].tolist(), callees[push_mask].tolist()
-                ):
-                    self.observers.on_edge_used(int(caller), int(callee))
-                for caller, callee in zip(
-                    callers[pull_mask].tolist(), callees[pull_mask].tolist()
-                ):
-                    self.observers.on_edge_used(int(caller), int(callee))
+            if not self.track_all_exchanges and self.observers:
+                self.observers.on_edges_used(callers[push_mask], callees[push_mask])
+                self.observers.on_edges_used(callers[pull_mask], callees[pull_mask])
             informed_before |= newly_informed
             self._informed_count = int(np.count_nonzero(informed_before))
 

@@ -106,10 +106,11 @@ class VisitExchangeProtocol(RoundProtocol):
         informed_before_step = agents.informed.copy()
         previous_positions = agents.step(rng)
 
-        if self.track_edge_traversals:
-            for old, new in zip(previous_positions.tolist(), agents.positions.tolist()):
-                if old != new:
-                    self.observers.on_edge_used(int(old), int(new))
+        if self.track_edge_traversals and self.observers:
+            moved = previous_positions != agents.positions
+            self.observers.on_edges_used(
+                previous_positions[moved], agents.positions[moved]
+            )
 
         # Agents informed in a previous round inform the vertices they visit now.
         informing_positions = agents.positions[informed_before_step]
@@ -120,17 +121,16 @@ class VisitExchangeProtocol(RoundProtocol):
             if newly_vertices.size:
                 vertex_informed[newly_vertices] = True
                 self._informed_vertex_count += int(newly_vertices.size)
-                if not self.track_edge_traversals:
+                if not self.track_edge_traversals and self.observers:
                     # Report the edges that delivered the rumor to new vertices.
-                    carriers = informed_before_step & np.isin(
-                        agents.positions, newly_vertices
+                    carriers = (
+                        informed_before_step
+                        & np.isin(agents.positions, newly_vertices)
+                        & (previous_positions != agents.positions)
                     )
-                    for old, new in zip(
-                        previous_positions[carriers].tolist(),
-                        agents.positions[carriers].tolist(),
-                    ):
-                        if old != new:
-                            self.observers.on_edge_used(int(old), int(new))
+                    self.observers.on_edges_used(
+                        previous_positions[carriers], agents.positions[carriers]
+                    )
 
         # Uninformed agents standing on (now) informed vertices become informed.
         uninformed_on_informed = ~agents.informed & vertex_informed[agents.positions]

@@ -5,6 +5,21 @@ its size sweep, runs every protocol the configured number of trials at every
 size, and packages everything into an :class:`ExperimentResult` with
 per-(size, protocol) summaries and per-protocol series that the reporting and
 shape-checking code consumes.
+
+Trial execution dispatches between two backends (``backend`` parameter of
+:func:`run_trial_set`):
+
+* ``"batched"`` — :func:`repro.core.batch.run_batch` advances all trials of a
+  cell simultaneously on 2-D numpy state.  This is roughly an order of
+  magnitude faster and is chosen automatically for the four paper protocols.
+* ``"sequential"`` — one :class:`~repro.core.engine.Engine` run per trial.
+  This is the reference path, and the only one that supports per-round
+  histories and observer-instrumented protocol options.
+
+``"auto"`` (the default) picks the batched backend whenever the configuration
+supports it.  Both backends derive trial ``t``'s seed the same way, but they
+consume the random stream differently, so their results agree statistically
+rather than sample-for-sample.
 """
 
 from __future__ import annotations
@@ -14,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.scaling import best_growth_model, power_law_exponent
 from ..analysis.statistics import Summary, summarize_trials
+from ..core.batch import run_batch, supports_batched, trial_seeds
 from ..core.engine import Engine
 from ..core.protocols import make_protocol
 from ..core.results import RunResult, TrialSet
@@ -132,16 +148,52 @@ def run_trial_set(
     experiment_id: str = "adhoc",
     max_rounds: Optional[int] = None,
     record_history: bool = False,
+    backend: str = "auto",
 ) -> TrialSet:
-    """Run ``trials`` independent runs of one protocol on one graph case."""
+    """Run ``trials`` independent runs of one protocol on one graph case.
+
+    ``backend`` selects the execution strategy: ``"auto"`` (default) uses the
+    batched multi-trial backend whenever the protocol supports it and no
+    per-round history is requested, ``"batched"`` forces it (raising for
+    unsupported configurations), and ``"sequential"`` forces one engine run
+    per trial.
+    """
     if trials < 1:
         raise ValueError("trials must be at least 1")
+    if backend not in ("auto", "batched", "sequential"):
+        raise ValueError(f"unknown backend {backend!r}")
+
+    seed_components = (
+        experiment_id,
+        protocol_spec.display_label,
+        case.size_parameter,
+    )
+    use_batched = backend == "batched" or (
+        backend == "auto"
+        and not record_history
+        and supports_batched(protocol_spec.name, protocol_spec.kwargs)
+    )
+    if use_batched:
+        if record_history:
+            raise ValueError(
+                "per-round histories require the sequential backend; "
+                'use backend="auto" or backend="sequential" with record_history=True'
+            )
+        seeds = trial_seeds(base_seed, *seed_components, trials=trials)
+        batch = run_batch(
+            protocol_spec.name,
+            case.graph,
+            case.source,
+            seeds=seeds,
+            max_rounds=max_rounds,
+            **protocol_spec.kwargs,
+        )
+        return batch.to_trial_set()
+
     engine = Engine(max_rounds=max_rounds, record_history=record_history)
     results: List[RunResult] = []
     for trial_index in range(trials):
-        seed = derive_seed(
-            base_seed, experiment_id, protocol_spec.display_label, case.size_parameter, trial_index
-        )
+        seed = derive_seed(base_seed, *seed_components, trial_index)
         protocol = make_protocol(protocol_spec.name, **protocol_spec.kwargs)
         results.append(engine.run(protocol, case.graph, case.source, seed=seed))
     trial_set = TrialSet(
@@ -160,11 +212,13 @@ def run_experiment(
     base_seed: int = 0,
     sizes: Optional[Sequence[int]] = None,
     trials: Optional[int] = None,
+    backend: str = "auto",
 ) -> ExperimentResult:
     """Run a full experiment sweep.
 
     ``sizes`` and ``trials`` override the configuration (used by tests and
-    benchmarks to run scaled-down versions of the registered experiments).
+    benchmarks to run scaled-down versions of the registered experiments);
+    ``backend`` is forwarded to :func:`run_trial_set` for every cell.
     """
     sweep = tuple(sizes) if sizes is not None else config.sizes
     num_trials = int(trials) if trials is not None else config.trials
@@ -182,6 +236,7 @@ def run_experiment(
                 base_seed=base_seed,
                 experiment_id=config.experiment_id,
                 max_rounds=budget,
+                backend=backend,
             )
             result.cells.append(
                 CellResult(

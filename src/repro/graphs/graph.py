@@ -12,7 +12,7 @@ but does not depend on it for the hot simulation path.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class Graph:
         Each undirected edge should appear once; duplicates are rejected.
     """
 
-    __slots__ = ("_n", "_m", "_indptr", "_indices", "_degrees", "_name")
+    __slots__ = ("_n", "_m", "_indptr", "_indices", "_degrees", "_name", "_stationary")
 
     def __init__(
         self,
@@ -53,37 +53,44 @@ class Graph:
         n = int(num_vertices)
 
         edge_list = [(int(u), int(v)) for u, v in edges]
-        for u, v in edge_list:
-            if not (0 <= u < n and 0 <= v < n):
-                raise GraphError(f"edge ({u}, {v}) out of range for n={n}")
-            if u == v:
-                raise GraphError(f"self loop ({u}, {v}) is not allowed")
+        if edge_list:
+            pairs = np.asarray(edge_list, dtype=np.int64)
+            u_arr, v_arr = pairs[:, 0], pairs[:, 1]
+        else:
+            u_arr = v_arr = np.empty(0, dtype=np.int64)
 
-        canonical = {(min(u, v), max(u, v)) for (u, v) in edge_list}
-        if len(canonical) != len(edge_list):
+        out_of_range = (u_arr < 0) | (u_arr >= n) | (v_arr < 0) | (v_arr >= n)
+        if np.any(out_of_range):
+            i = int(np.argmax(out_of_range))
+            raise GraphError(f"edge ({u_arr[i]}, {v_arr[i]}) out of range for n={n}")
+        loops = u_arr == v_arr
+        if np.any(loops):
+            i = int(np.argmax(loops))
+            raise GraphError(f"self loop ({u_arr[i]}, {v_arr[i]}) is not allowed")
+
+        lo = np.minimum(u_arr, v_arr)
+        hi = np.maximum(u_arr, v_arr)
+        key = lo * n + hi
+        if key.size and np.any(np.diff(np.sort(key)) == 0):
             raise GraphError("duplicate edges are not allowed")
 
-        degrees = np.zeros(n, dtype=np.int64)
-        for u, v in canonical:
-            degrees[u] += 1
-            degrees[v] += 1
+        # Both directions of every undirected edge, CSR-sorted so that each
+        # row of ``indices`` is ascending (``has_edge`` binary-searches it).
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
 
+        degrees = np.bincount(src, minlength=n).astype(np.int64, copy=False)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for u, v in sorted(canonical):
-            indices[cursor[u]] = v
-            cursor[u] += 1
-            indices[cursor[v]] = u
-            cursor[v] += 1
 
         self._n = n
-        self._m = len(canonical)
+        self._m = int(lo.size)
         self._indptr = indptr
-        self._indices = indices
+        self._indices = dst[order]
         self._degrees = degrees
         self._name = str(name)
+        self._stationary: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -144,10 +151,17 @@ class Graph:
         return view
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Return ``True`` if ``{u, v}`` is an edge of the graph."""
+        """Return ``True`` if ``{u, v}`` is an edge of the graph.
+
+        Each CSR row is sorted ascending, so membership is a binary search
+        rather than a linear scan.
+        """
         if u == v:
             return False
-        return int(v) in self.neighbors(int(u))
+        u, v = int(u), int(v)
+        start, stop = self._indptr[u], self._indptr[u + 1]
+        pos = start + np.searchsorted(self._indices[start:stop], v)
+        return pos < stop and int(self._indices[pos]) == v
 
     def vertices(self) -> range:
         """Return an iterable over all vertex ids."""
@@ -190,9 +204,14 @@ class Graph:
         """Return the stationary distribution of a simple random walk.
 
         For an undirected graph this is ``deg(v) / (2 |E|)`` (Section 3 of the
-        paper uses exactly this distribution to place agents initially).
+        paper uses exactly this distribution to place agents initially).  The
+        array is computed once and cached: agent placement re-requests it for
+        every trial of a sweep.
         """
-        return self._degrees / float(2 * self._m)
+        if self._stationary is None:
+            self._stationary = self._degrees / float(2 * self._m)
+            self._stationary.flags.writeable = False
+        return self._stationary
 
     # ------------------------------------------------------------------
     # structural predicates
@@ -207,63 +226,94 @@ class Graph:
             raise GraphError("graph is not regular")
         return int(self._degrees[0])
 
+    def _frontier_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor lists of ``frontier``, in frontier order.
+
+        This is the kernel of the frontier-array BFS: one gather per level
+        instead of a Python loop over vertices and neighbors.
+        """
+        counts = self._degrees[frontier]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self._indptr[frontier]
+        # positions[i] = starts[group(i)] + offset-within-group(i)
+        boundaries = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        return self._indices[boundaries + np.arange(total)]
+
     def is_connected(self) -> bool:
         """Return ``True`` if the graph is connected (BFS from vertex 0)."""
-        return len(self.bfs_order(0)) == self._n
+        seen = np.zeros(self._n, dtype=bool)
+        seen[0] = True
+        reached = 1
+        frontier = np.array([0], dtype=np.int64)
+        while frontier.size:
+            neighbors = self._frontier_neighbors(frontier)
+            fresh = neighbors[~seen[neighbors]]
+            if not fresh.size:
+                break
+            frontier = np.unique(fresh)
+            seen[frontier] = True
+            reached += int(frontier.size)
+        return reached == self._n
 
     def is_bipartite(self) -> bool:
-        """Return ``True`` if the graph is bipartite (two-coloring via BFS)."""
+        """Return ``True`` if the graph is bipartite.
+
+        Colors every component by BFS-level parity, then verifies in one
+        vectorized pass that no edge connects two vertices of equal color.
+        """
         color = np.full(self._n, -1, dtype=np.int8)
         for start in range(self._n):
             if color[start] != -1:
                 continue
             color[start] = 0
-            queue = [start]
-            while queue:
-                u = queue.pop()
-                for v in self.neighbors(u):
-                    v = int(v)
-                    if color[v] == -1:
-                        color[v] = 1 - color[u]
-                        queue.append(v)
-                    elif color[v] == color[u]:
-                        return False
-        return True
+            frontier = np.array([start], dtype=np.int64)
+            parity = 0
+            while frontier.size:
+                parity ^= 1
+                neighbors = self._frontier_neighbors(frontier)
+                fresh = neighbors[color[neighbors] == -1]
+                if not fresh.size:
+                    break
+                frontier = np.unique(fresh)
+                color[frontier] = parity
+        src = np.repeat(np.arange(self._n, dtype=np.int64), self._degrees)
+        return not bool(np.any(color[src] == color[self._indices]))
 
     def bfs_order(self, source: int) -> List[int]:
         """Return vertices reachable from ``source`` in BFS order."""
         seen = np.zeros(self._n, dtype=bool)
         seen[source] = True
         order = [int(source)]
-        frontier = [int(source)]
-        while frontier:
-            next_frontier: List[int] = []
-            for u in frontier:
-                for v in self.neighbors(u):
-                    v = int(v)
-                    if not seen[v]:
-                        seen[v] = True
-                        order.append(v)
-                        next_frontier.append(v)
-            frontier = next_frontier
+        frontier = np.array([int(source)], dtype=np.int64)
+        while frontier.size:
+            neighbors = self._frontier_neighbors(frontier)
+            fresh = neighbors[~seen[neighbors]]
+            if not fresh.size:
+                break
+            # Deduplicate keeping the first occurrence so the order matches a
+            # per-vertex scan of the (sorted) adjacency rows.
+            _, first = np.unique(fresh, return_index=True)
+            frontier = fresh[np.sort(first)]
+            seen[frontier] = True
+            order.extend(frontier.tolist())
         return order
 
     def distances_from(self, source: int) -> np.ndarray:
         """Return BFS distances from ``source`` (-1 for unreachable vertices)."""
         dist = np.full(self._n, -1, dtype=np.int64)
         dist[source] = 0
-        frontier = [int(source)]
+        frontier = np.array([int(source)], dtype=np.int64)
         level = 0
-        while frontier:
+        while frontier.size:
             level += 1
-            next_frontier: List[int] = []
-            for u in frontier:
-                for v in self.neighbors(u):
-                    v = int(v)
-                    if dist[v] == -1:
-                        dist[v] = level
-                        next_frontier.append(v)
-            frontier = next_frontier
+            neighbors = self._frontier_neighbors(frontier)
+            fresh = neighbors[dist[neighbors] == -1]
+            if not fresh.size:
+                break
+            frontier = np.unique(fresh)
+            dist[frontier] = level
         return dist
 
     def diameter(self) -> int:
@@ -323,4 +373,5 @@ class Graph:
         clone._indices = self._indices
         clone._degrees = self._degrees
         clone._name = str(name)
+        clone._stationary = self._stationary
         return clone

@@ -1,0 +1,239 @@
+"""Tests for the batched multi-trial backend (repro.core.batch).
+
+Three contracts matter:
+
+* **Statistical equivalence** — the batched kernels simulate the same
+  processes as the sequential protocols, so their mean broadcast times must
+  agree (overlapping confidence intervals) on every graph family.
+* **Per-trial seed determinism** — trial ``t`` draws only from ``seeds[t]``,
+  so its result is reproducible and independent of the surrounding batch.
+* **Completion masking** — finished trials keep their recorded times while the
+  rest of the batch runs on, and budget-exhausted trials surface exactly like
+  the sequential engine's incomplete runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import simulate_batch
+from repro.analysis.statistics import summarize_trials
+from repro.core.batch import (
+    BATCHED_PROTOCOLS,
+    run_batch,
+    supports_batched,
+    trial_seeds,
+)
+from repro.core.rng import derive_seed
+from repro.experiments.config import GraphCase, ProtocolSpec
+from repro.experiments.runner import run_trial_set
+from repro.graphs import complete_graph, random_regular_graph, star
+from repro.graphs.graph import Graph, GraphError
+
+
+@pytest.fixture(scope="module")
+def star_case():
+    return GraphCase(graph=star(100), source=1, size_parameter=100)
+
+
+@pytest.fixture(scope="module")
+def regular_case():
+    graph = random_regular_graph(64, 6, np.random.default_rng(5))
+    return GraphCase(graph=graph, source=0, size_parameter=64)
+
+
+class TestStatisticalEquivalence:
+    """Batched and sequential backends agree on mean broadcast time."""
+
+    @pytest.mark.parametrize("protocol", sorted(BATCHED_PROTOCOLS))
+    @pytest.mark.parametrize("case_name", ["star_case", "regular_case"])
+    def test_confidence_intervals_overlap(self, protocol, case_name, request):
+        case = request.getfixturevalue(case_name)
+        spec = ProtocolSpec(protocol)
+        kwargs = dict(trials=60, base_seed=42, experiment_id="equivalence")
+        sequential = summarize_trials(
+            run_trial_set(spec, case, backend="sequential", **kwargs)
+        )
+        batched = summarize_trials(
+            run_trial_set(spec, case, backend="batched", **kwargs)
+        )
+        assert sequential is not None and batched is not None
+        overlap = (
+            sequential.ci_low <= batched.ci_high
+            and batched.ci_low <= sequential.ci_high
+        )
+        assert overlap, (
+            f"{protocol} on {case.graph.name}: sequential CI "
+            f"[{sequential.ci_low:.2f}, {sequential.ci_high:.2f}] does not overlap "
+            f"batched CI [{batched.ci_low:.2f}, {batched.ci_high:.2f}]"
+        )
+
+    def test_all_trials_complete_on_both_backends(self, regular_case):
+        for backend in ("sequential", "batched"):
+            trials = run_trial_set(
+                ProtocolSpec("push"),
+                regular_case,
+                trials=10,
+                base_seed=0,
+                backend=backend,
+            )
+            assert trials.completion_rate == 1.0
+
+
+class TestPerTrialSeedDeterminism:
+    def test_rerun_reproduces_per_trial_times(self, regular_case):
+        seeds = trial_seeds(3, "determinism", trials=12)
+        first = run_batch("visit-exchange", regular_case.graph, 0, seeds=seeds)
+        second = run_batch("visit-exchange", regular_case.graph, 0, seeds=seeds)
+        assert first.broadcast_times.tolist() == second.broadcast_times.tolist()
+
+    @pytest.mark.parametrize("protocol", sorted(BATCHED_PROTOCOLS))
+    def test_trial_result_independent_of_batch_composition(self, protocol, regular_case):
+        seeds = trial_seeds(7, "independence", trials=10)
+        full = run_batch(protocol, regular_case.graph, 0, seeds=seeds)
+        front = run_batch(protocol, regular_case.graph, 0, seeds=seeds[:4])
+        back = run_batch(protocol, regular_case.graph, 0, seeds=seeds[4:])
+        combined = front.broadcast_times.tolist() + back.broadcast_times.tolist()
+        assert full.broadcast_times.tolist() == combined
+
+    def test_distinct_seeds_vary(self, star_case):
+        result = run_batch(
+            "push", star_case.graph, star_case.source, seeds=range(12)
+        )
+        assert len(set(result.broadcast_times.tolist())) > 1
+
+    def test_trial_seeds_match_sequential_runner_derivation(self):
+        seeds = trial_seeds(9, "exp", "label", 64, trials=3)
+        assert seeds == [derive_seed(9, "exp", "label", 64, t) for t in range(3)]
+
+
+class TestCompletionMasking:
+    def test_budget_exhaustion(self, star_case):
+        # Push from a star leaf cannot finish in one round.
+        result = run_batch(
+            "push", star_case.graph, star_case.source, seeds=[1, 2, 3], max_rounds=1
+        )
+        assert not result.completed.any()
+        assert result.broadcast_times.tolist() == [-1, -1, -1]
+        assert result.rounds_executed.tolist() == [1, 1, 1]
+        for run in result.to_run_results():
+            assert run.broadcast_time is None and not run.completed
+
+    def test_trial_complete_at_round_zero(self):
+        single = Graph(1, [], name="single")
+        result = run_batch("push", single, 0, seeds=[1, 2])
+        assert result.completed.all()
+        assert result.broadcast_times.tolist() == [0, 0]
+        assert result.rounds_executed.tolist() == [0, 0]
+
+    def test_mixed_completion_keeps_per_trial_times(self):
+        """Trials finishing under a tight budget record the same times as
+        without one; the rest are marked incomplete at the budget."""
+        graph = complete_graph(16)
+        seeds = list(range(20))
+        free = run_batch("push", graph, 0, seeds=seeds)
+        assert free.completed.all()
+        cutoff = int(np.median(free.broadcast_times))
+        capped = run_batch("push", graph, 0, seeds=seeds, max_rounds=cutoff)
+        fast = free.broadcast_times <= cutoff
+        assert capped.completed.tolist() == fast.tolist()
+        assert 0 < fast.sum() < len(seeds)  # the cutoff really splits the batch
+        assert (
+            capped.broadcast_times[fast].tolist()
+            == free.broadcast_times[fast].tolist()
+        )
+        assert (capped.broadcast_times[~fast] == -1).all()
+        assert (capped.rounds_executed[~fast] == cutoff).all()
+
+    def test_completed_trials_stop_advancing(self, regular_case):
+        result = run_batch("push-pull", regular_case.graph, 0, seeds=range(8))
+        done = result.completed
+        assert (
+            result.rounds_executed[done].tolist()
+            == result.broadcast_times[done].tolist()
+        )
+
+
+class TestValidationAndDispatch:
+    def test_unsupported_protocol_rejected(self, star_case):
+        with pytest.raises(ValueError, match="no batched kernel"):
+            run_batch("pull", star_case.graph, 0, seeds=[1])
+
+    def test_observer_kwargs_rejected(self, star_case):
+        assert not supports_batched("push-pull", {"track_all_exchanges": True})
+        assert not supports_batched("visit-exchange", {"track_edge_traversals": True})
+        with pytest.raises(ValueError, match="no batched kernel"):
+            run_batch(
+                "push-pull", star_case.graph, 0, seeds=[1], track_all_exchanges=True
+            )
+
+    def test_supported_configurations(self):
+        assert supports_batched("push")
+        assert supports_batched("meet-exchange", {"lazy": True, "agent_density": 2.0})
+        assert not supports_batched("hybrid-ppull-visitx")
+
+    def test_empty_seed_list_rejected(self, star_case):
+        with pytest.raises(ValueError):
+            run_batch("push", star_case.graph, 0, seeds=[])
+
+    def test_source_and_connectivity_validated(self):
+        disconnected = Graph(4, [(0, 1), (2, 3)], name="two-edges")
+        with pytest.raises(GraphError):
+            run_batch("push", disconnected, 0, seeds=[1])
+        with pytest.raises(GraphError):
+            run_batch("push", star(10), 99, seeds=[1])
+
+    def test_runner_backend_validation(self, star_case):
+        with pytest.raises(ValueError):
+            run_trial_set(
+                ProtocolSpec("push"), star_case, trials=1, base_seed=0, backend="bogus"
+            )
+        with pytest.raises(ValueError, match="no batched kernel"):
+            run_trial_set(
+                ProtocolSpec("pull"), star_case, trials=1, base_seed=0, backend="batched"
+            )
+
+    def test_runner_batched_rejects_record_history(self, star_case):
+        with pytest.raises(ValueError, match="sequential backend"):
+            run_trial_set(
+                ProtocolSpec("push"),
+                star_case,
+                trials=1,
+                base_seed=0,
+                backend="batched",
+                record_history=True,
+            )
+
+    def test_runner_auto_falls_back_for_unsupported(self, star_case):
+        # "pull" has no batched kernel; auto dispatch must still produce results.
+        trials = run_trial_set(
+            ProtocolSpec("pull"), star_case, trials=2, base_seed=0, backend="auto"
+        )
+        assert len(trials) == 2
+
+
+class TestResultPackaging:
+    def test_trial_set_round_trip(self, regular_case):
+        result = run_batch("push", regular_case.graph, 0, seeds=range(5))
+        trial_set = result.to_trial_set()
+        assert len(trial_set) == 5
+        assert trial_set.protocol == "push"
+        assert trial_set.num_vertices == 64
+        assert all(r.messages_sent > 0 for r in trial_set.results)
+
+    def test_agent_protocol_metadata_and_counts(self, star_case):
+        result = run_batch(
+            "meet-exchange", star_case.graph, star_case.source, seeds=range(4)
+        )
+        assert result.num_agents == star_case.graph.num_vertices
+        for meta in result.metadata:
+            # The star is bipartite: lazy walks must auto-enable.
+            assert meta["lazy"] is True
+            assert "source_still_informs" in meta
+
+    def test_simulate_batch_convenience(self, regular_case):
+        result = simulate_batch("push-pull", regular_case.graph, trials=6, seed=2)
+        assert result.num_trials == 6
+        assert result.completed.all()
+        assert result.mean_broadcast_time() > 0

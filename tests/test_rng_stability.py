@@ -10,10 +10,17 @@ subprocess boundary.
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 
+import repro
 from repro.core.rng import derive_seed
+
+# Directory that makes ``import repro`` work in a child interpreter with a
+# scrubbed environment, regardless of whether the package was put on
+# PYTHONPATH (src/ layout) or installed (editable or regular site-packages).
+_PACKAGE_PARENT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 
 # Known-good values for the current SHA-256-based derivation.  If the scheme
 # changes these must be updated deliberately (and EXPERIMENTS.md regenerated).
@@ -35,7 +42,11 @@ class TestCrossProcessStability:
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": _PACKAGE_PARENT,
+                },
                 check=True,
             ).stdout.strip()
             assert int(output) == KNOWN_SEEDS[(0, ("fig1a-star", "graph", 128))]
