@@ -14,8 +14,8 @@ def mean_broadcast_time(protocol, graph, source, trials=3, **kwargs):
     """Mean broadcast time over a few completed runs (asserts completion).
 
     Uses the batched multi-trial backend (one vectorized run for all trials)
-    when the protocol supports it, falling back to per-trial sequential runs
-    for the extra protocols (pull, hybrid) and observer-instrumented options.
+    for every protocol — all six have kernels — falling back to per-trial
+    sequential runs only when explicit engine observers are supplied.
     Trial ``t`` is seeded with ``t`` in both paths.
     """
     max_rounds = kwargs.pop("max_rounds", None)

@@ -59,9 +59,9 @@ class TestShape:
         times = {}
 
         def measure():
-            times["push"] = mean_broadcast_time("push", graph, source=source, trials=8)
+            times["push"] = mean_broadcast_time("push", graph, source=source, trials=30)
             times["visit-exchange"] = mean_broadcast_time(
-                "visit-exchange", graph, source=source, trials=8
+                "visit-exchange", graph, source=source, trials=30
             )
             times["meet-exchange"] = mean_broadcast_time(
                 "meet-exchange", graph, source=source, trials=30, max_rounds=500000
@@ -76,7 +76,7 @@ class TestShape:
         # factors; the linear *growth* is checked by the sweep test below and
         # by the registered experiment.
         assert times["push"] < 8 * math.log2(graph.num_vertices)
-        assert times["visit-exchange"] > 3 * times["push"]
+        assert times["visit-exchange"] > 4 * times["push"]
         assert times["meet-exchange"] > 2 * times["push"]
 
     def test_registered_experiment_runs_at_reduced_scale(self, benchmark):

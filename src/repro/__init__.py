@@ -128,9 +128,9 @@ def simulate_batch(
     from ``(seed, "simulate-batch", t)``, so per-trial results are
     reproducible and independent of the batch size.
 
-    Only the four paper protocols are batched (``push``, ``push-pull``,
-    ``visit-exchange``, ``meet-exchange``) and observer instrumentation is not
-    available here; use :func:`simulate` for those cases.
+    Every registry protocol has a batched kernel; per-round histories and
+    per-trial observers are available through
+    :func:`repro.core.batch.run_batch` directly.
     """
     from .core.batch import trial_seeds
 

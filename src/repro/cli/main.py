@@ -89,6 +89,30 @@ GRAPH_FAMILIES = [
 ]
 
 
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    """Trial-execution options shared by the experiment-running sub-commands."""
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "batched", "sequential"],
+        default="auto",
+        help=(
+            "trial-execution backend: 'batched' advances all trials of a cell "
+            "at once on the vectorized kernels, 'sequential' runs one engine "
+            "pass per trial, 'auto' (default) picks batched whenever possible; "
+            "the choice is recorded in the result metadata"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "run (size, protocol) cells on a process pool of N workers "
+            "(-1 = one per CPU); the default runs cells serially"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the CLI."""
     parser = argparse.ArgumentParser(
@@ -112,11 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--markdown", action="store_true", help="emit the Markdown report section"
     )
+    _add_execution_options(run_parser)
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
     run_all_parser.add_argument("--seed", type=int, default=0)
     run_all_parser.add_argument("--trials", type=int, default=None)
     run_all_parser.add_argument("--scale", type=float, default=1.0)
+    _add_execution_options(run_all_parser)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="run a single protocol on a single graph"
@@ -141,10 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment_id: str, seed: int, trials: Optional[int], scale: float):
+def _run_one(
+    experiment_id: str,
+    seed: int,
+    trials: Optional[int],
+    scale: float,
+    backend: str = "auto",
+    workers: Optional[int] = None,
+):
     config = get_experiment(experiment_id)
     sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
-    return run_experiment(config, base_seed=seed, sizes=sizes, trials=trials)
+    return run_experiment(
+        config,
+        base_seed=seed,
+        sizes=sizes,
+        trials=trials,
+        backend=backend,
+        workers=workers,
+    )
 
 
 def _command_list() -> int:
@@ -157,7 +197,9 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    result = _run_one(args.experiment_id, args.seed, args.trials, args.scale)
+    result = _run_one(
+        args.experiment_id, args.seed, args.trials, args.scale, args.backend, args.workers
+    )
     if args.markdown:
         print(experiment_markdown_section(result))
     else:
@@ -167,7 +209,9 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_run_all(args: argparse.Namespace) -> int:
     for experiment_id in list_experiment_ids():
-        result = _run_one(experiment_id, args.seed, args.trials, args.scale)
+        result = _run_one(
+            experiment_id, args.seed, args.trials, args.scale, args.backend, args.workers
+        )
         print(experiment_table(result))
         print()
     return 0

@@ -1,34 +1,23 @@
-"""Batched multi-trial simulation backend.
+"""Batched multi-trial simulation driver.
 
 Every statistical claim of the paper (Theorems 1-3, Figure 1) is estimated
 from dozens of independent trials per (graph, protocol, size) cell.  The
 sequential :class:`~repro.core.engine.Engine` runs those trials one at a time,
 paying the Python round-loop overhead ``trials`` times over.  This module
-advances **T independent trials simultaneously** on 2-D numpy state —
-``positions`` shaped ``(trials, agents)``, ``informed`` shaped
-``(trials, vertices)`` — so the per-round cost is a handful of vectorized
-array operations regardless of the trial count, and the number of round-loop
+advances **T independent trials simultaneously** on the vectorized protocol
+kernels of :mod:`repro.core.kernels` — 2-D numpy state shaped
+``(trials, ...)`` — so the per-round cost is a handful of vectorized array
+operations regardless of the trial count, and the number of round-loop
 iterations drops from ``sum_t rounds_t`` to ``max_t rounds_t``.
 
-Design notes
-------------
-* **Per-trial random streams.**  Trial ``t`` draws all of its randomness from
-  its own generator (``seeds[t]``), and the shape of each round's draw depends
-  only on that trial's own state.  Consequently a trial's outcome is a pure
-  function of its seed: it does not change when the surrounding batch grows,
-  shrinks or is reordered, and re-running any batch containing the same seed
-  reproduces the same per-trial result.  (The *sequence* of draws differs from
-  the sequential engine's, so batched and sequential runs of the same seed
-  agree statistically, not sample-for-sample.)
-* **Completion masking by row compaction.**  Kernel state lives in dense
-  arrays whose first ``k`` rows are the still-running trials; when a trial
-  completes, its row is swapped into the tail and ``k`` shrinks.  Finished
-  trials therefore stop costing work, and the hot loop operates on contiguous
-  zero-copy views instead of fancy-indexed row gathers.
-* **No observers.**  Per-edge instrumentation (``track_edge_traversals``,
-  ``track_all_exchanges``) and per-round observer hooks require the sequential
-  engine; :func:`supports_batched` reports whether a configuration can run
-  here, and the experiment runner falls back to the :class:`Engine` otherwise.
+The kernels are the single source of truth for the protocol definitions; this
+module owns everything *around* them: seed handling, the round loop,
+completion masking by row compaction, per-round history recording, observer
+dispatch and result packaging.  All six registry protocols have a kernel, so
+:func:`supports_batched` is True across the board; per-round informed-count
+trajectories (``record_history``) and per-trial observer groups (with the
+vectorized ``on_edges_used`` batch hook) are supported here too, which is why
+the experiment runner no longer needs a sequential fallback for them.
 
 Use :func:`run_batch` directly, or :func:`repro.simulate_batch` for the
 one-call convenience wrapper.
@@ -42,8 +31,8 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..graphs.graph import Graph, GraphError
-from .agents import default_agent_count
 from .engine import default_max_rounds
+from .kernels import KERNEL_REGISTRY, batch_generator, get_kernel_class
 from .results import RunResult, TrialSet
 from .rng import derive_seed
 
@@ -55,19 +44,20 @@ __all__ = [
     "trial_seeds",
 ]
 
-#: Protocols with a batched kernel in this module.
-BATCHED_PROTOCOLS = frozenset({"push", "push-pull", "visit-exchange", "meet-exchange"})
-
-#: Protocol kwargs that force the sequential engine (observer instrumentation).
-_OBSERVER_KWARGS = ("track_edge_traversals", "track_all_exchanges")
+#: Protocols with a batched kernel — all six registry protocols.
+BATCHED_PROTOCOLS = frozenset(KERNEL_REGISTRY)
 
 
 def supports_batched(protocol: str, kwargs: Optional[Dict[str, Any]] = None) -> bool:
-    """Return True if ``protocol`` with ``kwargs`` can run on the batched backend."""
-    if protocol not in BATCHED_PROTOCOLS:
-        return False
-    kwargs = kwargs or {}
-    return not any(kwargs.get(key) for key in _OBSERVER_KWARGS)
+    """Return True if ``protocol`` can run on the batched backend.
+
+    Since the kernels became the single source of truth for every protocol,
+    this is a pure registry lookup: all protocol options — including the
+    observer-instrumented ``track_edge_traversals`` / ``track_all_exchanges``
+    modes — are supported by the batched path.  ``kwargs`` is accepted for
+    backwards compatibility and ignored.
+    """
+    return protocol in BATCHED_PROTOCOLS
 
 
 def trial_seeds(base_seed: int, *components, trials: int) -> List[int]:
@@ -82,524 +72,16 @@ def trial_seeds(base_seed: int, *components, trials: int) -> List[int]:
     return [derive_seed(base_seed, *components, t) for t in range(trials)]
 
 
-def _batch_generator(seed) -> np.random.Generator:
-    """Per-trial generator for the batched kernels.
-
-    Uses the SFC64 bit generator: its bulk uniform generation is measurably
-    faster than PCG64's and the kernels are draw-bandwidth-bound.  A trial's
-    result remains a pure function of its seed; the stream family simply
-    differs from the sequential engine's ``default_rng``, whose results the
-    batched backend only ever matches statistically anyway.
-    """
-    if isinstance(seed, np.random.Generator):
-        return seed
-    if not isinstance(seed, np.random.SeedSequence):
-        seed = np.random.SeedSequence(seed)
-    return np.random.Generator(np.random.SFC64(seed))
-
-
-class _BatchKernel:
-    """State and one-round transition for a batch of trials of one protocol.
-
-    Kernel state is *row compacted*: per-trial arrays have one row per trial,
-    and the first ``k`` rows are the trials still running.  ``trial_ids[row]``
-    maps a row back to the original trial index; the driver retires a finished
-    trial by swapping its row into the tail (:meth:`swap_rows`).
-    """
-
-    name = "abstract"
-
-    def initialize(self, graph: Graph, source: int, gens: Sequence[np.random.Generator]) -> None:
-        raise NotImplementedError
-
-    def step(self, k: int) -> None:
-        """Advance the first ``k`` rows by one synchronous round."""
-        raise NotImplementedError
-
-    def complete_rows(self, k: int) -> np.ndarray:
-        """(k,) bool mask over the first ``k`` rows: which have finished."""
-        raise NotImplementedError
-
-    def num_agents(self) -> int:
-        return 0
-
-    def messages_by_trial(self) -> np.ndarray:
-        """(T,) messages sent, indexed by original trial."""
-        return np.zeros(self.num_trials, dtype=np.int64)
-
-    def trial_metadata(self, trial: int) -> Dict[str, Any]:
-        return {}
-
-    # shared helpers -----------------------------------------------------
-    def _setup_common(self, graph: Graph, gens) -> None:
-        self.graph = graph
-        self.num_trials = len(gens)
-        self.trial_ids = np.arange(self.num_trials, dtype=np.int64)
-        self._gens = list(gens)
-        self._row_arrays: List[np.ndarray] = [self.trial_ids]
-        self._row_base = (
-            np.arange(self.num_trials, dtype=np.int64) * graph.num_vertices
-        )[:, None]
-        self._round_count = 0
-        self._draw_phase = 0
-
-    #: Rounds of uniforms drawn per generator call (see :meth:`_draw_buffer`).
-    _DRAW_BLOCK = 4
-
-    def _begin_round(self) -> None:
-        """Advance the block draw phase (see :meth:`_uniforms`)."""
-        self._draw_phase = self._round_count % self._DRAW_BLOCK
-        self._round_count += 1
-
-    def _register_rows(self, *arrays: np.ndarray) -> None:
-        """Arrays with one row (or element) per trial, kept compact by swaps."""
-        self._row_arrays.extend(arrays)
-
-    def swap_rows(self, i: int, j: int) -> None:
-        if i == j:
-            return
-        for array in self._row_arrays:
-            if array.ndim > 1:
-                tmp = array[i].copy()
-                array[i] = array[j]
-                array[j] = tmp
-            else:
-                array[i], array[j] = array[j], array[i]
-        self._gens[i], self._gens[j] = self._gens[j], self._gens[i]
-
-    def _materialized_row_base(self, width: int) -> np.ndarray:
-        """(T, width) array of flat-index row offsets, shifted past the slot-0
-        write sink; materialized because broadcast adds are measurably slower
-        than aligned elementwise adds on the hot path."""
-        return np.ascontiguousarray(
-            np.broadcast_to(self._row_base + 1, (self.num_trials, width))
-        )
-
-    def _row_of(self, trial: int) -> int:
-        """Row currently holding ``trial`` (rows are a permutation of trials)."""
-        return int(np.flatnonzero(self.trial_ids == trial)[0])
-
-    def _raw_stream(self, width: int, bits: int) -> Dict[str, Any]:
-        """Allocate and register a block-drawn raw-bit stream.
-
-        Each generator call fills ``_DRAW_BLOCK`` rounds of raw 64-bit words
-        for one trial (amortizing per-call overhead, a sizeable share of the
-        draw cost at typical batch sizes); rounds then consume the words as
-        ``width`` fixed-point integers of ``bits`` bits.  The word buffer is
-        swap-registered so a trial's pending rounds follow it through row
-        compaction; a trial retiring mid-block simply discards its pre-drawn
-        remainder, keeping every trial's stream a function of its own round
-        count alone.
-        """
-        values_per_word = 64 // bits
-        words_per_round = -(-width // values_per_word)
-        words = np.empty(
-            (self.num_trials, self._DRAW_BLOCK * words_per_round), dtype=np.uint64
-        )
-        self._register_rows(words)
-        return {
-            "words": words,
-            "values": words.view(np.uint16 if bits == 16 else np.uint32),
-            "stride": words_per_round * values_per_word,
-            "width": width,
-        }
-
-    def _raw_values(self, k: int, stream: Dict[str, Any]) -> np.ndarray:
-        """One round of per-trial fixed-point uniforms from a raw stream.
-
-        A value ``u`` of ``bits`` bits maps to the offset ``(u * d) >> bits``,
-        which is an *exact* truncation into ``[0, d)`` (no clamp needed) and
-        deviates from per-neighbor uniformity by at most ``d * 2**-bits`` —
-        streams are sized so that stays at least three orders of magnitude
-        below the statistical resolution of any realistic trial count.
-        """
-        if self._draw_phase == 0:
-            words = stream["words"]
-            num_words = words.shape[1]
-            for row in range(k):
-                words[row] = self._gens[row].bit_generator.random_raw(num_words)
-        start = self._draw_phase * stream["stride"]
-        return stream["values"][:k, start : start + stream["width"]]
-
-    def _setup_offset_layout(self, width: int) -> None:
-        """Choose fixed-point precision and degree representations.
-
-        16-bit offsets are exact enough (bias at most ``max_deg * 2**-16``)
-        only for small maximum degree; skewed families fall back to 32 bits.
-        Typed degree scalars/arrays keep the ufunc loops in the wide integer
-        type (a weak Python-int operand would select the uint16 loop and
-        overflow).
-        """
-        graph = self.graph
-        max_degree = int(graph.degrees.max())
-        self._offset_bits = 16 if max_degree <= 64 else 32
-        wide = np.int32 if self._offset_bits == 16 else np.int64
-        self._mult_scratch = np.empty((self.num_trials, width), dtype=wide)
-        # d-regular graphs admit a scalar fast path: every degree is d and the
-        # CSR row of vertex v starts exactly at v * d.
-        self._regular_degree = (
-            graph.regularity_degree() if graph.is_regular() else None
-        )
-        if self._regular_degree is not None:
-            self._degree_wide = wide(self._regular_degree)
-        else:
-            self._degrees_wide = graph.degrees.astype(wide)
-
-
-class _AgentKernel(_BatchKernel):
-    """Shared agent placement for visit-exchange and meet-exchange."""
-
-    def __init__(
-        self,
-        *,
-        agent_density: float = 1.0,
-        num_agents: Optional[int] = None,
-        lazy: bool = False,
-        one_agent_per_vertex: bool = False,
-    ) -> None:
-        self.agent_density = float(agent_density)
-        self.explicit_num_agents = num_agents
-        self.lazy = lazy
-        self.one_agent_per_vertex = bool(one_agent_per_vertex)
-        self._num_agents = 0
-
-    def _place_agents(self, graph: Graph, gens) -> np.ndarray:
-        """(T, A) initial positions, drawn per trial from its own stream.
-
-        Sampling the stationary distribution ``deg(v) / 2|E|`` is equivalent to
-        picking a uniformly random directed-edge slot and taking its source
-        vertex, so placement is one gather over the slot-source array instead
-        of a per-trial inverse-CDF search.
-        """
-        num_trials = len(gens)
-        if self.one_agent_per_vertex:
-            self._num_agents = graph.num_vertices
-            return np.tile(
-                np.arange(graph.num_vertices, dtype=np.int64), (num_trials, 1)
-            )
-        self._num_agents = (
-            int(self.explicit_num_agents)
-            if self.explicit_num_agents is not None
-            else default_agent_count(graph, self.agent_density)
-        )
-        if self._num_agents < 1:
-            raise ValueError("need at least one agent")
-        slot_sources = np.repeat(
-            np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
-        )
-        uniforms = np.empty((num_trials, self._num_agents))
-        for t, gen in enumerate(gens):
-            gen.random(out=uniforms[t])
-        slots = (uniforms * slot_sources.size).astype(np.int64)
-        np.minimum(slots, slot_sources.size - 1, out=slots)
-        return slot_sources[slots]
-
-    def _setup_walk_buffers(self, uses_lazy: bool) -> None:
-        shape = (self.num_trials, self._num_agents)
-        self._setup_offset_layout(self._num_agents)
-        self._walk_stream = self._raw_stream(self._num_agents, self._offset_bits)
-        self._lazy_stream = self._raw_stream(self._num_agents, 16) if uses_lazy else None
-        # Scratch reused every round to avoid allocator churn on the hot path;
-        # ``_masked`` aliases ``_offsets``, which is dead by the time the
-        # scatter mask is built (smaller resident set, fewer cache evictions).
-        self._offsets = np.empty(shape, dtype=np.int64)
-        self._starts = np.empty(shape, dtype=np.int64)
-        self._new_positions = np.empty(shape, dtype=np.int64)
-        self._position_flat = np.empty(shape, dtype=np.int64)
-        self._masked = self._offsets
-        self._gathered = np.empty(shape, dtype=bool)
-
-    def _walk_rows(self, k: int) -> np.ndarray:
-        """One walk step for the first ``k`` rows; returns the new positions."""
-        graph = self.graph
-        self._begin_round()
-        positions = self.positions[:k]
-        raw = self._raw_values(k, self._walk_stream)
-        scaled = self._mult_scratch[:k]
-        offsets = self._offsets[:k]
-        starts = self._starts[:k]
-        new_positions = self._new_positions[:k]
-
-        if self._regular_degree is not None:
-            np.multiply(raw, self._degree_wide, out=scaled)
-            np.multiply(positions, self._regular_degree, out=starts)
-        else:
-            # Gather degrees into the scratch, then scale in place (elementwise,
-            # so reading and writing the same buffer is safe).
-            np.take(self._degrees_wide, positions, out=scaled, mode="clip")
-            np.multiply(raw, scaled, out=scaled)
-            np.take(graph.indptr, positions, out=starts, mode="clip")
-        np.right_shift(scaled, self._offset_bits, out=scaled)
-        np.add(starts, scaled, out=offsets)
-        np.take(graph.indices, offsets, out=new_positions, mode="clip")
-        if self._lazy_stream is not None:
-            lazy = self._raw_values(k, self._lazy_stream)
-            stay = self._gathered[:k]
-            np.less(lazy, 1 << 15, out=stay)
-            np.copyto(new_positions, positions, where=stay)
-        return new_positions
-
-    def num_agents(self) -> int:
-        return self._num_agents
-
-
-class _VisitExchangeKernel(_AgentKernel):
-    """Batched VISIT-EXCHANGE: vertices and agents both store the rumor."""
-
-    name = "visit-exchange"
-
-    def __init__(self, **kwargs) -> None:
-        super().__init__(**kwargs)
-        self.lazy = bool(self.lazy)
-
-    def initialize(self, graph, source, gens):
-        self._setup_common(graph, gens)
-        self.positions = self._place_agents(graph, gens)
-        self.agent_informed = self.positions == source
-        # Slot 0 of the flat buffer is a write sink: scatters index it with
-        # ``flat_index * mask`` instead of extracting the masked indices, which
-        # is the single most expensive operation it replaces.
-        self._vertex_flat = np.zeros(self.num_trials * graph.num_vertices + 1, dtype=bool)
-        self.vertex_informed = self._vertex_flat[1:].reshape(
-            self.num_trials, graph.num_vertices
-        )
-        self.vertex_informed[:, source] = True
-        self.counts = np.ones(self.num_trials, dtype=np.int64)
-        self._register_rows(
-            self.positions, self.agent_informed, self.vertex_informed, self.counts
-        )
-        self._setup_walk_buffers(self.lazy)
-        self._row_base1 = self._materialized_row_base(self._num_agents)
-        self._all_agents_informed = False
-
-    def step(self, k):
-        new_positions = self._walk_rows(k)
-        position_flat = self._position_flat[:k]
-        np.add(self._row_base1[:k], new_positions, out=position_flat)
-
-        if self._all_agents_informed:
-            # Every agent already carries the rumor (a monotone, batch-wide
-            # condition), so every visited vertex becomes informed and the
-            # carrier masking and agent updates are bit-identical no-ops.
-            self._vertex_flat[position_flat] = True
-        else:
-            # Agents informed in a previous round inform the vertices they
-            # visit; ``informed`` is read before it is updated, so the scatter
-            # sees only the carriers from previous rounds.
-            informed = self.agent_informed[:k]
-            masked = self._masked[:k]
-            np.multiply(position_flat, informed, out=masked)
-            self._vertex_flat[masked] = True
-
-            # Uninformed agents on (now) informed vertices learn the rumor.
-            on_informed = self._gathered[:k]
-            np.take(self._vertex_flat, position_flat, out=on_informed, mode="clip")
-            informed |= on_informed
-            self._all_agents_informed = bool(self.agent_informed.all())
-        self.counts[:k] = self.vertex_informed[:k].sum(axis=1)
-        self.positions[:k] = new_positions
-
-    def complete_rows(self, k):
-        return self.counts[:k] >= self.graph.num_vertices
-
-    def trial_metadata(self, trial):
-        return {
-            "agent_density": self.agent_density,
-            "lazy": self.lazy,
-            "one_agent_per_vertex": self.one_agent_per_vertex,
-        }
-
-
-class _MeetExchangeKernel(_AgentKernel):
-    """Batched MEET-EXCHANGE: only agents store the rumor."""
-
-    name = "meet-exchange"
-
-    def __init__(self, *, lazy: Optional[bool] = None, **kwargs) -> None:
-        # ``lazy=None`` auto-enables lazy walks on bipartite graphs, matching
-        # the sequential protocol's convention from Section 3 of the paper.
-        super().__init__(lazy=lazy, **kwargs)
-
-    def initialize(self, graph, source, gens):
-        self._setup_common(graph, gens)
-        self._effective_lazy = (
-            bool(self.lazy) if self.lazy is not None else graph.is_bipartite()
-        )
-        self.source = int(source)
-        self.positions = self._place_agents(graph, gens)
-        self.informed = self.positions == source
-        # If no agent starts on the source it keeps the rumor for its first visitor.
-        self.source_still_informs = ~self.informed.any(axis=1)
-        self._register_rows(self.positions, self.informed, self.source_still_informs)
-        self._setup_walk_buffers(self._effective_lazy)
-        self._row_base1 = self._materialized_row_base(self._num_agents)
-        # Scratch meeting map with a slot-0 write sink (see _VisitExchangeKernel).
-        self._meeting_flat = np.empty(
-            self.num_trials * graph.num_vertices + 1, dtype=bool
-        )
-
-    def step(self, k):
-        new_positions = self._walk_rows(k)
-        informed_before = self.informed[:k].copy()
-
-        # The source hands the rumor to its first visitor(s), then goes silent.
-        # Agents informed directly by the source may not spread further this
-        # round (they were not informed in a previous round), hence the copy of
-        # ``informed_before`` above.
-        still_informs = self.source_still_informs[:k]
-        if np.any(still_informs):
-            at_source = new_positions == self.source
-            visited = at_source.any(axis=1) & still_informs
-            if np.any(visited):
-                self.informed[:k] |= at_source & visited[:, None]
-                still_informs &= ~visited
-
-        # Meetings: every vertex holding an agent informed in a previous round
-        # informs all agents located there.
-        informed_here = self._meeting_flat[: k * self.graph.num_vertices + 1]
-        informed_here[...] = False
-        local_flat = self._position_flat[:k]
-        masked = self._masked[:k]
-        np.add(self._row_base1[:k], new_positions, out=local_flat)
-        np.multiply(local_flat, informed_before, out=masked)
-        informed_here[masked] = True
-        met = self._gathered[:k]
-        np.take(informed_here, local_flat, out=met, mode="clip")
-        self.informed[:k] |= met
-        self.positions[:k] = new_positions
-
-    def complete_rows(self, k):
-        return self.informed[:k].all(axis=1)
-
-    def trial_metadata(self, trial):
-        return {
-            "agent_density": self.agent_density,
-            "lazy": self._effective_lazy,
-            "one_agent_per_vertex": self.one_agent_per_vertex,
-            "source_still_informs": bool(self.source_still_informs[self._row_of(trial)]),
-        }
-
-
-class _VertexKernel(_BatchKernel):
-    """Shared state for the vertex-only protocols (push and push-pull)."""
-
-    def __init__(self) -> None:
-        pass
-
-    def initialize(self, graph, source, gens):
-        self._setup_common(graph, gens)
-        shape = (self.num_trials, graph.num_vertices)
-        # Slot 0 of the flat buffer is a write sink: scatters index it with
-        # ``flat_index * mask`` instead of extracting the masked indices, which
-        # is the single most expensive operation it replaces.
-        self._informed_flat = np.zeros(self.num_trials * graph.num_vertices + 1, dtype=bool)
-        self.informed = self._informed_flat[1:].reshape(shape)
-        self.informed[:, source] = True
-        self.counts = np.ones(self.num_trials, dtype=np.int64)
-        self._messages = np.zeros(self.num_trials, dtype=np.int64)
-        self._register_rows(self.informed, self.counts, self._messages)
-        # Scratch reused every round to avoid allocator churn on the hot path;
-        # ``_masked`` aliases ``_offsets``, which is dead by the time the
-        # scatter mask is built (smaller resident set, fewer cache evictions).
-        self._setup_offset_layout(graph.num_vertices)
-        self._callee_stream = self._raw_stream(graph.num_vertices, self._offset_bits)
-        self._offsets = np.empty(shape, dtype=np.int64)
-        self._target_flat = np.empty(shape, dtype=np.int64)
-        self._masked = self._offsets
-        self._gathered = np.empty(shape, dtype=bool)
-        self._pull_scratch = np.empty(shape, dtype=bool)
-        self._vertex_starts = graph.indptr[:-1]
-        self._row_base1 = self._materialized_row_base(graph.num_vertices)
-
-    def _sample_callee_flat(self, k: int) -> np.ndarray:
-        """Flat informed-array indices of one uniform neighbor per vertex.
-
-        The draw shape is one value per vertex regardless of protocol state,
-        which keeps each trial's stream a function of the round number only.
-        The sampled vertices are materialized directly in flat (trial, vertex)
-        index space — no kernel needs the plain vertex ids.
-        """
-        graph = self.graph
-        self._begin_round()
-        raw = self._raw_values(k, self._callee_stream)
-        scaled = self._mult_scratch[:k]
-        offsets = self._offsets[:k]
-        callee_flat = self._target_flat[:k]
-        if self._regular_degree is not None:
-            np.multiply(raw, self._degree_wide, out=scaled)
-        else:
-            np.multiply(raw, self._degrees_wide, out=scaled)
-        np.right_shift(scaled, self._offset_bits, out=scaled)
-        np.add(scaled, self._vertex_starts, out=offsets)
-        np.take(graph.indices, offsets, out=callee_flat, mode="clip")
-        np.add(callee_flat, self._row_base1[:k], out=callee_flat)
-        return callee_flat
-
-    def complete_rows(self, k):
-        return self.counts[:k] >= self.graph.num_vertices
-
-    def messages_by_trial(self):
-        out = np.empty(self.num_trials, dtype=np.int64)
-        out[self.trial_ids] = self._messages
-        return out
-
-
-class _PushKernel(_VertexKernel):
-    """Batched PUSH: informed vertices push to uniformly random neighbors."""
-
-    name = "push"
-
-    def step(self, k):
-        informed = self.informed[:k]
-        target_flat = self._sample_callee_flat(k)
-        masked = self._masked[:k]
-        np.multiply(target_flat, informed, out=masked)
-        self._messages[:k] += self.counts[:k]
-        self._informed_flat[masked] = True
-        self.counts[:k] = informed.sum(axis=1)
-
-
-class _PushPullKernel(_VertexKernel):
-    """Batched PUSH-PULL: every vertex calls a random neighbor each round."""
-
-    name = "push-pull"
-
-    def step(self, k):
-        graph = self.graph
-        caller_informed = self.informed[:k]
-        callee_flat = self._sample_callee_flat(k)
-        callee_informed = self._gathered[:k]
-        np.take(self._informed_flat, callee_flat, out=callee_informed, mode="clip")
-
-        # Push direction: informed caller informs its callee; pull direction:
-        # uninformed caller learns from an informed callee.  Both masks are
-        # materialized from the pre-round state before any update is applied
-        # (for booleans ``a > b`` is exactly ``a & ~b``).
-        masked = self._masked[:k]
-        push_mask = np.greater(caller_informed, callee_informed, out=self._pull_scratch[:k])
-        np.multiply(callee_flat, push_mask, out=masked)
-        pull_mask = np.greater(callee_informed, caller_informed, out=push_mask)
-        self._informed_flat[masked] = True
-        caller_informed |= pull_mask
-        self.counts[:k] = caller_informed.sum(axis=1)
-        self._messages[:k] += graph.num_vertices
-
-
-_KERNELS = {
-    _PushKernel.name: _PushKernel,
-    _PushPullKernel.name: _PushPullKernel,
-    _VisitExchangeKernel.name: _VisitExchangeKernel,
-    _MeetExchangeKernel.name: _MeetExchangeKernel,
-}
-
-
 @dataclass
 class BatchResult:
     """Outcome of a batch of independent trials of one protocol configuration.
 
     Per-trial arrays are index-aligned with the ``seeds`` passed to
     :func:`run_batch`; ``broadcast_times[t]`` is ``-1`` for trials that hit the
-    round budget (mirrored by ``completed[t] = False``).
+    round budget (mirrored by ``completed[t] = False``).  When the batch was
+    run with ``record_history=True``, ``vertex_histories[t]`` /
+    ``agent_histories[t]`` hold trial ``t``'s per-round informed counts
+    (round 0 included), exactly as the sequential engine records them.
     """
 
     protocol: str
@@ -613,6 +95,8 @@ class BatchResult:
     num_agents: int
     messages_sent: np.ndarray
     metadata: List[Dict[str, Any]] = field(default_factory=list)
+    vertex_histories: Optional[List[List[int]]] = None
+    agent_histories: Optional[List[List[int]]] = None
 
     @property
     def num_trials(self) -> int:
@@ -649,6 +133,12 @@ class BatchResult:
                     rounds_executed=int(self.rounds_executed[t]),
                     completed=done,
                     num_agents=self.num_agents,
+                    informed_vertex_history=(
+                        list(self.vertex_histories[t]) if self.vertex_histories else []
+                    ),
+                    informed_agent_history=(
+                        list(self.agent_histories[t]) if self.agent_histories else []
+                    ),
                     messages_sent=int(self.messages_sent[t]),
                     metadata=dict(self.metadata[t]) if self.metadata else {},
                 )
@@ -667,6 +157,8 @@ def run_batch(
     *,
     seeds: Sequence,
     max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    observers: Optional[Sequence] = None,
     **protocol_kwargs,
 ) -> BatchResult:
     """Run ``len(seeds)`` independent trials of ``protocol`` simultaneously.
@@ -674,7 +166,7 @@ def run_batch(
     Parameters
     ----------
     protocol:
-        One of :data:`BATCHED_PROTOCOLS`.
+        One of :data:`BATCHED_PROTOCOLS` (every registry protocol).
     graph / source:
         As for :class:`~repro.core.engine.Engine.run`.
     seeds:
@@ -685,17 +177,22 @@ def run_batch(
     max_rounds:
         Round budget shared by all trials; ``None`` selects
         :func:`~repro.core.engine.default_max_rounds`.
+    record_history:
+        Record per-round informed-vertex/agent counts per trial (round 0
+        included), surfaced through ``BatchResult.vertex_histories`` /
+        ``agent_histories`` and the per-trial :class:`RunResult` records.
+    observers:
+        Optional sequence of one :class:`~repro.core.observers.ObserverGroup`
+        per trial, index-aligned with ``seeds``.  Each group receives the same
+        hook sequence the sequential engine would deliver for its trial
+        (``on_run_start``, per-round ``on_round_end``, ``on_edges_used`` for
+        informing transmissions, ``on_run_end``).  Falsy groups cost nothing.
     protocol_kwargs:
         Forwarded to the kernel (``agent_density``, ``num_agents``, ``lazy``,
-        ``one_agent_per_vertex``).  Observer-instrumented options are not
-        supported here — use the sequential engine for those.
+        ``one_agent_per_vertex``, ``track_all_exchanges``,
+        ``track_edge_traversals``, ...).
     """
-    if not supports_batched(protocol, protocol_kwargs):
-        supported = ", ".join(sorted(BATCHED_PROTOCOLS))
-        raise ValueError(
-            f"protocol {protocol!r} with kwargs {protocol_kwargs!r} has no batched "
-            f"kernel (batched protocols: {supported}); use the sequential Engine"
-        )
+    kernel_class = get_kernel_class(protocol)
     seeds = list(seeds)
     if not seeds:
         raise ValueError("need at least one trial seed")
@@ -707,10 +204,40 @@ def run_batch(
     if budget < 0:
         raise ValueError("max_rounds must be non-negative")
 
-    gens = [_batch_generator(seed) for seed in seeds]
+    gens = [batch_generator(seed) for seed in seeds]
     num_trials = len(gens)
-    kernel = _KERNELS[protocol](**protocol_kwargs)
+    kernel = kernel_class(**protocol_kwargs)
+    if observers is not None:
+        observers = list(observers)
+        if len(observers) != num_trials:
+            raise ValueError("need exactly one observer group per trial seed")
+        kernel.trial_observers = observers
+        for group in observers:
+            if group:
+                group.on_run_start(graph, int(source))
     kernel.initialize(graph, int(source), gens)
+
+    any_observers = observers is not None and any(bool(group) for group in observers)
+    track_counts = record_history or any_observers
+    # Per-round snapshots of (trial ids, vertex counts, agent counts) for the
+    # still-active rows; assembled into per-trial histories at the end so the
+    # hot loop stays free of per-row Python work.
+    snapshots: List = []
+
+    def record_round(k: int, round_index: int) -> None:
+        vertex_counts = np.asarray(kernel.informed_vertex_counts(k))
+        agent_counts = np.asarray(kernel.informed_agent_counts(k))
+        if record_history:
+            snapshots.append(
+                (kernel.trial_ids[:k].copy(), vertex_counts.copy(), agent_counts.copy())
+            )
+        if any_observers:
+            for row in range(k):
+                group = observers[int(kernel.trial_ids[row])]
+                if group:
+                    group.on_round_end(
+                        round_index, int(vertex_counts[row]), int(agent_counts[row])
+                    )
 
     broadcast_times = np.full(num_trials, -1, dtype=np.int64)
     rounds_executed = np.zeros(num_trials, dtype=np.int64)
@@ -726,12 +253,16 @@ def run_batch(
             kernel.swap_rows(row, active - 1)
             active -= 1
 
+    if track_counts:
+        record_round(active, 0)
     retire(np.flatnonzero(kernel.complete_rows(active)), 0)
 
     round_index = 0
     while active and round_index < budget:
         round_index += 1
         kernel.step(active)
+        if track_counts:
+            record_round(active, round_index)
         finished = np.flatnonzero(kernel.complete_rows(active))
         if finished.size:
             retire(finished, round_index)
@@ -740,6 +271,23 @@ def run_batch(
         rounds_executed[int(kernel.trial_ids[row])] = round_index
 
     completed = broadcast_times >= 0
+    if observers is not None:
+        for trial, group in enumerate(observers):
+            if group:
+                group.on_run_end(
+                    int(broadcast_times[trial]) if completed[trial] else None
+                )
+
+    vertex_histories: Optional[List[List[int]]] = None
+    agent_histories: Optional[List[List[int]]] = None
+    if record_history:
+        vertex_histories = [[] for _ in range(num_trials)]
+        agent_histories = [[] for _ in range(num_trials)]
+        for ids, vertex_counts, agent_counts in snapshots:
+            for i, trial in enumerate(ids.tolist()):
+                vertex_histories[trial].append(int(vertex_counts[i]))
+                agent_histories[trial].append(int(agent_counts[i]))
+
     return BatchResult(
         protocol=kernel.name,
         graph_name=graph.name,
@@ -752,4 +300,6 @@ def run_batch(
         num_agents=kernel.num_agents(),
         messages_sent=kernel.messages_by_trial(),
         metadata=[kernel.trial_metadata(t) for t in range(num_trials)],
+        vertex_histories=vertex_histories,
+        agent_histories=agent_histories,
     )

@@ -1,0 +1,61 @@
+"""Vectorized protocol kernels — the single source of truth per protocol.
+
+Each module in this package defines one protocol's state layout and one-round
+transition on 2-D ``(trials, ...)`` numpy arrays.  Every execution mode is
+derived from these kernels:
+
+* the batched driver (:mod:`repro.core.batch`) runs many trials at once with
+  row-compaction completion masking, and
+* the sequential :class:`~repro.core.engine.RoundProtocol` classes in
+  :mod:`repro.core.protocols` are thin adapters that drive a kernel with
+  ``trials=1`` under the round-based :class:`~repro.core.engine.Engine`.
+
+``KERNEL_REGISTRY`` maps every protocol name of
+:data:`repro.core.protocols.PROTOCOL_REGISTRY` to its kernel class; the two
+registries cover exactly the same six protocols.
+"""
+
+from __future__ import annotations
+
+from .base import BatchKernel, NeighborSampler, batch_generator
+from .hybrid import HybridKernel
+from .meet_exchange import MeetExchangeKernel
+from .pull import PullKernel
+from .push import PushKernel
+from .push_pull import PushPullKernel
+from .visit_exchange import VisitExchangeKernel
+
+__all__ = [
+    "BatchKernel",
+    "NeighborSampler",
+    "batch_generator",
+    "KERNEL_REGISTRY",
+    "get_kernel_class",
+    "PushKernel",
+    "PullKernel",
+    "PushPullKernel",
+    "VisitExchangeKernel",
+    "MeetExchangeKernel",
+    "HybridKernel",
+]
+
+#: Mapping from protocol name to its kernel class.
+KERNEL_REGISTRY = {
+    PushKernel.name: PushKernel,
+    PullKernel.name: PullKernel,
+    PushPullKernel.name: PushPullKernel,
+    VisitExchangeKernel.name: VisitExchangeKernel,
+    MeetExchangeKernel.name: MeetExchangeKernel,
+    HybridKernel.name: HybridKernel,
+}
+
+
+def get_kernel_class(name: str):
+    """Return the kernel class for a protocol name, raising for unknown names."""
+    try:
+        return KERNEL_REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(KERNEL_REGISTRY))
+        raise ValueError(
+            f"protocol {name!r} has no batched kernel (batched protocols: {known})"
+        ) from exc

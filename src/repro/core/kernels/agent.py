@@ -1,0 +1,89 @@
+"""Shared agent placement and random-walk stepping for the agent kernels.
+
+The agent-based protocols (visit-exchange, meet-exchange and the hybrid)
+maintain a population of independent random walks per trial; positions live
+in one ``(trials, agents)`` array and a round advances every walk of every
+trial in a single vectorized sampler pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..agents import default_agent_count
+from .base import BatchKernel, NeighborSampler
+
+__all__ = ["AgentWalkKernel"]
+
+
+class AgentWalkKernel(BatchKernel):
+    """Base kernel for the protocols built on independent random walks."""
+
+    def __init__(
+        self,
+        *,
+        agent_density: float = 1.0,
+        num_agents: Optional[int] = None,
+        lazy: bool = False,
+        one_agent_per_vertex: bool = False,
+    ) -> None:
+        self.agent_density = float(agent_density)
+        self.explicit_num_agents = num_agents
+        self.lazy = lazy
+        self.one_agent_per_vertex = bool(one_agent_per_vertex)
+        self._num_agents = 0
+
+    def _place_agents(self, graph, gens) -> np.ndarray:
+        """(T, A) initial positions, drawn per trial from its own stream.
+
+        Sampling the stationary distribution ``deg(v) / 2|E|`` is equivalent to
+        picking a uniformly random directed-edge slot and taking its source
+        vertex, so placement is one gather over the slot-source array instead
+        of a per-trial inverse-CDF search.
+        """
+        num_trials = len(gens)
+        if self.one_agent_per_vertex:
+            self._num_agents = graph.num_vertices
+            return np.tile(
+                np.arange(graph.num_vertices, dtype=np.int64), (num_trials, 1)
+            )
+        self._num_agents = (
+            int(self.explicit_num_agents)
+            if self.explicit_num_agents is not None
+            else default_agent_count(graph, self.agent_density)
+        )
+        if self._num_agents < 1:
+            raise ValueError("need at least one agent")
+        slot_sources = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
+        )
+        uniforms = np.empty((num_trials, self._num_agents))
+        for t, gen in enumerate(gens):
+            gen.random(out=uniforms[t])
+        slots = (uniforms * slot_sources.size).astype(np.int64)
+        np.minimum(slots, slot_sources.size - 1, out=slots)
+        return slot_sources[slots]
+
+    def _setup_walk(self, uses_lazy: bool) -> None:
+        shape = (self.num_trials, self._num_agents)
+        # ``_masked`` aliases the walk sampler's offset buffer, dead by the
+        # time the scatter mask is built (smaller resident set).
+        self._walk_sampler = NeighborSampler(self, self._num_agents, lazy=uses_lazy)
+        self._position_flat = np.empty(shape, dtype=np.int64)
+        self._masked = self._walk_sampler.offsets
+        self._gathered = np.empty(shape, dtype=bool)
+        self._row_base1 = self._materialized_row_base(self._num_agents)
+
+    def _walk_rows(self, k: int) -> np.ndarray:
+        """One walk step for the first ``k`` rows; returns the new positions.
+
+        ``self.positions`` is left untouched so callers can still read the
+        pre-step positions (edge reporting, meeting rules); they commit the
+        move by assigning the returned buffer back into ``positions``.
+        """
+        return self._walk_sampler.sample_walk(k, self.positions[:k])
+
+    def num_agents(self) -> int:
+        return self._num_agents

@@ -1,0 +1,123 @@
+"""The PUSH-PULL + VISIT-EXCHANGE hybrid kernel.
+
+The paper's introduction concludes that "agent-based information
+dissemination, separately or **in combination with push-pull**, can
+significantly improve the broadcast time".  This kernel implements the obvious
+combination: vertices run push-pull every round, and a linear number of agents
+simultaneously runs visit-exchange over the *same* informed-vertex set.
+
+Per round, in order: (1) every vertex performs a push-pull exchange with a
+random neighbor; (2) all agents take one random-walk step and apply the
+visit-exchange rules against the shared informed-vertex set.  Completion is
+"all vertices informed", as for push-pull and visit-exchange.  On every
+example family of Figure 1 the hybrid inherits the faster of the two
+mechanisms (up to constants): push-pull rescues it on the heavy binary tree
+and its siamese variant, while the agents rescue it on the double star.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .agent import AgentWalkKernel
+from .base import NeighborSampler
+
+__all__ = ["HybridKernel"]
+
+
+class HybridKernel(AgentWalkKernel):
+    """Batched hybrid: PUSH-PULL and VISIT-EXCHANGE share one informed set."""
+
+    name = "hybrid-ppull-visitx"
+
+    def __init__(
+        self,
+        *,
+        agent_density: float = 1.0,
+        num_agents: Optional[int] = None,
+        lazy: bool = False,
+    ) -> None:
+        super().__init__(agent_density=agent_density, num_agents=num_agents, lazy=lazy)
+        self.lazy = bool(self.lazy)
+
+    def initialize(self, graph, source, gens):
+        self._setup_common(graph, gens)
+        shape = (self.num_trials, graph.num_vertices)
+        self.positions = self._place_agents(graph, gens)
+        self.agent_informed = self.positions == source
+        # Slot 0 of the flat buffer is a write sink (see VisitExchangeKernel).
+        self._vertex_flat = np.zeros(self.num_trials * graph.num_vertices + 1, dtype=bool)
+        self.vertex_informed = self._vertex_flat[1:].reshape(shape)
+        self.vertex_informed[:, source] = True
+        self.counts = np.ones(self.num_trials, dtype=np.int64)
+        self._messages = np.zeros(self.num_trials, dtype=np.int64)
+        self._register_rows(
+            self.positions,
+            self.agent_informed,
+            self.vertex_informed,
+            self.counts,
+            self._messages,
+        )
+        # Two draw streams per round: the vertex callee stream of the
+        # push-pull half and the agent walk stream of the visit-exchange half.
+        self._vertex_sampler = NeighborSampler(self, graph.num_vertices)
+        self._callee_flat = np.empty(shape, dtype=np.int64)
+        self._vertex_masked = self._vertex_sampler.offsets
+        self._vertex_gathered = np.empty(shape, dtype=bool)
+        self._pull_scratch = np.empty(shape, dtype=bool)
+        self._vertex_row_base1 = self._materialized_row_base(graph.num_vertices)
+        self._setup_walk(self.lazy)
+
+    def step(self, k):
+        self._begin_round()
+
+        # --- push-pull sub-round -------------------------------------------
+        vertex_informed = self.vertex_informed[:k]
+        callees = self._vertex_sampler.sample_per_vertex(k)
+        callee_flat = self._callee_flat[:k]
+        np.add(callees, self._vertex_row_base1[:k], out=callee_flat)
+        callee_informed = self._vertex_gathered[:k]
+        np.take(self._vertex_flat, callee_flat, out=callee_informed, mode="clip")
+        vertex_masked = self._vertex_masked[:k]
+        push_mask = np.greater(vertex_informed, callee_informed, out=self._pull_scratch[:k])
+        np.multiply(callee_flat, push_mask, out=vertex_masked)
+        pull_mask = np.greater(callee_informed, vertex_informed, out=push_mask)
+        self._vertex_flat[vertex_masked] = True
+        vertex_informed |= pull_mask
+        self._messages[:k] += self.graph.num_vertices
+
+        # --- visit-exchange sub-round --------------------------------------
+        new_positions = self._walk_rows(k)
+        informed_agents = self.agent_informed[:k]
+        position_flat = self._position_flat[:k]
+        np.add(self._row_base1[:k], new_positions, out=position_flat)
+        # Agents informed in a previous round inform the vertices they visit.
+        agent_masked = self._masked[:k]
+        np.multiply(position_flat, informed_agents, out=agent_masked)
+        self._vertex_flat[agent_masked] = True
+        # Agents learn from any informed vertex they stand on.
+        on_informed = self._gathered[:k]
+        np.take(self._vertex_flat, position_flat, out=on_informed, mode="clip")
+        informed_agents |= on_informed
+
+        self.counts[:k] = vertex_informed.sum(axis=1)
+        self.positions[:k] = new_positions
+
+    def complete_rows(self, k):
+        return self.counts[:k] >= self.graph.num_vertices
+
+    def informed_vertex_counts(self, k):
+        return self.counts[:k]
+
+    def informed_agent_counts(self, k):
+        return self.agent_informed[:k].sum(axis=1)
+
+    def messages_by_trial(self):
+        out = np.empty(self.num_trials, dtype=np.int64)
+        out[self.trial_ids] = self._messages
+        return out
+
+    def trial_metadata(self, trial):
+        return {"agent_density": self.agent_density, "lazy": self.lazy}

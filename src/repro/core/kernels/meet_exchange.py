@@ -1,0 +1,104 @@
+"""The MEET-EXCHANGE kernel (Section 3 of the paper).
+
+A set ``A`` of agents performs independent random walks from the stationary
+distribution; only *agents* store the rumor:
+
+* Round 0: every agent on the source vertex becomes informed.  If no agent is
+  on the source, the first agent(s) to visit the source in a later round
+  become informed; after that first visit the source stops informing agents.
+* Each round ``t >= 1``: all agents step; whenever two agents meet on a vertex
+  and exactly one of them was informed in a *previous* round, the other
+  becomes informed (information does not chain within a round).
+
+``T_meetx`` is the first round by which all agents are informed.  On bipartite
+graphs the walks are made lazy (stay put with probability 1/2), following the
+paper, so that the expected broadcast time is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .agent import AgentWalkKernel
+
+__all__ = ["MeetExchangeKernel"]
+
+
+class MeetExchangeKernel(AgentWalkKernel):
+    """Batched MEET-EXCHANGE: only agents store the rumor."""
+
+    name = "meet-exchange"
+
+    def __init__(self, *, lazy: Optional[bool] = None, **kwargs) -> None:
+        # ``lazy=None`` auto-enables lazy walks on bipartite graphs, matching
+        # the sequential protocol's convention from Section 3 of the paper.
+        super().__init__(lazy=lazy, **kwargs)
+
+    def initialize(self, graph, source, gens):
+        self._setup_common(graph, gens)
+        self.effective_lazy = (
+            bool(self.lazy) if self.lazy is not None else graph.is_bipartite()
+        )
+        self.source = int(source)
+        self.positions = self._place_agents(graph, gens)
+        self.informed = self.positions == source
+        # If no agent starts on the source it keeps the rumor for its first visitor.
+        self.source_still_informs = ~self.informed.any(axis=1)
+        self._register_rows(self.positions, self.informed, self.source_still_informs)
+        self._setup_walk(self.effective_lazy)
+        # Scratch meeting map with a slot-0 write sink (see VisitExchangeKernel).
+        self._meeting_flat = np.empty(
+            self.num_trials * graph.num_vertices + 1, dtype=bool
+        )
+
+    def step(self, k):
+        self._begin_round()
+        new_positions = self._walk_rows(k)
+        informed_before = self.informed[:k].copy()
+
+        # The source hands the rumor to its first visitor(s), then goes silent.
+        # Agents informed directly by the source may not spread further this
+        # round (they were not informed in a previous round), hence the copy of
+        # ``informed_before`` above.
+        still_informs = self.source_still_informs[:k]
+        if np.any(still_informs):
+            at_source = new_positions == self.source
+            visited = at_source.any(axis=1) & still_informs
+            if np.any(visited):
+                self.informed[:k] |= at_source & visited[:, None]
+                still_informs &= ~visited
+
+        # Meetings: every vertex holding an agent informed in a previous round
+        # informs all agents located there.
+        informed_here = self._meeting_flat[: k * self.graph.num_vertices + 1]
+        informed_here[...] = False
+        local_flat = self._position_flat[:k]
+        masked = self._masked[:k]
+        np.add(self._row_base1[:k], new_positions, out=local_flat)
+        np.multiply(local_flat, informed_before, out=masked)
+        informed_here[masked] = True
+        met = self._gathered[:k]
+        np.take(informed_here, local_flat, out=met, mode="clip")
+        self.informed[:k] |= met
+        self.positions[:k] = new_positions
+
+    def complete_rows(self, k):
+        return self.informed[:k].all(axis=1)
+
+    def informed_vertex_counts(self, k):
+        # Vertices do not store the rumor in meet-exchange; by convention the
+        # source is reported as the single "informed" vertex.
+        return np.ones(k, dtype=np.int64)
+
+    def informed_agent_counts(self, k):
+        return self.informed[:k].sum(axis=1)
+
+    def trial_metadata(self, trial):
+        return {
+            "agent_density": self.agent_density,
+            "lazy": self.effective_lazy,
+            "one_agent_per_vertex": self.one_agent_per_vertex,
+            "source_still_informs": bool(self.source_still_informs[self._row_of(trial)]),
+        }

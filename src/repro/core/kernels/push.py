@@ -1,0 +1,52 @@
+"""The PUSH kernel (Section 3 of the paper).
+
+In round zero the source becomes informed.  In each round ``t >= 1`` every
+vertex that was informed *in a previous round* samples a uniformly random
+neighbor and sends it the rumor; an uninformed recipient becomes informed in
+this round (and therefore starts pushing only from the next round).
+``T_push`` is the first round by which all vertices are informed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vertex import VertexKernel
+
+__all__ = ["PushKernel"]
+
+
+class PushKernel(VertexKernel):
+    """Batched PUSH: informed vertices push to uniformly random neighbors."""
+
+    name = "push"
+
+    def step(self, k):
+        self._begin_round()
+        informed = self.informed[:k]
+        callees, callee_flat = self._sample_callees(k)
+        if self._any_observers:
+            self._report_edges(k, callees)
+        masked = self._masked[:k]
+        np.multiply(callee_flat, informed, out=masked)
+        self._messages[:k] += self.counts[:k]
+        self._informed_flat[masked] = True
+        self.counts[:k] = informed.sum(axis=1)
+
+    def _report_edges(self, k, callees):
+        """Report each newly informed vertex with the first sender that hit it
+        (matching the sequential protocol's former scan over senders).  Runs
+        before the scatter so ``informed`` is still the pre-round state."""
+        for row in range(k):
+            group = self._observer_for_row(row)
+            if not group:
+                continue
+            informed_row = self.informed[row]
+            senders = np.flatnonzero(informed_row)
+            targets = callees[row, senders]
+            hits = ~informed_row[targets]
+            if not np.any(hits):
+                continue
+            hit_targets = targets[hits]
+            _, first = np.unique(hit_targets, return_index=True)
+            group.on_edges_used(senders[hits][first], hit_targets[first])

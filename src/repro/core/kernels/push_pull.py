@@ -1,0 +1,69 @@
+"""The PUSH-PULL kernel (Section 3 of the paper).
+
+In round zero the source becomes informed.  In each round ``t >= 1`` *every*
+vertex (informed or not) samples a uniformly random neighbor and the two
+exchange information: if exactly one of the pair was informed before the
+round, the other becomes informed in this round.  ``T_ppull`` is the first
+round by which all vertices are informed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .vertex import VertexKernel
+
+__all__ = ["PushPullKernel"]
+
+
+class PushPullKernel(VertexKernel):
+    """Batched PUSH-PULL: every vertex calls a random neighbor each round."""
+
+    name = "push-pull"
+
+    def __init__(self, *, track_all_exchanges: bool = False) -> None:
+        #: When True and observers are attached, every sampled
+        #: (caller, callee) pair is reported through ``on_edges_used`` — the
+        #: "bandwidth" view used by the fairness analysis — instead of only
+        #: the informing transmissions.
+        self.track_all_exchanges = bool(track_all_exchanges)
+
+    def step(self, k):
+        self._begin_round()
+        graph = self.graph
+        caller_informed = self.informed[:k]
+        callees, callee_flat = self._sample_callees(k)
+        callee_informed = self._gathered[:k]
+        np.take(self._informed_flat, callee_flat, out=callee_informed, mode="clip")
+
+        if self._any_observers:
+            self._report_edges(k, callees, caller_informed, callee_informed)
+
+        # Push direction: informed caller informs its callee; pull direction:
+        # uninformed caller learns from an informed callee.  Both masks are
+        # materialized from the pre-round state before any update is applied
+        # (for booleans ``a > b`` is exactly ``a & ~b``).
+        masked = self._masked[:k]
+        push_mask = np.greater(caller_informed, callee_informed, out=self._pull_scratch[:k])
+        np.multiply(callee_flat, push_mask, out=masked)
+        pull_mask = np.greater(callee_informed, caller_informed, out=push_mask)
+        self._informed_flat[masked] = True
+        caller_informed |= pull_mask
+        self.counts[:k] = caller_informed.sum(axis=1)
+        self._messages[:k] += graph.num_vertices
+
+    def _report_edges(self, k, callees, caller_informed, callee_informed):
+        """Report exchanges before any update (pre-round informed state)."""
+        callers = np.arange(self.graph.num_vertices, dtype=np.int64)
+        for row in range(k):
+            group = self._observer_for_row(row)
+            if not group:
+                continue
+            if self.track_all_exchanges:
+                group.on_edges_used(callers, callees[row])
+                continue
+            push_mask = caller_informed[row] & ~callee_informed[row]
+            pull_mask = ~caller_informed[row] & callee_informed[row]
+            if np.any(push_mask) or np.any(pull_mask):
+                group.on_edges_used(callers[push_mask], callees[row][push_mask])
+                group.on_edges_used(callers[pull_mask], callees[row][pull_mask])

@@ -3,6 +3,10 @@
 The four protocols compared by the paper (Section 3) plus two extras used by
 the benchmarks: PULL (the missing half of push-pull, as an ablation baseline)
 and the push-pull + visit-exchange hybrid suggested by the introduction.
+
+Each class here is a thin single-trial adapter over the corresponding
+vectorized kernel in :mod:`repro.core.kernels` — the kernels are the single
+source of truth for the round transitions, shared with the batched backend.
 """
 
 from .push import PushProtocol

@@ -1,0 +1,79 @@
+"""Adapter driving a batched protocol kernel as a sequential RoundProtocol.
+
+The vectorized kernels in :mod:`repro.core.kernels` are the single source of
+truth for every protocol's round transition.  This module provides the bridge
+to the round-based :class:`~repro.core.engine.Engine`: an adapter instantiates
+its kernel with a **single trial** and maps the ``RoundProtocol`` life cycle
+(``initialize`` / ``execute_round`` / ``is_complete`` / accessors) onto the
+kernel's batch interface with ``k = 1``.
+
+RNG compatibility: the engine hands ``initialize`` a
+:class:`numpy.random.Generator`; the adapter passes that very generator to the
+kernel as trial 0's stream (``batch_generator`` passes generators through
+unchanged), so a run remains a pure, reproducible function of its seed.  The
+*sequence* of draws differs from the pre-kernel sequential implementations, so
+results across versions agree statistically, not sample-for-sample — the same
+contract the batched backend always had.
+
+Observer support: when the engine attaches a truthy observer group, the
+adapter registers it as trial 0's group and the kernel reports informing
+edges through the ``on_edges_used`` batch hook; the engine itself delivers
+``on_run_start`` / ``on_round_end`` / ``on_run_end`` exactly as before.
+"""
+
+from __future__ import annotations
+
+from ..engine import RoundProtocol
+from ..rng import make_rng
+
+__all__ = ["KernelProtocolAdapter"]
+
+
+class KernelProtocolAdapter(RoundProtocol):
+    """Drive a :class:`~repro.core.kernels.base.BatchKernel` with one trial."""
+
+    #: Kernel class instantiated per run; set by subclasses.
+    kernel_class = None
+
+    def __init__(self, **kernel_kwargs) -> None:
+        self._kernel_kwargs = dict(kernel_kwargs)
+        self._kernel = None
+
+    @property
+    def kernel(self):
+        """The live kernel of the current run (after ``initialize``)."""
+        assert self._kernel is not None, "protocol not initialized"
+        return self._kernel
+
+    def initialize(self, graph, source, rng) -> None:
+        kernel = self.kernel_class(**self._kernel_kwargs)
+        if self.observers:
+            # The engine delivers the run/round hooks; the kernel only needs
+            # the group for its edge-reporting slow path.
+            kernel.trial_observers = [self.observers]
+        kernel.initialize(graph, int(source), [make_rng(rng)])
+        self._kernel = kernel
+
+    def execute_round(self, round_index: int, rng) -> None:
+        # All randomness flows from the generator captured at initialize
+        # (the same object the engine passes here), so the per-round ``rng``
+        # argument needs no separate handling.
+        self.kernel.step(1)
+
+    def is_complete(self) -> bool:
+        return bool(self.kernel.complete_rows(1)[0])
+
+    def informed_vertex_count(self) -> int:
+        return int(self.kernel.informed_vertex_counts(1)[0])
+
+    def informed_agent_count(self) -> int:
+        return int(self.kernel.informed_agent_counts(1)[0])
+
+    def num_agents(self) -> int:
+        return int(self.kernel.num_agents())
+
+    def messages_sent(self) -> int:
+        return int(self.kernel.messages_by_trial()[0])
+
+    def extra_metadata(self) -> dict:
+        return dict(self.kernel.trial_metadata(0))

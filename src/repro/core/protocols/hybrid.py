@@ -2,31 +2,28 @@
 
 The paper's introduction concludes that "agent-based information
 dissemination, separately or **in combination with push-pull**, can
-significantly improve the broadcast time".  This module implements the obvious
-combination: vertices run push-pull every round, and a linear number of agents
-simultaneously runs visit-exchange over the *same* informed-vertex set.
+significantly improve the broadcast time".  The hybrid runs push-pull on the
+vertices and visit-exchange agents over the *same* informed-vertex set; on
+every example family of Figure 1 it inherits the faster of the two mechanisms
+(up to constants).
 
-On every example family of Figure 1 the hybrid inherits the faster of the two
-mechanisms (up to constants): push-pull rescues it on the heavy binary tree
-and its siamese variant, while the agents rescue it on the double star.
+The round transition lives in
+:class:`~repro.core.kernels.hybrid.HybridKernel`; this class is the
+single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ...graphs.graph import Graph
-from ..agents import AgentSystem, default_agent_count
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..kernels.hybrid import HybridKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["HybridPushPullVisitProtocol"]
 
 
-class HybridPushPullVisitProtocol(RoundProtocol):
-    """PUSH-PULL and VISIT-EXCHANGE sharing one informed-vertex set.
+class HybridPushPullVisitProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized hybrid kernel.
 
     Per round, in order: (1) every vertex performs a push-pull exchange with a
     random neighbor; (2) all agents take one random-walk step and apply the
@@ -35,6 +32,7 @@ class HybridPushPullVisitProtocol(RoundProtocol):
     """
 
     name = "hybrid-ppull-visitx"
+    kernel_class = HybridKernel
 
     def __init__(
         self,
@@ -46,83 +44,8 @@ class HybridPushPullVisitProtocol(RoundProtocol):
         self.agent_density = float(agent_density)
         self.explicit_num_agents = num_agents
         self.lazy = bool(lazy)
-
-        self._graph: Optional[Graph] = None
-        self._agents: Optional[AgentSystem] = None
-        self._vertex_informed: Optional[np.ndarray] = None
-        self._informed_vertex_count = 0
-        self._messages = 0
-        self._all_vertices: Optional[np.ndarray] = None
-
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        rng = make_rng(rng)
-        self._graph = graph
-        count = (
-            int(self.explicit_num_agents)
-            if self.explicit_num_agents is not None
-            else default_agent_count(graph, self.agent_density)
+        super().__init__(
+            agent_density=self.agent_density,
+            num_agents=num_agents,
+            lazy=self.lazy,
         )
-        self._agents = AgentSystem.from_stationary(graph, count, rng, lazy=self.lazy)
-        self._vertex_informed = np.zeros(graph.num_vertices, dtype=bool)
-        self._vertex_informed[source] = True
-        self._informed_vertex_count = 1
-        self._messages = 0
-        self._all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
-        self._agents.inform_agents(self._agents.agents_at(source))
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        agents = self._agents
-        vertex_informed = self._vertex_informed
-        assert graph is not None and agents is not None and vertex_informed is not None
-        rng = make_rng(rng)
-
-        # --- push-pull sub-round -------------------------------------------------
-        callers = self._all_vertices
-        assert callers is not None
-        callees = graph.sample_neighbors(callers, rng)
-        self._messages += int(callers.size)
-        caller_informed = vertex_informed[callers]
-        callee_informed = vertex_informed[callees]
-        newly = np.zeros(graph.num_vertices, dtype=bool)
-        newly[callees[caller_informed & ~callee_informed]] = True
-        newly[callers[~caller_informed & callee_informed]] = True
-        newly &= ~vertex_informed
-        if np.any(newly):
-            vertex_informed |= newly
-            self._informed_vertex_count = int(np.count_nonzero(vertex_informed))
-
-        # --- visit-exchange sub-round --------------------------------------------
-        informed_before_step = agents.informed.copy()
-        agents.step(rng)
-        informing_positions = agents.positions[informed_before_step]
-        if informing_positions.size:
-            new_vertices = np.unique(
-                informing_positions[~vertex_informed[informing_positions]]
-            )
-            if new_vertices.size:
-                vertex_informed[new_vertices] = True
-                self._informed_vertex_count += int(new_vertices.size)
-        # Agents learn from any informed vertex they stand on.
-        agents.informed |= vertex_informed[agents.positions]
-
-    def is_complete(self) -> bool:
-        assert self._graph is not None
-        return self._informed_vertex_count >= self._graph.num_vertices
-
-    def informed_vertex_count(self) -> int:
-        return self._informed_vertex_count
-
-    def informed_agent_count(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_informed
-
-    def num_agents(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_agents
-
-    def messages_sent(self) -> int:
-        return self._messages
-
-    def extra_metadata(self) -> dict:
-        return {"agent_density": self.agent_density, "lazy": self.lazy}

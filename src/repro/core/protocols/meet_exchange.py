@@ -12,25 +12,24 @@ distribution; only *agents* store the rumor:
 
 ``T_meetx`` is the first round by which all agents are informed.  On bipartite
 graphs the walks are made lazy (stay put with probability 1/2), following the
-paper, so that the expected broadcast time is finite.
+paper, so that the expected broadcast time is finite.  The round transition
+lives in :class:`~repro.core.kernels.meet_exchange.MeetExchangeKernel`; this
+class is the single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
-from ...graphs.graph import Graph
-from ..agents import AgentSystem, default_agent_count
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..agents import AgentSystem
+from ..kernels.meet_exchange import MeetExchangeKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["MeetExchangeProtocol"]
 
 
-class MeetExchangeProtocol(RoundProtocol):
-    """Vectorized implementation of MEET-EXCHANGE.
+class MeetExchangeProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized MEET-EXCHANGE kernel.
 
     Parameters
     ----------
@@ -47,6 +46,7 @@ class MeetExchangeProtocol(RoundProtocol):
     """
 
     name = "meet-exchange"
+    kernel_class = MeetExchangeKernel
 
     def __init__(
         self,
@@ -60,109 +60,27 @@ class MeetExchangeProtocol(RoundProtocol):
         self.explicit_num_agents = num_agents
         self.lazy = lazy
         self.one_agent_per_vertex = bool(one_agent_per_vertex)
-
-        self._graph: Optional[Graph] = None
-        self._agents: Optional[AgentSystem] = None
-        self._source: int = -1
-        self._source_still_informs = False
-        self._effective_lazy = False
-
-    # ------------------------------------------------------------------
-    # RoundProtocol interface
-    # ------------------------------------------------------------------
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        rng = make_rng(rng)
-        self._graph = graph
-        self._source = int(source)
-        self._effective_lazy = (
-            bool(self.lazy) if self.lazy is not None else graph.is_bipartite()
+        super().__init__(
+            agent_density=self.agent_density,
+            num_agents=num_agents,
+            lazy=lazy,
+            one_agent_per_vertex=self.one_agent_per_vertex,
         )
-
-        if self.one_agent_per_vertex:
-            agents = AgentSystem.one_per_vertex(graph, lazy=self._effective_lazy)
-        else:
-            count = (
-                int(self.explicit_num_agents)
-                if self.explicit_num_agents is not None
-                else default_agent_count(graph, self.agent_density)
-            )
-            agents = AgentSystem.from_stationary(
-                graph, count, rng, lazy=self._effective_lazy
-            )
-        self._agents = agents
-
-        # Round 0: agents on the source become informed; if none, the source
-        # keeps the rumor until its first visitor arrives.
-        at_source = agents.agents_at(self._source)
-        if at_source.size:
-            agents.inform_agents(at_source)
-            self._source_still_informs = False
-        else:
-            self._source_still_informs = True
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        agents = self._agents
-        assert graph is not None and agents is not None
-        rng = make_rng(rng)
-
-        informed_before = agents.informed.copy()
-        agents.step(rng)
-
-        # The source hands the rumor to its first visitor(s), then goes silent.
-        if self._source_still_informs:
-            visitors = agents.agents_at(self._source)
-            if visitors.size:
-                agents.inform_agents(visitors)
-                self._source_still_informs = False
-                # Agents informed directly by the source may not spread further
-                # this round (they were not informed in a previous round).
-                informed_before_mask = informed_before
-                informed_before = informed_before_mask
-
-        # Meetings: any vertex currently holding an agent informed in a
-        # previous round informs every agent located there.
-        if np.any(informed_before):
-            informed_positions = np.unique(agents.positions[informed_before])
-            meeting_mask = np.isin(agents.positions, informed_positions)
-            newly = meeting_mask & ~agents.informed
-            if np.any(newly):
-                agents.informed |= newly
-
-    def is_complete(self) -> bool:
-        assert self._agents is not None
-        return self._agents.all_informed()
-
-    def informed_vertex_count(self) -> int:
-        # Vertices do not store the rumor in meet-exchange; by convention we
-        # report the source as the single "informed" vertex.
-        return 1
-
-    def informed_agent_count(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_informed
-
-    def num_agents(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_agents
-
-    def extra_metadata(self) -> dict:
-        return {
-            "agent_density": self.agent_density,
-            "lazy": self._effective_lazy,
-            "one_agent_per_vertex": self.one_agent_per_vertex,
-            "source_still_informs": self._source_still_informs,
-        }
 
     # ------------------------------------------------------------------
     # inspection helpers
     # ------------------------------------------------------------------
     def agent_system(self) -> AgentSystem:
-        """The live agent system (not a copy); treat as read-only."""
-        assert self._agents is not None
-        return self._agents
+        """Live view of the run's agents; treat as read-only."""
+        kernel = self.kernel
+        return AgentSystem(
+            graph=kernel.graph,
+            positions=kernel.positions[0],
+            informed=kernel.informed[0],
+            lazy=kernel.effective_lazy,
+        )
 
     @property
     def uses_lazy_walks(self) -> bool:
         """Whether the current run uses lazy walks."""
-        return self._effective_lazy
+        return bool(self.kernel.effective_lazy)

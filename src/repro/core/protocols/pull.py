@@ -6,70 +6,30 @@ the round, becomes informed.  The paper studies PUSH and PUSH-PULL; PULL is
 included here as an additional baseline because the classic analysis
 (Karp et al. 2000) treats PUSH-PULL as the combination of the two directions,
 and having PULL available makes the ablation benchmarks self-contained.
+
+The round transition lives in :class:`~repro.core.kernels.pull.PullKernel`;
+this class is the single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ...graphs.graph import Graph
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..kernels.pull import PullKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["PullProtocol"]
 
 
-class PullProtocol(RoundProtocol):
-    """Vectorized implementation of PULL."""
+class PullProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized PULL kernel."""
 
     name = "pull"
+    kernel_class = PullKernel
 
     def __init__(self) -> None:
-        self._graph: Optional[Graph] = None
-        self._informed: Optional[np.ndarray] = None
-        self._informed_count = 0
-        self._messages = 0
-
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        self._graph = graph
-        self._informed = np.zeros(graph.num_vertices, dtype=bool)
-        self._informed[source] = True
-        self._informed_count = 1
-        self._messages = 0
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        informed = self._informed
-        assert graph is not None and informed is not None
-        rng = make_rng(rng)
-
-        pullers = np.flatnonzero(~informed)
-        if pullers.size == 0:
-            return
-        targets = graph.sample_neighbors(pullers, rng)
-        self._messages += int(pullers.size)
-
-        success = informed[targets]
-        newly = pullers[success]
-        if newly.size:
-            for puller, target in zip(newly.tolist(), targets[success].tolist()):
-                self.observers.on_edge_used(int(puller), int(target))
-            informed[newly] = True
-            self._informed_count += int(newly.size)
-
-    def is_complete(self) -> bool:
-        assert self._graph is not None
-        return self._informed_count >= self._graph.num_vertices
-
-    def informed_vertex_count(self) -> int:
-        return self._informed_count
-
-    def messages_sent(self) -> int:
-        return self._messages
+        super().__init__()
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""
-        assert self._informed is not None
-        return self._informed.copy()
+        return self.kernel.informed[0].copy()

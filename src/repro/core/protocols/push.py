@@ -5,80 +5,30 @@ vertex that was informed *in a previous round* samples a uniformly random
 neighbor and sends it the rumor; an uninformed recipient becomes informed in
 this round (and therefore starts pushing only from the next round).
 
-``T_push`` is the first round by which all vertices are informed.
+``T_push`` is the first round by which all vertices are informed.  The round
+transition itself lives in :class:`~repro.core.kernels.push.PushKernel`; this
+class is the single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ...graphs.graph import Graph
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..kernels.push import PushKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["PushProtocol"]
 
 
-class PushProtocol(RoundProtocol):
-    """Vectorized implementation of PUSH.
-
-    All vertices informed before the current round push simultaneously; the
-    per-round work is one vectorized neighbor sample over the informed set.
-    """
+class PushProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized PUSH kernel."""
 
     name = "push"
+    kernel_class = PushKernel
 
     def __init__(self) -> None:
-        self._graph: Optional[Graph] = None
-        self._informed: Optional[np.ndarray] = None
-        self._informed_count = 0
-        self._messages = 0
-
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        self._graph = graph
-        self._informed = np.zeros(graph.num_vertices, dtype=bool)
-        self._informed[source] = True
-        self._informed_count = 1
-        self._messages = 0
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        informed = self._informed
-        assert graph is not None and informed is not None
-        rng = make_rng(rng)
-
-        senders = np.flatnonzero(informed)
-        if senders.size == 0:
-            return
-        targets = graph.sample_neighbors(senders, rng)
-        self._messages += int(senders.size)
-
-        hits = ~informed[targets]
-        if not np.any(hits):
-            return
-        newly = np.unique(targets[hits])
-        informed[newly] = True
-        self._informed_count += int(newly.size)
-        if self.observers:
-            # Report each newly informed vertex with the first sender that hit
-            # it (matching the former sequential scan over senders).
-            hit_targets = targets[hits]
-            _, first = np.unique(hit_targets, return_index=True)
-            self.observers.on_edges_used(senders[hits][first], hit_targets[first])
-
-    def is_complete(self) -> bool:
-        assert self._graph is not None
-        return self._informed_count >= self._graph.num_vertices
-
-    def informed_vertex_count(self) -> int:
-        return self._informed_count
-
-    def messages_sent(self) -> int:
-        return self._messages
+        super().__init__()
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""
-        assert self._informed is not None
-        return self._informed.copy()
+        return self.kernel.informed[0].copy()

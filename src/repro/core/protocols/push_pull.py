@@ -5,96 +5,34 @@ vertex (informed or not) samples a uniformly random neighbor and the two
 exchange information: if exactly one of the pair was informed before the
 round, the other becomes informed in this round.
 
-``T_ppull`` is the first round by which all vertices are informed.
+``T_ppull`` is the first round by which all vertices are informed.  The round
+transition lives in :class:`~repro.core.kernels.push_pull.PushPullKernel`;
+this class is the single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from ...graphs.graph import Graph
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..kernels.push_pull import PushPullKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["PushPullProtocol"]
 
 
-class PushPullProtocol(RoundProtocol):
-    """Vectorized implementation of PUSH-PULL.
-
-    Every vertex samples each round, so the per-round work is a single
-    vectorized sample of size ``n`` plus two boolean scatter updates (push
-    direction and pull direction).
-    """
+class PushPullProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized PUSH-PULL kernel."""
 
     name = "push-pull"
+    kernel_class = PushPullKernel
 
     def __init__(self, *, track_all_exchanges: bool = False) -> None:
         #: When True, every sampled (caller, callee) pair is reported through
-        #: ``observers.on_edge_used`` — the "bandwidth" view used by the
+        #: ``observers.on_edges_used`` — the "bandwidth" view used by the
         #: fairness analysis — instead of only the informing transmissions.
         self.track_all_exchanges = bool(track_all_exchanges)
-        self._graph: Optional[Graph] = None
-        self._informed: Optional[np.ndarray] = None
-        self._informed_count = 0
-        self._messages = 0
-        self._all_vertices: Optional[np.ndarray] = None
-
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        self._graph = graph
-        self._informed = np.zeros(graph.num_vertices, dtype=bool)
-        self._informed[source] = True
-        self._informed_count = 1
-        self._messages = 0
-        self._all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        informed_before = self._informed
-        assert graph is not None and informed_before is not None
-        rng = make_rng(rng)
-
-        callers = self._all_vertices
-        assert callers is not None
-        callees = graph.sample_neighbors(callers, rng)
-        self._messages += int(callers.size)
-
-        if self.track_all_exchanges and self.observers:
-            self.observers.on_edges_used(callers, callees)
-
-        caller_informed = informed_before[callers]
-        callee_informed = informed_before[callees]
-
-        # Push direction: an informed caller informs an uninformed callee.
-        push_mask = caller_informed & ~callee_informed
-        # Pull direction: an uninformed caller learns from an informed callee.
-        pull_mask = ~caller_informed & callee_informed
-
-        newly_informed = np.zeros(graph.num_vertices, dtype=bool)
-        newly_informed[callees[push_mask]] = True
-        newly_informed[callers[pull_mask]] = True
-        newly_informed &= ~informed_before
-
-        if np.any(newly_informed):
-            if not self.track_all_exchanges and self.observers:
-                self.observers.on_edges_used(callers[push_mask], callees[push_mask])
-                self.observers.on_edges_used(callers[pull_mask], callees[pull_mask])
-            informed_before |= newly_informed
-            self._informed_count = int(np.count_nonzero(informed_before))
-
-    def is_complete(self) -> bool:
-        assert self._graph is not None
-        return self._informed_count >= self._graph.num_vertices
-
-    def informed_vertex_count(self) -> int:
-        return self._informed_count
-
-    def messages_sent(self) -> int:
-        return self._messages
+        super().__init__(track_all_exchanges=self.track_all_exchanges)
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""
-        assert self._informed is not None
-        return self._informed.copy()
+        return self.kernel.informed[0].copy()

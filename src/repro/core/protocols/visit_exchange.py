@@ -12,7 +12,9 @@ stationary distribution.  Both vertices and agents store the rumor:
   another informed agent), the agent becomes informed.
 
 ``T_visitx`` is the first round by which all vertices (and hence all agents)
-are informed.
+are informed.  The round transition lives in
+:class:`~repro.core.kernels.visit_exchange.VisitExchangeKernel`; this class is
+the single-trial adapter for the sequential engine.
 """
 
 from __future__ import annotations
@@ -21,16 +23,15 @@ from typing import Optional
 
 import numpy as np
 
-from ...graphs.graph import Graph
-from ..agents import AgentSystem, default_agent_count
-from ..engine import RoundProtocol
-from ..rng import make_rng
+from ..agents import AgentSystem
+from ..kernels.visit_exchange import VisitExchangeKernel
+from .adapter import KernelProtocolAdapter
 
 __all__ = ["VisitExchangeProtocol"]
 
 
-class VisitExchangeProtocol(RoundProtocol):
-    """Vectorized implementation of VISIT-EXCHANGE.
+class VisitExchangeProtocol(KernelProtocolAdapter):
+    """Sequential adapter for the vectorized VISIT-EXCHANGE kernel.
 
     Parameters
     ----------
@@ -46,12 +47,13 @@ class VisitExchangeProtocol(RoundProtocol):
         Start one agent on every vertex instead of the stationary placement
         (the alternative initialisation mentioned after Lemma 11).
     track_edge_traversals:
-        If True, report every agent traversal through ``observers.on_edge_used``
+        If True, report every agent traversal through ``observers.on_edges_used``
         so the fairness analysis can measure per-edge utilisation.  This adds a
-        Python-level loop per round and is off by default.
+        per-round reporting pass and is off by default.
     """
 
     name = "visit-exchange"
+    kernel_class = VisitExchangeKernel
 
     def __init__(
         self,
@@ -67,112 +69,27 @@ class VisitExchangeProtocol(RoundProtocol):
         self.lazy = bool(lazy)
         self.one_agent_per_vertex = bool(one_agent_per_vertex)
         self.track_edge_traversals = bool(track_edge_traversals)
-
-        self._graph: Optional[Graph] = None
-        self._agents: Optional[AgentSystem] = None
-        self._vertex_informed: Optional[np.ndarray] = None
-        self._informed_vertex_count = 0
-
-    # ------------------------------------------------------------------
-    # RoundProtocol interface
-    # ------------------------------------------------------------------
-    def initialize(self, graph: Graph, source: int, rng) -> None:
-        rng = make_rng(rng)
-        self._graph = graph
-        if self.one_agent_per_vertex:
-            agents = AgentSystem.one_per_vertex(graph, lazy=self.lazy)
-        else:
-            count = (
-                int(self.explicit_num_agents)
-                if self.explicit_num_agents is not None
-                else default_agent_count(graph, self.agent_density)
-            )
-            agents = AgentSystem.from_stationary(graph, count, rng, lazy=self.lazy)
-        self._agents = agents
-
-        self._vertex_informed = np.zeros(graph.num_vertices, dtype=bool)
-        self._vertex_informed[source] = True
-        self._informed_vertex_count = 1
-        # Round 0: agents sitting on the source learn the rumor immediately.
-        agents.inform_agents(agents.agents_at(source))
-
-    def execute_round(self, round_index: int, rng) -> None:
-        graph = self._graph
-        agents = self._agents
-        vertex_informed = self._vertex_informed
-        assert graph is not None and agents is not None and vertex_informed is not None
-        rng = make_rng(rng)
-
-        informed_before_step = agents.informed.copy()
-        previous_positions = agents.step(rng)
-
-        if self.track_edge_traversals and self.observers:
-            moved = previous_positions != agents.positions
-            self.observers.on_edges_used(
-                previous_positions[moved], agents.positions[moved]
-            )
-
-        # Agents informed in a previous round inform the vertices they visit now.
-        informing_positions = agents.positions[informed_before_step]
-        if informing_positions.size:
-            newly_vertices = np.unique(
-                informing_positions[~vertex_informed[informing_positions]]
-            )
-            if newly_vertices.size:
-                vertex_informed[newly_vertices] = True
-                self._informed_vertex_count += int(newly_vertices.size)
-                if not self.track_edge_traversals and self.observers:
-                    # Report the edges that delivered the rumor to new vertices.
-                    carriers = (
-                        informed_before_step
-                        & np.isin(agents.positions, newly_vertices)
-                        & (previous_positions != agents.positions)
-                    )
-                    self.observers.on_edges_used(
-                        previous_positions[carriers], agents.positions[carriers]
-                    )
-
-        # Uninformed agents standing on (now) informed vertices become informed.
-        uninformed_on_informed = ~agents.informed & vertex_informed[agents.positions]
-        if np.any(uninformed_on_informed):
-            agents.informed |= uninformed_on_informed
-
-    def is_complete(self) -> bool:
-        assert self._graph is not None
-        return self._informed_vertex_count >= self._graph.num_vertices
-
-    def informed_vertex_count(self) -> int:
-        return self._informed_vertex_count
-
-    def informed_agent_count(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_informed
-
-    def num_agents(self) -> int:
-        assert self._agents is not None
-        return self._agents.num_agents
-
-    def messages_sent(self) -> int:
-        # Each agent traversal carries one message-equivalent (a token counter
-        # plus the rumor); this matches the paper's communication accounting.
-        return 0
-
-    def extra_metadata(self) -> dict:
-        return {
-            "agent_density": self.agent_density,
-            "lazy": self.lazy,
-            "one_agent_per_vertex": self.one_agent_per_vertex,
-        }
+        super().__init__(
+            agent_density=self.agent_density,
+            num_agents=num_agents,
+            lazy=self.lazy,
+            one_agent_per_vertex=self.one_agent_per_vertex,
+            track_edge_traversals=self.track_edge_traversals,
+        )
 
     # ------------------------------------------------------------------
-    # inspection helpers used by tests and the coupling module
+    # inspection helpers used by tests and analysis code
     # ------------------------------------------------------------------
     def vertex_informed_mask(self) -> np.ndarray:
         """Copy of the per-vertex informed mask."""
-        assert self._vertex_informed is not None
-        return self._vertex_informed.copy()
+        return self.kernel.vertex_informed[0].copy()
 
     def agent_system(self) -> AgentSystem:
-        """The live agent system (not a copy); treat as read-only."""
-        assert self._agents is not None
-        return self._agents
+        """Live view of the run's agents; treat as read-only."""
+        kernel = self.kernel
+        return AgentSystem(
+            graph=kernel.graph,
+            positions=kernel.positions[0],
+            informed=kernel.agent_informed[0],
+            lazy=kernel.lazy,
+        )

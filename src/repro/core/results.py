@@ -94,12 +94,18 @@ class RunResult:
 
 @dataclass
 class TrialSet:
-    """A collection of runs of the same protocol/graph/source configuration."""
+    """A collection of runs of the same protocol/graph/source configuration.
+
+    ``backend`` records which trial-execution backend produced the runs
+    (``"batched"`` or ``"sequential"``); it is stamped by the experiment
+    runner and ``None`` for trial sets assembled by hand.
+    """
 
     protocol: str
     graph_name: str
     num_vertices: int
     results: List[RunResult] = field(default_factory=list)
+    backend: Optional[str] = None
 
     def add(self, result: RunResult) -> None:
         """Append a run result, validating that it matches the configuration."""
@@ -153,6 +159,7 @@ class TrialSet:
             "protocol": self.protocol,
             "graph_name": self.graph_name,
             "num_vertices": self.num_vertices,
+            "backend": self.backend,
             "results": [r.to_dict() for r in self.results],
         }
 

@@ -7,24 +7,35 @@ per-(size, protocol) summaries and per-protocol series that the reporting and
 shape-checking code consumes.
 
 Trial execution dispatches between two backends (``backend`` parameter of
-:func:`run_trial_set`):
+:func:`run_trial_set`); both drive the same vectorized protocol kernels of
+:mod:`repro.core.kernels`, so every protocol (and every protocol option,
+including per-round histories) is available on either path:
 
 * ``"batched"`` — :func:`repro.core.batch.run_batch` advances all trials of a
   cell simultaneously on 2-D numpy state.  This is roughly an order of
-  magnitude faster and is chosen automatically for the four paper protocols.
-* ``"sequential"`` — one :class:`~repro.core.engine.Engine` run per trial.
-  This is the reference path, and the only one that supports per-round
-  histories and observer-instrumented protocol options.
+  magnitude faster and is the default choice for every protocol.
+* ``"sequential"`` — one :class:`~repro.core.engine.Engine` run per trial
+  (each driving its kernel with a single trial).  Kept as the reference path
+  and for observer instrumentation that needs the engine's per-run hooks.
 
-``"auto"`` (the default) picks the batched backend whenever the configuration
-supports it.  Both backends derive trial ``t``'s seed the same way, but they
-consume the random stream differently, so their results agree statistically
-rather than sample-for-sample.
+``"auto"`` (the default) picks the batched backend whenever the protocol has
+a kernel — which is all of them.  Both backends derive trial ``t``'s seed the
+same way, but they consume the random stream differently, so their results
+agree statistically rather than sample-for-sample.
+
+Multi-cell sweeps additionally shard across CPU cores: ``run_experiment``
+accepts ``workers=N`` and schedules one task per (size, protocol) cell on a
+spawn-safe process pool, deriving every seed exactly as the serial path does,
+so the result is bit-identical to ``workers=1`` regardless of scheduling.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.scaling import best_growth_model, power_law_exponent
@@ -153,10 +164,11 @@ def run_trial_set(
     """Run ``trials`` independent runs of one protocol on one graph case.
 
     ``backend`` selects the execution strategy: ``"auto"`` (default) uses the
-    batched multi-trial backend whenever the protocol supports it and no
-    per-round history is requested, ``"batched"`` forces it (raising for
-    unsupported configurations), and ``"sequential"`` forces one engine run
-    per trial.
+    batched multi-trial backend whenever the protocol has a kernel (all
+    registry protocols do), ``"batched"`` forces it (raising for unknown
+    protocol names), and ``"sequential"`` forces one engine run per trial.
+    ``record_history`` works on both backends.  The chosen backend is recorded
+    on the returned :class:`TrialSet` and in every run's metadata.
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
@@ -169,16 +181,9 @@ def run_trial_set(
         case.size_parameter,
     )
     use_batched = backend == "batched" or (
-        backend == "auto"
-        and not record_history
-        and supports_batched(protocol_spec.name, protocol_spec.kwargs)
+        backend == "auto" and supports_batched(protocol_spec.name, protocol_spec.kwargs)
     )
     if use_batched:
-        if record_history:
-            raise ValueError(
-                "per-round histories require the sequential backend; "
-                'use backend="auto" or backend="sequential" with record_history=True'
-            )
         seeds = trial_seeds(base_seed, *seed_components, trials=trials)
         batch = run_batch(
             protocol_spec.name,
@@ -186,24 +191,88 @@ def run_trial_set(
             case.source,
             seeds=seeds,
             max_rounds=max_rounds,
+            record_history=record_history,
             **protocol_spec.kwargs,
         )
-        return batch.to_trial_set()
+        trial_set = batch.to_trial_set()
+    else:
+        engine = Engine(max_rounds=max_rounds, record_history=record_history)
+        results: List[RunResult] = []
+        for trial_index in range(trials):
+            seed = derive_seed(base_seed, *seed_components, trial_index)
+            protocol = make_protocol(protocol_spec.name, **protocol_spec.kwargs)
+            results.append(engine.run(protocol, case.graph, case.source, seed=seed))
+        trial_set = TrialSet(
+            protocol=protocol_spec.name,
+            graph_name=case.graph.name,
+            num_vertices=case.graph.num_vertices,
+        )
+        for result in results:
+            trial_set.add(result)
 
-    engine = Engine(max_rounds=max_rounds, record_history=record_history)
-    results: List[RunResult] = []
-    for trial_index in range(trials):
-        seed = derive_seed(base_seed, *seed_components, trial_index)
-        protocol = make_protocol(protocol_spec.name, **protocol_spec.kwargs)
-        results.append(engine.run(protocol, case.graph, case.source, seed=seed))
-    trial_set = TrialSet(
-        protocol=protocol_spec.name,
-        graph_name=case.graph.name,
-        num_vertices=case.graph.num_vertices,
-    )
-    for result in results:
-        trial_set.add(result)
+    chosen = "batched" if use_batched else "sequential"
+    trial_set.backend = chosen
+    for result in trial_set.results:
+        result.metadata["backend"] = chosen
     return trial_set
+
+
+def _materialize_case(case_payload: Tuple) -> GraphCase:
+    """Resolve a cell task's graph payload into a :class:`GraphCase`.
+
+    ``("case", case)`` ships an already-built case; ``("build", (builder,
+    size, seed))`` defers construction to the worker, which keeps the parent
+    from holding (and serializing) every sweep graph when the configuration's
+    builder is picklable.  Builders are deterministic functions of
+    ``(size, seed)``, so a deferred build yields the same graph everywhere.
+    """
+    kind, payload = case_payload
+    if kind == "case":
+        return payload
+    builder, size_parameter, case_seed = payload
+    return builder(size_parameter, case_seed)
+
+
+def _run_cell(task: Tuple) -> CellResult:
+    """Run one (size, protocol) cell; the unit of work of the cell scheduler.
+
+    The payload carries the graph payload plus plain data (spec, trial count,
+    budget) rather than the :class:`ExperimentConfig` itself — configs hold
+    non-picklable ``max_rounds`` lambdas, while cases and specs cross a spawn
+    boundary cleanly.  All seeds are re-derived inside :func:`run_trial_set`
+    from the same components as the serial path, so cell results do not
+    depend on where (or in which order) they execute.
+    """
+    (experiment_id, base_seed, spec, case_payload, size_parameter, trials, budget, backend) = task
+    case = _materialize_case(case_payload)
+    trial_set = run_trial_set(
+        spec,
+        case,
+        trials=trials,
+        base_seed=base_seed,
+        experiment_id=experiment_id,
+        max_rounds=budget,
+        backend=backend,
+    )
+    return CellResult(
+        experiment_id=experiment_id,
+        size_parameter=size_parameter,
+        num_vertices=case.num_vertices,
+        protocol_label=spec.display_label,
+        protocol_name=spec.name,
+        trials=trial_set,
+        summary=summarize_trials(trial_set),
+    )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument: None/0 → serial, negative → CPU count."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        return max(os.cpu_count() or 1, 1)
+    return max(workers, 1)
 
 
 def run_experiment(
@@ -213,40 +282,69 @@ def run_experiment(
     sizes: Optional[Sequence[int]] = None,
     trials: Optional[int] = None,
     backend: str = "auto",
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run a full experiment sweep.
 
     ``sizes`` and ``trials`` override the configuration (used by tests and
     benchmarks to run scaled-down versions of the registered experiments);
     ``backend`` is forwarded to :func:`run_trial_set` for every cell.
+
+    ``workers`` schedules the (size, protocol) cells on a process pool of that
+    many workers (``-1`` = one per CPU), stacking multi-core scaling on top of
+    the within-cell batching.  The pool uses the ``spawn`` start method (safe
+    with threaded BLAS in forked children) and every worker derives its cell's
+    seeds exactly as the serial path does, so results are identical to
+    ``workers=1``.
     """
     sweep = tuple(sizes) if sizes is not None else config.sizes
     num_trials = int(trials) if trials is not None else config.trials
     result = ExperimentResult(config=config, base_seed=base_seed)
 
+    pool_size = min(resolve_workers(workers), len(sweep) * len(config.protocols))
+    # When the builder itself crosses the spawn boundary, workers build their
+    # own graphs: each task payload stays a few hundred bytes instead of a
+    # full CSR graph per cell, and the parent never holds the whole sweep's
+    # graphs at once.  Unpicklable builders (lambdas, closures) fall back to
+    # shipping the built case.
+    defer_build = False
+    if pool_size > 1:
+        try:
+            pickle.dumps(config.graph_builder)
+            defer_build = True
+        except Exception:
+            defer_build = False
+
+    tasks = []
     for size_parameter in sweep:
         case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
-        case = config.build_case(size_parameter, case_seed)
+        if defer_build:
+            case_payload = ("build", (config.graph_builder, size_parameter, case_seed))
+        else:
+            case_payload = ("case", config.build_case(size_parameter, case_seed))
         budget = config.round_budget(size_parameter)
         for spec in config.protocols:
-            trial_set = run_trial_set(
-                spec,
-                case,
-                trials=num_trials,
-                base_seed=base_seed,
-                experiment_id=config.experiment_id,
-                max_rounds=budget,
-                backend=backend,
-            )
-            result.cells.append(
-                CellResult(
-                    experiment_id=config.experiment_id,
-                    size_parameter=size_parameter,
-                    num_vertices=case.num_vertices,
-                    protocol_label=spec.display_label,
-                    protocol_name=spec.name,
-                    trials=trial_set,
-                    summary=summarize_trials(trial_set),
+            tasks.append(
+                (
+                    config.experiment_id,
+                    base_seed,
+                    spec,
+                    case_payload,
+                    size_parameter,
+                    num_trials,
+                    budget,
+                    backend,
                 )
             )
+
+    if pool_size > 1:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=get_context("spawn")
+        ) as pool:
+            # Submission order == serial order, so collecting in submission
+            # order reassembles the exact serial cell sequence.
+            futures = [pool.submit(_run_cell, task) for task in tasks]
+            result.cells.extend(future.result() for future in futures)
+    else:
+        result.cells.extend(_run_cell(task) for task in tasks)
     return result

@@ -25,6 +25,7 @@ from repro.core.batch import (
     supports_batched,
     trial_seeds,
 )
+from repro.core.protocols import PROTOCOL_REGISTRY
 from repro.core.rng import derive_seed
 from repro.experiments.config import GraphCase, ProtocolSpec
 from repro.experiments.runner import run_trial_set
@@ -156,22 +157,21 @@ class TestCompletionMasking:
 
 
 class TestValidationAndDispatch:
-    def test_unsupported_protocol_rejected(self, star_case):
+    def test_unknown_protocol_rejected(self, star_case):
         with pytest.raises(ValueError, match="no batched kernel"):
-            run_batch("pull", star_case.graph, 0, seeds=[1])
+            run_batch("gossip-9000", star_case.graph, 0, seeds=[1])
 
-    def test_observer_kwargs_rejected(self, star_case):
-        assert not supports_batched("push-pull", {"track_all_exchanges": True})
-        assert not supports_batched("visit-exchange", {"track_edge_traversals": True})
-        with pytest.raises(ValueError, match="no batched kernel"):
-            run_batch(
-                "push-pull", star_case.graph, 0, seeds=[1], track_all_exchanges=True
-            )
-
-    def test_supported_configurations(self):
-        assert supports_batched("push")
+    def test_all_registry_protocols_supported(self):
+        # The kernels are the single source of truth: every registry protocol
+        # (including pull, the hybrid and the observer-instrumented options)
+        # runs on the batched backend.
+        assert BATCHED_PROTOCOLS == set(PROTOCOL_REGISTRY)
+        for protocol in PROTOCOL_REGISTRY:
+            assert supports_batched(protocol)
+        assert supports_batched("push-pull", {"track_all_exchanges": True})
+        assert supports_batched("visit-exchange", {"track_edge_traversals": True})
         assert supports_batched("meet-exchange", {"lazy": True, "agent_density": 2.0})
-        assert not supports_batched("hybrid-ppull-visitx")
+        assert supports_batched("hybrid-ppull-visitx")
 
     def test_empty_seed_list_rejected(self, star_case):
         with pytest.raises(ValueError):
@@ -191,26 +191,40 @@ class TestValidationAndDispatch:
             )
         with pytest.raises(ValueError, match="no batched kernel"):
             run_trial_set(
-                ProtocolSpec("pull"), star_case, trials=1, base_seed=0, backend="batched"
-            )
-
-    def test_runner_batched_rejects_record_history(self, star_case):
-        with pytest.raises(ValueError, match="sequential backend"):
-            run_trial_set(
-                ProtocolSpec("push"),
+                ProtocolSpec("gossip-9000"),
                 star_case,
                 trials=1,
                 base_seed=0,
                 backend="batched",
-                record_history=True,
             )
 
-    def test_runner_auto_falls_back_for_unsupported(self, star_case):
-        # "pull" has no batched kernel; auto dispatch must still produce results.
+    def test_runner_batched_records_history(self, star_case):
         trials = run_trial_set(
+            ProtocolSpec("push"),
+            star_case,
+            trials=3,
+            base_seed=0,
+            backend="batched",
+            record_history=True,
+        )
+        for result in trials.results:
+            history = result.informed_vertex_history
+            assert history[0] == 1
+            assert len(history) == result.broadcast_time + 1
+            assert history[-1] == star_case.graph.num_vertices
+            assert all(b >= a for a, b in zip(history, history[1:]))
+
+    def test_runner_records_chosen_backend(self, star_case):
+        batched = run_trial_set(
             ProtocolSpec("pull"), star_case, trials=2, base_seed=0, backend="auto"
         )
-        assert len(trials) == 2
+        assert batched.backend == "batched"
+        assert all(r.metadata["backend"] == "batched" for r in batched.results)
+        sequential = run_trial_set(
+            ProtocolSpec("pull"), star_case, trials=2, base_seed=0, backend="sequential"
+        )
+        assert sequential.backend == "sequential"
+        assert all(r.metadata["backend"] == "sequential" for r in sequential.results)
 
 
 class TestResultPackaging:
