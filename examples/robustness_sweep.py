@@ -1,0 +1,87 @@
+"""Robustness sweep: how PUSH vs VISIT-EXCHANGE degrade under link failures.
+
+The paper motivates agent-based dissemination partly by robustness (Sections
+1 and 9): a push call over a dead link is simply lost, while an agent whose
+traversal is blocked stays put and tries again next round.  This example
+quantifies the degradation on a random regular graph — the setting of
+Theorem 1, where both protocols are logarithmic without failures — by
+sweeping the per-round Bernoulli edge-failure rate with the dynamic-topology
+layer (``repro.graphs.dynamic``) and comparing mean broadcast times.
+
+Because trial seeds do not depend on the failure rate, every rate is
+seed-paired with the failure-free baseline: the "slowdown" column is a
+paired comparison, not two independent samples.
+
+Run with::
+
+    python examples/robustness_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core.batch import run_batch, trial_seeds
+from repro.graphs import random_regular_graph
+
+FAILURE_RATES = (0.0, 0.1, 0.2, 0.4)
+PROTOCOLS = ("push", "visit-exchange")
+
+
+def build_graph(n: int = 512):
+    """A random regular graph in the paper's d = Theta(log n) regime."""
+    degree = max(4, int(2 * np.log2(n)))
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, np.random.default_rng(23))
+
+
+def sweep(graph, trials: int = 30):
+    """Mean broadcast time per (protocol, failure rate), seed-paired."""
+    results = {}
+    for protocol in PROTOCOLS:
+        seeds = trial_seeds(0, "robustness-sweep", protocol, trials=trials)
+        for rate in FAILURE_RATES:
+            dynamics = (
+                {"kind": "bernoulli-edges", "rate": rate, "seed": 17} if rate else None
+            )
+            batch = run_batch(protocol, graph, 0, seeds=seeds, dynamics=dynamics)
+            assert batch.completed.all()
+            results[(protocol, rate)] = batch.mean_broadcast_time()
+    return results
+
+
+def main(n: int = 512) -> None:
+    graph = build_graph(n)
+    results = sweep(graph)
+
+    rows = []
+    for protocol in PROTOCOLS:
+        baseline = results[(protocol, 0.0)]
+        for rate in FAILURE_RATES:
+            mean = results[(protocol, rate)]
+            rows.append(
+                [protocol, rate, round(mean, 2), f"{mean / baseline:.2f}x"]
+            )
+    print(
+        format_table(
+            ["protocol", "edge-failure rate f", "mean rounds", "slowdown vs f=0"],
+            rows,
+            title=f"Broadcast time under per-round Bernoulli link failures on {graph.name}",
+        )
+    )
+    print(
+        "\nBoth protocols degrade smoothly — roughly the 1/(1-f) retransmission "
+        "factor — rather than collapsing: a lost push is retried by the next "
+        "round's sampling, and a blocked agent walks again.  The separations "
+        "of the paper are about *topology*, not fragility; the robustness "
+        "contrast appears with persistent failures (try "
+        "dynamics={'kind': 'edge-churn', 'fail_rate': 0.05, 'recover_rate': 0.2} "
+        "or a permanent 'node-crashes' schedule, where agents can be lost "
+        "for good, as Section 9 anticipates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,7 @@ from ..graphs import (
     siamese_heavy_binary_tree,
     star,
 )
+from ..graphs.dynamic import resolve_dynamics
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +112,23 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
             "(-1 = one per CPU); the default runs cells serially"
         ),
     )
+    _add_dynamics_option(parser)
+
+
+def _add_dynamics_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dynamics",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "dynamic-topology schedule applied to every run, as "
+            "'<kind>:key=value,key=value' — e.g. 'bernoulli-edges:rate=0.1' "
+            "(per-round Bernoulli edge failures), "
+            "'flapping:period=10,down_rounds=5,edge_fraction=0.2', "
+            "'node-crashes:crash_round=5,fraction=0.1,duration=20', "
+            "'edge-churn:fail_rate=0.05,recover_rate=0.5'"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--source", type=int, default=0)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.add_argument("--agent-density", type=float, default=1.0)
+    _add_dynamics_option(simulate_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="regenerate the Markdown experiment report"
@@ -174,6 +193,7 @@ def _run_one(
     scale: float,
     backend: str = "auto",
     workers: Optional[int] = None,
+    dynamics: Optional[str] = None,
 ):
     config = get_experiment(experiment_id)
     sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
@@ -184,6 +204,7 @@ def _run_one(
         trials=trials,
         backend=backend,
         workers=workers,
+        dynamics=resolve_dynamics(dynamics),
     )
 
 
@@ -198,7 +219,13 @@ def _command_list() -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     result = _run_one(
-        args.experiment_id, args.seed, args.trials, args.scale, args.backend, args.workers
+        args.experiment_id,
+        args.seed,
+        args.trials,
+        args.scale,
+        args.backend,
+        args.workers,
+        args.dynamics,
     )
     if args.markdown:
         print(experiment_markdown_section(result))
@@ -210,7 +237,13 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_run_all(args: argparse.Namespace) -> int:
     for experiment_id in list_experiment_ids():
         result = _run_one(
-            experiment_id, args.seed, args.trials, args.scale, args.backend, args.workers
+            experiment_id,
+            args.seed,
+            args.trials,
+            args.scale,
+            args.backend,
+            args.workers,
+            args.dynamics,
         )
         print(experiment_table(result))
         print()
@@ -222,6 +255,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.protocol in ("visit-exchange", "meet-exchange", "hybrid-ppull-visitx"):
         kwargs["agent_density"] = args.agent_density
+    if args.dynamics is not None:
+        kwargs["dynamics"] = resolve_dynamics(args.dynamics)
     result = simulate(
         args.protocol, graph, source=args.source, seed=args.seed, **kwargs
     )

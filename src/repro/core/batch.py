@@ -159,6 +159,7 @@ def run_batch(
     max_rounds: Optional[int] = None,
     record_history: bool = False,
     observers: Optional[Sequence] = None,
+    dynamics=None,
     **protocol_kwargs,
 ) -> BatchResult:
     """Run ``len(seeds)`` independent trials of ``protocol`` simultaneously.
@@ -187,6 +188,14 @@ def run_batch(
         hook sequence the sequential engine would deliver for its trial
         (``on_run_start``, per-round ``on_round_end``, ``on_edges_used`` for
         informing transmissions, ``on_run_end``).  Falsy groups cost nothing.
+    dynamics:
+        Optional dynamic-topology spec — a
+        :class:`~repro.graphs.dynamic.TopologySchedule`, a spec dict or a spec
+        string (see :func:`repro.graphs.dynamic.resolve_dynamics`).  The
+        schedule's per-round activity masks are shared by every trial of the
+        batch; interactions over inactive edges or with inactive vertices do
+        not happen.  Masking consumes no randomness, so an all-active schedule
+        reproduces the undynamic per-trial results bit for bit.
     protocol_kwargs:
         Forwarded to the kernel (``agent_density``, ``num_agents``, ``lazy``,
         ``one_agent_per_vertex``, ``track_all_exchanges``,
@@ -207,6 +216,8 @@ def run_batch(
     gens = [batch_generator(seed) for seed in seeds]
     num_trials = len(gens)
     kernel = kernel_class(**protocol_kwargs)
+    if dynamics is not None:
+        kernel.dynamics = dynamics
     if observers is not None:
         observers = list(observers)
         if len(observers) != num_trials:

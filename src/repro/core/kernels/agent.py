@@ -56,9 +56,7 @@ class AgentWalkKernel(BatchKernel):
         )
         if self._num_agents < 1:
             raise ValueError("need at least one agent")
-        slot_sources = np.repeat(
-            np.arange(graph.num_vertices, dtype=np.int64), graph.degrees
-        )
+        slot_sources = graph.slot_sources()
         uniforms = np.empty((num_trials, self._num_agents))
         for t, gen in enumerate(gens):
             gen.random(out=uniforms[t])
@@ -75,15 +73,34 @@ class AgentWalkKernel(BatchKernel):
         self._masked = self._walk_sampler.offsets
         self._gathered = np.empty(shape, dtype=bool)
         self._row_base1 = self._materialized_row_base(self._num_agents)
+        # Lazily allocated on the first round with a materialized vertex mask.
+        self._vertex_ok = None
 
     def _walk_rows(self, k: int) -> np.ndarray:
         """One walk step for the first ``k`` rows; returns the new positions.
 
         ``self.positions`` is left untouched so callers can still read the
         pre-step positions (edge reporting, meeting rules); they commit the
-        move by assigning the returned buffer back into ``positions``.
+        move by assigning the returned buffer back into ``positions``.  Under
+        a topology schedule, blocked traversals already resolve to "stay put".
         """
         return self._walk_sampler.sample_walk(k, self.positions[:k])
+
+    def _vertex_ok_rows(self, k: int, positions: np.ndarray) -> Optional[np.ndarray]:
+        """(k, agents) activity of the vertices the agents stand on, or None.
+
+        ``None`` whenever the round has no vertex mask — agent/vertex
+        interactions are then unrestricted, which is the common fast path.
+        """
+        if self._vertex_active is None:
+            return None
+        if self._vertex_ok is None:
+            self._vertex_ok = np.empty(
+                (self.num_trials, self._num_agents), dtype=bool
+            )
+        out = self._vertex_ok[:k]
+        np.take(self._vertex_active, positions, out=out, mode="clip")
+        return out
 
     def num_agents(self) -> int:
         return self._num_agents

@@ -28,6 +28,15 @@ Design notes
   (:attr:`BatchKernel.trial_observers`); kernels report informing edges
   through the batch hook ``on_edges_used`` on a slow path that only runs when
   a truthy group is attached.
+* **Dynamic topology.**  A kernel can carry a
+  :class:`~repro.graphs.dynamic.TopologySchedule`
+  (:attr:`BatchKernel.dynamics`, set by the driver before
+  :meth:`initialize`): each round the schedule's activity masks are expanded
+  once into a directed-slot mask shared by every trial, and the samplers
+  gather it at their sampled offsets — the CSR adjacency is never rebuilt.
+  Masking consumes no randomness, so attaching a schedule leaves every
+  trial's draw stream untouched; a round whose masks are ``None``
+  (all-active) takes exactly the undynamic code path.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...graphs.dynamic import DynamicsRuntime, resolve_dynamics
 from ...graphs.graph import Graph
 
 __all__ = ["BatchKernel", "NeighborSampler", "batch_generator"]
@@ -73,6 +83,12 @@ class BatchKernel:
     #: One ObserverGroup per trial (indexed by original trial id), or None.
     #: Set by the driver *before* :meth:`initialize`.
     trial_observers: Optional[Sequence] = None
+
+    #: Optional dynamic-topology spec (anything
+    #: :func:`repro.graphs.dynamic.resolve_dynamics` accepts).  Set by the
+    #: driver *before* :meth:`initialize`; the schedule is shared by every
+    #: trial of the batch.
+    dynamics = None
 
     # ------------------------------------------------------------------
     # interface implemented by the protocol kernels
@@ -123,6 +139,11 @@ class BatchKernel:
         self._any_observers = bool(self.trial_observers) and any(
             bool(group) for group in self.trial_observers
         )
+        schedule = resolve_dynamics(self.dynamics)
+        self._dyn = DynamicsRuntime(schedule, graph) if schedule is not None else None
+        #: Per-round masks shared by all trials (None = everything active).
+        self._slot_active: Optional[np.ndarray] = None
+        self._vertex_active: Optional[np.ndarray] = None
 
     def _observer_for_row(self, row: int):
         """ObserverGroup of the trial currently held by ``row`` (may be falsy)."""
@@ -132,9 +153,14 @@ class BatchKernel:
     _DRAW_BLOCK = 4
 
     def _begin_round(self) -> None:
-        """Advance the block draw phase; call exactly once per :meth:`step`."""
+        """Advance the block draw phase and fetch the round's activity masks;
+        call exactly once per :meth:`step`."""
         self._draw_phase = self._round_count % self._DRAW_BLOCK
         self._round_count += 1
+        if self._dyn is not None:
+            self._slot_active, self._vertex_active = self._dyn.round_masks(
+                self._round_count
+            )
 
     def _register_rows(self, *arrays: np.ndarray) -> None:
         """Arrays with one row (or element) per trial, kept compact by swaps."""
@@ -222,6 +248,14 @@ class NeighborSampler:
     back to 32 bits.  Typed degree scalars/arrays keep the ufunc loops in the
     wide integer type (a weak Python-int operand would select the uint16 loop
     and overflow).
+
+    Dynamic topology: when the kernel carries a schedule, the sampler also
+    gathers the round's directed-slot activity at the sampled offsets —
+    :meth:`round_ok` then answers, per sample, whether that interaction may
+    happen this round (edge up, both endpoints alive).  The draw itself is
+    unchanged (masking costs one gather, no randomness), and
+    :meth:`sample_walk` additionally applies the movement semantics directly:
+    an agent whose sampled traversal is blocked stays put.
     """
 
     def __init__(self, kernel: BatchKernel, width: int, *, lazy: bool = False) -> None:
@@ -241,6 +275,12 @@ class NeighborSampler:
         self.offsets = np.empty(shape, dtype=np.int64)
         self._starts = np.empty(shape, dtype=np.int64)
         self.sampled = np.empty(shape, dtype=np.int64)
+        # Per-sample activity of the round's topology masks; allocated lazily
+        # on the first round whose masks are materialized (see round_ok), so
+        # all-active schedules cost nothing here.
+        self.active = None
+        self._blocked = None
+        self._active_valid = False
         # d-regular graphs admit a scalar fast path: every degree is d and the
         # CSR row of vertex v starts exactly at v * d.
         self._regular_degree = (
@@ -276,6 +316,12 @@ class NeighborSampler:
         np.right_shift(scaled, self.offset_bits, out=scaled)
         np.add(starts, scaled, out=offsets)
         np.take(graph.indices, offsets, out=out, mode="clip")
+        # A blocked traversal (edge down, or either endpoint crashed) leaves
+        # the agent where it is; a lazy stay overrides either way.
+        self._gather_active(k)
+        if self._active_valid:
+            blocked = np.logical_not(self.active[:k], out=self._blocked[:k])
+            np.copyto(out, positions, where=blocked)
         if self._lazy_stream is not None:
             lazy = self._kernel._raw_values(k, self._lazy_stream)
             stay = self._stay[:k]
@@ -302,4 +348,28 @@ class NeighborSampler:
         np.right_shift(scaled, self.offset_bits, out=scaled)
         np.add(scaled, self._vertex_starts, out=offsets)
         np.take(graph.indices, offsets, out=out, mode="clip")
+        self._gather_active(k)
         return out
+
+    def _gather_active(self, k: int) -> None:
+        """Gather this round's slot activity at the sampled offsets.
+
+        Must run while ``offsets`` still holds the sample's flat CSR slots
+        (kernels reuse that buffer as scatter scratch afterwards).
+        """
+        slot_active = self._kernel._slot_active
+        self._active_valid = slot_active is not None
+        if self._active_valid:
+            if self.active is None:
+                shape = (self._kernel.num_trials, self.width)
+                self.active = np.empty(shape, dtype=bool)
+                self._blocked = np.empty(shape, dtype=bool)
+            np.take(slot_active, self.offsets[:k], out=self.active[:k], mode="clip")
+
+    def round_ok(self, k: int) -> Optional[np.ndarray]:
+        """(k, width) per-sample activity of the round, or None (all active).
+
+        Valid after the round's sample call; ``None`` on rounds with no
+        materialized masks, which is the all-active fast path.
+        """
+        return self.active[:k] if self._active_valid else None

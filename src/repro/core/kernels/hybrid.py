@@ -76,30 +76,41 @@ class HybridKernel(AgentWalkKernel):
         # --- push-pull sub-round -------------------------------------------
         vertex_informed = self.vertex_informed[:k]
         callees = self._vertex_sampler.sample_per_vertex(k)
+        ok = self._vertex_sampler.round_ok(k)
         callee_flat = self._callee_flat[:k]
         np.add(callees, self._vertex_row_base1[:k], out=callee_flat)
         callee_informed = self._vertex_gathered[:k]
         np.take(self._vertex_flat, callee_flat, out=callee_informed, mode="clip")
         vertex_masked = self._vertex_masked[:k]
         push_mask = np.greater(vertex_informed, callee_informed, out=self._pull_scratch[:k])
+        if ok is not None:
+            push_mask &= ok
         np.multiply(callee_flat, push_mask, out=vertex_masked)
         pull_mask = np.greater(callee_informed, vertex_informed, out=push_mask)
+        if ok is not None:
+            pull_mask &= ok
         self._vertex_flat[vertex_masked] = True
         vertex_informed |= pull_mask
         self._messages[:k] += self.graph.num_vertices
 
         # --- visit-exchange sub-round --------------------------------------
         new_positions = self._walk_rows(k)
+        vertex_ok = self._vertex_ok_rows(k, new_positions)
         informed_agents = self.agent_informed[:k]
         position_flat = self._position_flat[:k]
         np.add(self._row_base1[:k], new_positions, out=position_flat)
-        # Agents informed in a previous round inform the vertices they visit.
+        # Agents informed in a previous round inform the vertices they visit
+        # (crashed vertices host no agent/vertex interactions either way).
         agent_masked = self._masked[:k]
         np.multiply(position_flat, informed_agents, out=agent_masked)
+        if vertex_ok is not None:
+            np.multiply(agent_masked, vertex_ok, out=agent_masked)
         self._vertex_flat[agent_masked] = True
         # Agents learn from any informed vertex they stand on.
         on_informed = self._gathered[:k]
         np.take(self._vertex_flat, position_flat, out=on_informed, mode="clip")
+        if vertex_ok is not None:
+            on_informed &= vertex_ok
         informed_agents |= on_informed
 
         self.counts[:k] = vertex_informed.sum(axis=1)

@@ -56,14 +56,17 @@ class MeetExchangeKernel(AgentWalkKernel):
     def step(self, k):
         self._begin_round()
         new_positions = self._walk_rows(k)
+        vertex_ok = self._vertex_ok_rows(k, new_positions)
         informed_before = self.informed[:k].copy()
 
         # The source hands the rumor to its first visitor(s), then goes silent.
         # Agents informed directly by the source may not spread further this
         # round (they were not informed in a previous round), hence the copy of
-        # ``informed_before`` above.
+        # ``informed_before`` above.  A crashed source informs nobody.
         still_informs = self.source_still_informs[:k]
-        if np.any(still_informs):
+        if np.any(still_informs) and (
+            self._vertex_active is None or self._vertex_active[self.source]
+        ):
             at_source = new_positions == self.source
             visited = at_source.any(axis=1) & still_informs
             if np.any(visited):
@@ -71,16 +74,21 @@ class MeetExchangeKernel(AgentWalkKernel):
                 still_informs &= ~visited
 
         # Meetings: every vertex holding an agent informed in a previous round
-        # informs all agents located there.
+        # informs all agents located there.  Crashed vertices host no
+        # meetings: agents stuck on one neither give nor receive the rumor.
         informed_here = self._meeting_flat[: k * self.graph.num_vertices + 1]
         informed_here[...] = False
         local_flat = self._position_flat[:k]
         masked = self._masked[:k]
         np.add(self._row_base1[:k], new_positions, out=local_flat)
         np.multiply(local_flat, informed_before, out=masked)
+        if vertex_ok is not None:
+            np.multiply(masked, vertex_ok, out=masked)
         informed_here[masked] = True
         met = self._gathered[:k]
         np.take(informed_here, local_flat, out=met, mode="clip")
+        if vertex_ok is not None:
+            met &= vertex_ok
         self.informed[:k] |= met
         self.positions[:k] = new_positions
 

@@ -32,13 +32,17 @@ class PullKernel(VertexKernel):
         self._begin_round()
         informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)
+        ok = self._sampler.round_ok(k)
         callee_informed = self._gathered[:k]
         np.take(self._informed_flat, callee_flat, out=callee_informed, mode="clip")
         # One message per uninformed puller.
         self._messages[:k] += self.graph.num_vertices - self.counts[:k]
         # For booleans ``a > b`` is exactly ``a & ~b``: an uninformed puller
-        # whose callee was informed before the round learns the rumor.
+        # whose callee was informed before the round learns the rumor — if
+        # the round's topology allows the call at all.
         pull_mask = np.greater(callee_informed, informed, out=self._pull_scratch[:k])
+        if ok is not None:
+            pull_mask &= ok
         if self._any_observers:
             self._report_edges(k, callees, pull_mask)
         informed |= pull_mask

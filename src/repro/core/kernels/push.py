@@ -5,6 +5,9 @@ vertex that was informed *in a previous round* samples a uniformly random
 neighbor and sends it the rumor; an uninformed recipient becomes informed in
 this round (and therefore starts pushing only from the next round).
 ``T_push`` is the first round by which all vertices are informed.
+
+Under a dynamic topology a push whose sampled edge is down (or whose caller
+or callee is crashed) is lost; the message still counts as sent.
 """
 
 from __future__ import annotations
@@ -25,24 +28,31 @@ class PushKernel(VertexKernel):
         self._begin_round()
         informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)
+        ok = self._sampler.round_ok(k)
         if self._any_observers:
-            self._report_edges(k, callees)
+            self._report_edges(k, callees, ok)
         masked = self._masked[:k]
         np.multiply(callee_flat, informed, out=masked)
+        if ok is not None:
+            np.multiply(masked, ok, out=masked)
         self._messages[:k] += self.counts[:k]
         self._informed_flat[masked] = True
         self.counts[:k] = informed.sum(axis=1)
 
-    def _report_edges(self, k, callees):
+    def _report_edges(self, k, callees, ok):
         """Report each newly informed vertex with the first sender that hit it
         (matching the sequential protocol's former scan over senders).  Runs
-        before the scatter so ``informed`` is still the pre-round state."""
+        before the scatter so ``informed`` is still the pre-round state; only
+        transmissions the round's topology masks allow are considered."""
         for row in range(k):
             group = self._observer_for_row(row)
             if not group:
                 continue
             informed_row = self.informed[row]
-            senders = np.flatnonzero(informed_row)
+            if ok is not None:
+                senders = np.flatnonzero(informed_row & ok[row])
+            else:
+                senders = np.flatnonzero(informed_row)
             targets = callees[row, senders]
             hits = ~informed_row[targets]
             if not np.any(hits):

@@ -33,37 +33,51 @@ class PushPullKernel(VertexKernel):
         graph = self.graph
         caller_informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)
+        ok = self._sampler.round_ok(k)
         callee_informed = self._gathered[:k]
         np.take(self._informed_flat, callee_flat, out=callee_informed, mode="clip")
 
         if self._any_observers:
-            self._report_edges(k, callees, caller_informed, callee_informed)
+            self._report_edges(k, callees, caller_informed, callee_informed, ok)
 
         # Push direction: informed caller informs its callee; pull direction:
         # uninformed caller learns from an informed callee.  Both masks are
         # materialized from the pre-round state before any update is applied
-        # (for booleans ``a > b`` is exactly ``a & ~b``).
+        # (for booleans ``a > b`` is exactly ``a & ~b``); an exchange over an
+        # inactive edge does not happen in either direction.
         masked = self._masked[:k]
         push_mask = np.greater(caller_informed, callee_informed, out=self._pull_scratch[:k])
+        if ok is not None:
+            push_mask &= ok
         np.multiply(callee_flat, push_mask, out=masked)
         pull_mask = np.greater(callee_informed, caller_informed, out=push_mask)
+        if ok is not None:
+            pull_mask &= ok
         self._informed_flat[masked] = True
         caller_informed |= pull_mask
         self.counts[:k] = caller_informed.sum(axis=1)
         self._messages[:k] += graph.num_vertices
 
-    def _report_edges(self, k, callees, caller_informed, callee_informed):
-        """Report exchanges before any update (pre-round informed state)."""
+    def _report_edges(self, k, callees, caller_informed, callee_informed, ok):
+        """Report exchanges before any update (pre-round informed state);
+        exchanges blocked by the round's topology masks are not reported."""
         callers = np.arange(self.graph.num_vertices, dtype=np.int64)
         for row in range(k):
             group = self._observer_for_row(row)
             if not group:
                 continue
             if self.track_all_exchanges:
-                group.on_edges_used(callers, callees[row])
+                if ok is None:
+                    group.on_edges_used(callers, callees[row])
+                else:
+                    active = ok[row]
+                    group.on_edges_used(callers[active], callees[row][active])
                 continue
             push_mask = caller_informed[row] & ~callee_informed[row]
             pull_mask = ~caller_informed[row] & callee_informed[row]
+            if ok is not None:
+                push_mask = push_mask & ok[row]
+                pull_mask = pull_mask & ok[row]
             if np.any(push_mask) or np.any(pull_mask):
                 group.on_edges_used(callers[push_mask], callees[row][push_mask])
                 group.on_edges_used(callers[pull_mask], callees[row][pull_mask])

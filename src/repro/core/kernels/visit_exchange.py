@@ -58,12 +58,13 @@ class VisitExchangeKernel(AgentWalkKernel):
     def step(self, k):
         self._begin_round()
         new_positions = self._walk_rows(k)
+        vertex_ok = self._vertex_ok_rows(k, new_positions)
         if self._any_observers:
-            self._report_edges(k, new_positions)
+            self._report_edges(k, new_positions, vertex_ok)
         position_flat = self._position_flat[:k]
         np.add(self._row_base1[:k], new_positions, out=position_flat)
 
-        if self._all_agents_informed and not self._any_observers:
+        if self._all_agents_informed and not self._any_observers and vertex_ok is None:
             # Every agent already carries the rumor (a monotone, batch-wide
             # condition), so every visited vertex becomes informed and the
             # carrier masking and agent updates are bit-identical no-ops.
@@ -71,26 +72,34 @@ class VisitExchangeKernel(AgentWalkKernel):
         else:
             # Agents informed in a previous round inform the vertices they
             # visit; ``informed`` is read before it is updated, so the scatter
-            # sees only the carriers from previous rounds.
+            # sees only the carriers from previous rounds.  Crashed vertices
+            # host no interactions: they are neither informed by carriers nor
+            # readable by uninformed agents.
             informed = self.agent_informed[:k]
             masked = self._masked[:k]
             np.multiply(position_flat, informed, out=masked)
+            if vertex_ok is not None:
+                np.multiply(masked, vertex_ok, out=masked)
             self._vertex_flat[masked] = True
 
             # Uninformed agents on (now) informed vertices learn the rumor.
             on_informed = self._gathered[:k]
             np.take(self._vertex_flat, position_flat, out=on_informed, mode="clip")
+            if vertex_ok is not None:
+                on_informed &= vertex_ok
             informed |= on_informed
             self._all_agents_informed = bool(self.agent_informed.all())
         self.counts[:k] = self.vertex_informed[:k].sum(axis=1)
         self.positions[:k] = new_positions
 
-    def _report_edges(self, k, new_positions):
+    def _report_edges(self, k, new_positions, vertex_ok):
         """Edge reporting, before any state update of the round.
 
         ``track_edge_traversals`` reports every moved agent's traversal;
         otherwise only the edges that deliver the rumor to a newly informed
-        vertex are reported (matching the sequential semantics).
+        vertex are reported (matching the sequential semantics).  Blocked
+        traversals never move an agent, so both modes only ever report edges
+        the round's topology masks allow.
         """
         for row in range(k):
             group = self._observer_for_row(row)
@@ -103,6 +112,9 @@ class VisitExchangeKernel(AgentWalkKernel):
                 group.on_edges_used(prev[moved], new[moved])
                 continue
             informed_before = self.agent_informed[row]
+            if vertex_ok is not None:
+                # A carrier standing on a crashed vertex delivers nothing.
+                informed_before = informed_before & vertex_ok[row]
             informing = new[informed_before]
             if informing.size == 0:
                 continue

@@ -19,10 +19,17 @@ Observer support: when the engine attaches a truthy observer group, the
 adapter registers it as trial 0's group and the kernel reports informing
 edges through the ``on_edges_used`` batch hook; the engine itself delivers
 ``on_run_start`` / ``on_round_end`` / ``on_run_end`` exactly as before.
+
+Dynamic topology: a ``dynamics=`` keyword (any spec accepted by
+:func:`repro.graphs.dynamic.resolve_dynamics`) is peeled off the kernel
+kwargs and attached to the kernel before ``initialize``.  The schedule's
+masks are a pure function of the round number, so the sequential adapter and
+the batched driver see the same topology round for round.
 """
 
 from __future__ import annotations
 
+from ...graphs.dynamic import resolve_dynamics
 from ..engine import RoundProtocol
 from ..rng import make_rng
 
@@ -36,6 +43,7 @@ class KernelProtocolAdapter(RoundProtocol):
     kernel_class = None
 
     def __init__(self, **kernel_kwargs) -> None:
+        self._dynamics = resolve_dynamics(kernel_kwargs.pop("dynamics", None))
         self._kernel_kwargs = dict(kernel_kwargs)
         self._kernel = None
 
@@ -51,6 +59,8 @@ class KernelProtocolAdapter(RoundProtocol):
             # The engine delivers the run/round hooks; the kernel only needs
             # the group for its edge-reporting slow path.
             kernel.trial_observers = [self.observers]
+        if self._dynamics is not None:
+            kernel.dynamics = self._dynamics
         kernel.initialize(graph, int(source), [make_rng(rng)])
         self._kernel = kernel
 

@@ -40,6 +40,7 @@ class HybridPushPullVisitProtocol(KernelProtocolAdapter):
         agent_density: float = 1.0,
         num_agents: Optional[int] = None,
         lazy: bool = False,
+        dynamics=None,
     ) -> None:
         self.agent_density = float(agent_density)
         self.explicit_num_agents = num_agents
@@ -48,4 +49,5 @@ class HybridPushPullVisitProtocol(KernelProtocolAdapter):
             agent_density=self.agent_density,
             num_agents=num_agents,
             lazy=self.lazy,
+            dynamics=dynamics,
         )

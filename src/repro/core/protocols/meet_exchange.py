@@ -43,6 +43,10 @@ class MeetExchangeProtocol(KernelProtocolAdapter):
         the convention of Section 3.
     one_agent_per_vertex:
         Start one agent on every vertex instead of the stationary placement.
+    dynamics:
+        Optional dynamic-topology spec (see
+        :func:`repro.graphs.dynamic.resolve_dynamics`); blocked traversals
+        leave agents where they are and crashed vertices host no meetings.
     """
 
     name = "meet-exchange"
@@ -55,6 +59,7 @@ class MeetExchangeProtocol(KernelProtocolAdapter):
         num_agents: Optional[int] = None,
         lazy: Optional[bool] = None,
         one_agent_per_vertex: bool = False,
+        dynamics=None,
     ) -> None:
         self.agent_density = float(agent_density)
         self.explicit_num_agents = num_agents
@@ -65,6 +70,7 @@ class MeetExchangeProtocol(KernelProtocolAdapter):
             num_agents=num_agents,
             lazy=lazy,
             one_agent_per_vertex=self.one_agent_per_vertex,
+            dynamics=dynamics,
         )
 
     # ------------------------------------------------------------------

@@ -22,13 +22,21 @@ __all__ = ["PullProtocol"]
 
 
 class PullProtocol(KernelProtocolAdapter):
-    """Sequential adapter for the vectorized PULL kernel."""
+    """Sequential adapter for the vectorized PULL kernel.
+
+    Parameters
+    ----------
+    dynamics:
+        Optional dynamic-topology spec (see
+        :func:`repro.graphs.dynamic.resolve_dynamics`); pulls over inactive
+        edges fail.
+    """
 
     name = "pull"
     kernel_class = PullKernel
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, *, dynamics=None) -> None:
+        super().__init__(dynamics=dynamics)
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""

@@ -21,13 +21,21 @@ __all__ = ["PushProtocol"]
 
 
 class PushProtocol(KernelProtocolAdapter):
-    """Sequential adapter for the vectorized PUSH kernel."""
+    """Sequential adapter for the vectorized PUSH kernel.
+
+    Parameters
+    ----------
+    dynamics:
+        Optional dynamic-topology spec (see
+        :func:`repro.graphs.dynamic.resolve_dynamics`); pushes over inactive
+        edges are lost.
+    """
 
     name = "push"
     kernel_class = PushKernel
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, *, dynamics=None) -> None:
+        super().__init__(dynamics=dynamics)
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""

@@ -26,12 +26,14 @@ class PushPullProtocol(KernelProtocolAdapter):
     name = "push-pull"
     kernel_class = PushPullKernel
 
-    def __init__(self, *, track_all_exchanges: bool = False) -> None:
+    def __init__(self, *, track_all_exchanges: bool = False, dynamics=None) -> None:
         #: When True, every sampled (caller, callee) pair is reported through
         #: ``observers.on_edges_used`` — the "bandwidth" view used by the
         #: fairness analysis — instead of only the informing transmissions.
         self.track_all_exchanges = bool(track_all_exchanges)
-        super().__init__(track_all_exchanges=self.track_all_exchanges)
+        super().__init__(
+            track_all_exchanges=self.track_all_exchanges, dynamics=dynamics
+        )
 
     def informed_mask(self) -> np.ndarray:
         """Return a copy of the per-vertex informed mask (for tests/analysis)."""

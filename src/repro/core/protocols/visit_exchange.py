@@ -50,6 +50,11 @@ class VisitExchangeProtocol(KernelProtocolAdapter):
         If True, report every agent traversal through ``observers.on_edges_used``
         so the fairness analysis can measure per-edge utilisation.  This adds a
         per-round reporting pass and is off by default.
+    dynamics:
+        Optional dynamic-topology spec (see
+        :func:`repro.graphs.dynamic.resolve_dynamics`); blocked traversals
+        leave agents where they are and crashed vertices host no
+        agent/vertex exchanges.
     """
 
     name = "visit-exchange"
@@ -63,6 +68,7 @@ class VisitExchangeProtocol(KernelProtocolAdapter):
         lazy: bool = False,
         one_agent_per_vertex: bool = False,
         track_edge_traversals: bool = False,
+        dynamics=None,
     ) -> None:
         self.agent_density = float(agent_density)
         self.explicit_num_agents = num_agents
@@ -75,6 +81,7 @@ class VisitExchangeProtocol(KernelProtocolAdapter):
             lazy=self.lazy,
             one_agent_per_vertex=self.one_agent_per_vertex,
             track_edge_traversals=self.track_edge_traversals,
+            dynamics=dynamics,
         )
 
     # ------------------------------------------------------------------

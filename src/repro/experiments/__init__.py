@@ -16,6 +16,7 @@ from . import ablations  # noqa: F401  (registration side effect)
 from . import figure1  # noqa: F401
 from . import hybrid_experiments  # noqa: F401
 from . import regular_graphs  # noqa: F401
+from . import robustness  # noqa: F401
 
 from .coupling_experiment import (
     CouplingExperimentResult,

@@ -46,16 +46,61 @@ class ProtocolSpec:
     ``label`` distinguishes multiple configurations of the same protocol in a
     single experiment (e.g. visit-exchange with different agent densities in
     the ablation experiment).
+
+    Dynamic topology (``kwargs["dynamics"]``)
+    -----------------------------------------
+    A ``"dynamics"`` entry in ``kwargs`` attaches a dynamic-topology schedule
+    to every trial of the spec (this is how the robustness experiments sweep
+    failure rates).  The value is anything
+    :func:`repro.graphs.dynamic.resolve_dynamics` accepts:
+
+    * a :class:`~repro.graphs.dynamic.TopologySchedule` instance,
+    * a spec dict ``{"kind": <name>, **params}``, or
+    * the CLI string form ``"<kind>:key=value,key=value"``.
+
+    Kinds and their parameters:
+
+    ========================  =================================================
+    ``static``                ``down_edges`` / ``down_vertices`` (or explicit
+                              ``edge_state`` / ``vertex_state`` masks)
+    ``bernoulli-edges``       ``rate`` (per-round, per-edge failure
+                              probability), ``seed``
+    ``flapping``              ``period``, ``down_rounds``, ``edge_fraction``
+                              or ``edges``, ``seed``, ``random_phase``
+    ``node-crashes``          ``crash_round``, ``fraction`` or ``vertices``,
+                              ``duration`` (omit for a permanent crash),
+                              ``seed``
+    ``edge-churn``            ``fail_rate``, ``recover_rate``, ``seed``
+                              (per-edge up/down Markov chains)
+    ``compose``               ``schedules``: a list of nested specs, ANDed
+    ========================  =================================================
+
+    Spec dicts are preferred over schedule instances inside experiment
+    configurations: they are trivially picklable for the process-parallel
+    cell scheduler and resolve to a fresh schedule per cell.  Trial seeds do
+    not depend on the dynamics, so a failure sweep is seed-paired with its
+    failure-free baseline.
     """
 
     name: str
     kwargs: Dict[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    #: Optional override of the label used for trial-seed derivation.  Give
+    #: several specs the same ``seed_label`` (e.g. every failure rate of one
+    #: protocol in a robustness experiment) and their trials become
+    #: *seed-paired*: trial ``t`` draws from the same stream in every cell,
+    #: so differences between cells are paired samples, not independent ones.
+    seed_label: Optional[str] = None
 
     @property
     def display_label(self) -> str:
         """Label used in tables; defaults to the protocol name."""
         return self.label if self.label is not None else self.name
+
+    @property
+    def seed_key(self) -> str:
+        """Label used to derive trial seeds; defaults to the display label."""
+        return self.seed_label if self.seed_label is not None else self.display_label
 
 
 @dataclass(frozen=True)

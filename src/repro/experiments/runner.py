@@ -160,6 +160,7 @@ def run_trial_set(
     max_rounds: Optional[int] = None,
     record_history: bool = False,
     backend: str = "auto",
+    dynamics=None,
 ) -> TrialSet:
     """Run ``trials`` independent runs of one protocol on one graph case.
 
@@ -169,15 +170,30 @@ def run_trial_set(
     protocol names), and ``"sequential"`` forces one engine run per trial.
     ``record_history`` works on both backends.  The chosen backend is recorded
     on the returned :class:`TrialSet` and in every run's metadata.
+
+    ``dynamics`` attaches a dynamic-topology schedule (any spec accepted by
+    :func:`repro.graphs.dynamic.resolve_dynamics`) to every trial; it can also
+    ride in ``protocol_spec.kwargs["dynamics"]``, and the *spec-level* entry
+    wins — a spec that pins its own schedule (e.g. a labeled failure-rate
+    cell of the robustness experiments) keeps it even when a sweep-wide
+    default is passed, so labels never lie about what ran.  Both backends
+    consume the same schedule round for round, and the trial seeds do not
+    depend on it, so failure-rate sweeps are seed-paired with their
+    failure-free baseline.
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
     if backend not in ("auto", "batched", "sequential"):
         raise ValueError(f"unknown backend {backend!r}")
 
+    protocol_kwargs = dict(protocol_spec.kwargs)
+    spec_dynamics = protocol_kwargs.pop("dynamics", None)
+    if spec_dynamics is not None:
+        dynamics = spec_dynamics
+
     seed_components = (
         experiment_id,
-        protocol_spec.display_label,
+        protocol_spec.seed_key,
         case.size_parameter,
     )
     use_batched = backend == "batched" or (
@@ -192,7 +208,8 @@ def run_trial_set(
             seeds=seeds,
             max_rounds=max_rounds,
             record_history=record_history,
-            **protocol_spec.kwargs,
+            dynamics=dynamics,
+            **protocol_kwargs,
         )
         trial_set = batch.to_trial_set()
     else:
@@ -200,7 +217,9 @@ def run_trial_set(
         results: List[RunResult] = []
         for trial_index in range(trials):
             seed = derive_seed(base_seed, *seed_components, trial_index)
-            protocol = make_protocol(protocol_spec.name, **protocol_spec.kwargs)
+            protocol = make_protocol(
+                protocol_spec.name, dynamics=dynamics, **protocol_kwargs
+            )
             results.append(engine.run(protocol, case.graph, case.source, seed=seed))
         trial_set = TrialSet(
             protocol=protocol_spec.name,
@@ -243,7 +262,17 @@ def _run_cell(task: Tuple) -> CellResult:
     from the same components as the serial path, so cell results do not
     depend on where (or in which order) they execute.
     """
-    (experiment_id, base_seed, spec, case_payload, size_parameter, trials, budget, backend) = task
+    (
+        experiment_id,
+        base_seed,
+        spec,
+        case_payload,
+        size_parameter,
+        trials,
+        budget,
+        backend,
+        dynamics,
+    ) = task
     case = _materialize_case(case_payload)
     trial_set = run_trial_set(
         spec,
@@ -253,6 +282,7 @@ def _run_cell(task: Tuple) -> CellResult:
         experiment_id=experiment_id,
         max_rounds=budget,
         backend=backend,
+        dynamics=dynamics,
     )
     return CellResult(
         experiment_id=experiment_id,
@@ -283,12 +313,15 @@ def run_experiment(
     trials: Optional[int] = None,
     backend: str = "auto",
     workers: Optional[int] = None,
+    dynamics=None,
 ) -> ExperimentResult:
     """Run a full experiment sweep.
 
     ``sizes`` and ``trials`` override the configuration (used by tests and
     benchmarks to run scaled-down versions of the registered experiments);
-    ``backend`` is forwarded to :func:`run_trial_set` for every cell.
+    ``backend`` is forwarded to :func:`run_trial_set` for every cell, and so
+    is ``dynamics`` (a dynamic-topology spec applied as the default for every
+    cell; specs that carry their own ``kwargs["dynamics"]`` keep it).
 
     ``workers`` schedules the (size, protocol) cells on a process pool of that
     many workers (``-1`` = one per CPU), stacking multi-core scaling on top of
@@ -334,6 +367,7 @@ def run_experiment(
                     num_trials,
                     budget,
                     backend,
+                    dynamics,
                 )
             )
 

@@ -6,12 +6,18 @@ problems, so they can be studied empirically with the same substrate:
 * :mod:`repro.extensions.multi_rumor` — many rumors injected over time and
   carried in parallel by one agent population (the setting that motivates the
   stationary-start assumption in Section 1).
-* :mod:`repro.extensions.dynamic_agents` — visit-exchange with agent churn
-  (aging/dying agents, births at a proportional rate, one-off failures), the
-  fault-tolerance direction suggested in Section 9.
+* :mod:`repro.extensions.dynamic_agents` — any agent-based protocol with
+  agent churn (aging/dying agents, births at a proportional rate, one-off
+  failures), batched over trials and composable with the dynamic-topology
+  schedules of :mod:`repro.graphs.dynamic` — the fault-tolerance direction
+  suggested in Section 9.
 """
 
-from .dynamic_agents import DynamicAgentsResult, DynamicVisitExchange
+from .dynamic_agents import (
+    DynamicAgentsResult,
+    DynamicAgentsSimulation,
+    DynamicVisitExchange,
+)
 from .multi_rumor import MultiRumorResult, MultiRumorVisitExchange, RumorInjection
 
 __all__ = [
@@ -19,5 +25,6 @@ __all__ = [
     "MultiRumorResult",
     "MultiRumorVisitExchange",
     "DynamicAgentsResult",
+    "DynamicAgentsSimulation",
     "DynamicVisitExchange",
 ]

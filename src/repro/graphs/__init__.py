@@ -8,6 +8,17 @@ paper's claims for it.
 """
 
 from .graph import Graph, GraphError
+from .dynamic import (
+    BernoulliEdgeFailures,
+    ComposedSchedule,
+    MarkovEdgeChurn,
+    NodeCrashes,
+    PeriodicLinkFlapping,
+    RoundActivity,
+    StaticSchedule,
+    TopologySchedule,
+    resolve_dynamics,
+)
 from .star import star
 from .double_star import double_star
 from .heavy_binary_tree import heavy_binary_tree
@@ -44,6 +55,15 @@ from .validation import (
 __all__ = [
     "Graph",
     "GraphError",
+    "TopologySchedule",
+    "RoundActivity",
+    "StaticSchedule",
+    "BernoulliEdgeFailures",
+    "PeriodicLinkFlapping",
+    "NodeCrashes",
+    "MarkovEdgeChurn",
+    "ComposedSchedule",
+    "resolve_dynamics",
     "star",
     "double_star",
     "heavy_binary_tree",

@@ -39,7 +39,17 @@ class Graph:
         Each undirected edge should appear once; duplicates are rejected.
     """
 
-    __slots__ = ("_n", "_m", "_indptr", "_indices", "_degrees", "_name", "_stationary")
+    __slots__ = (
+        "_n",
+        "_m",
+        "_indptr",
+        "_indices",
+        "_degrees",
+        "_name",
+        "_stationary",
+        "_slot_sources",
+        "_slot_edge_ids",
+    )
 
     def __init__(
         self,
@@ -91,6 +101,8 @@ class Graph:
         self._degrees = degrees
         self._name = str(name)
         self._stationary: Optional[np.ndarray] = None
+        self._slot_sources: Optional[np.ndarray] = None
+        self._slot_edge_ids: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -212,6 +224,37 @@ class Graph:
             self._stationary = self._degrees / float(2 * self._m)
             self._stationary.flags.writeable = False
         return self._stationary
+
+    def slot_sources(self) -> np.ndarray:
+        """Source vertex of every directed CSR slot (length ``2m``), cached.
+
+        ``slot_sources()[i]`` is the vertex whose adjacency row contains slot
+        ``i``.  Used by stationary agent placement (a uniform slot's source is
+        stationary-distributed) and by the dynamic-topology layer; computed
+        once per graph because both re-request it for every run of a sweep.
+        """
+        if self._slot_sources is None:
+            self._slot_sources = np.repeat(
+                np.arange(self._n, dtype=np.int64), self._degrees
+            )
+            self._slot_sources.flags.writeable = False
+        return self._slot_sources
+
+    def slot_edge_ids(self) -> np.ndarray:
+        """Canonical undirected-edge index of every directed CSR slot, cached.
+
+        Edge indices follow :meth:`edges` iteration order (sorted ``(u, v)``
+        pairs with ``u < v``), so a per-edge mask indexed this way expands to
+        a per-slot mask with one gather — how the dynamic-topology layer maps
+        undirected edge states onto the samplers' flat offsets.
+        """
+        if self._slot_edge_ids is None:
+            src = self.slot_sources()
+            dst = self._indices
+            keys = np.minimum(src, dst) * self._n + np.maximum(src, dst)
+            self._slot_edge_ids = np.searchsorted(np.unique(keys), keys)
+            self._slot_edge_ids.flags.writeable = False
+        return self._slot_edge_ids
 
     # ------------------------------------------------------------------
     # structural predicates
@@ -374,4 +417,6 @@ class Graph:
         clone._degrees = self._degrees
         clone._name = str(name)
         clone._stationary = self._stationary
+        clone._slot_sources = self._slot_sources
+        clone._slot_edge_ids = self._slot_edge_ids
         return clone

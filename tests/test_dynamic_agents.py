@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import simulate
-from repro.extensions import DynamicVisitExchange
+from repro.extensions import DynamicAgentsSimulation, DynamicVisitExchange
 from repro.graphs import GraphError, complete_graph, double_star, random_regular_graph
 
 
@@ -18,6 +18,8 @@ class TestValidation:
             DynamicVisitExchange(failure_fraction=1.5)
         with pytest.raises(ValueError):
             DynamicVisitExchange(agent_density=0)
+        with pytest.raises(ValueError):
+            DynamicAgentsSimulation(protocol="push")  # not an agent protocol
 
     def test_out_of_range_source_rejected(self):
         with pytest.raises(GraphError):
@@ -25,6 +27,11 @@ class TestValidation:
 
 
 class TestZeroChurnMatchesStaticProtocol:
+    """With churn off, every protocol of the extension must behave like its
+    kernel (statistically — the draw disciplines differ).  These are the
+    guard rails for the deliberately re-stated protocol rules: a kernel rule
+    change not mirrored in the extension lands here."""
+
     def test_no_deaths_no_births_behaves_like_visit_exchange(self):
         graph = double_star(100)
         dynamic = DynamicVisitExchange(death_rate=0.0, birth_rate=0.0)
@@ -41,6 +48,28 @@ class TestZeroChurnMatchesStaticProtocol:
                 simulate("visit-exchange", graph, source=2, seed=50 + seed).broadcast_time
             )
         assert 0.4 * np.mean(static_times) < np.mean(dynamic_times) < 2.5 * np.mean(static_times)
+
+    @pytest.mark.parametrize("protocol", ["meet-exchange", "hybrid-ppull-visitx"])
+    def test_zero_churn_matches_kernel_for_other_protocols(self, protocol, rng):
+        graph = random_regular_graph(96, 8, rng)
+        dynamic = DynamicAgentsSimulation(
+            protocol=protocol, death_rate=0.0, birth_rate=0.0
+        )
+        dynamic_times = []
+        kernel_times = []
+        for seed in range(6):
+            result = dynamic.run(graph, 0, seed=seed)
+            assert result.completed
+            assert result.total_births == 0 and result.total_deaths == 0
+            dynamic_times.append(result.broadcast_time)
+            kernel_times.append(
+                simulate(protocol, graph, source=0, seed=50 + seed).broadcast_time
+            )
+        assert (
+            0.4 * np.mean(kernel_times)
+            < np.mean(dynamic_times)
+            < 2.5 * np.mean(kernel_times)
+        )
 
 
 class TestChurn:
@@ -102,3 +131,110 @@ class TestFailureInjection:
         ).run(graph, 0, seed=7)
         assert result.completed
         assert result.min_population >= 1
+
+
+class TestBatchedExecution:
+    """The rebuilt extension runs many trials through one shared round loop;
+    per-trial results must be pure functions of their seeds."""
+
+    def test_run_batch_matches_individual_runs(self, rng):
+        graph = random_regular_graph(96, 8, rng)
+        sim = DynamicVisitExchange(death_rate=0.04)
+        batch = sim.run_batch(graph, 0, seeds=[11, 22, 33])
+        for seed, from_batch in zip([11, 22, 33], batch):
+            solo = sim.run(graph, 0, seed=seed)
+            assert from_batch.broadcast_time == solo.broadcast_time
+            assert from_batch.population_history == solo.population_history
+            assert from_batch.informed_vertex_history == solo.informed_vertex_history
+            assert from_batch.informed_agent_history == solo.informed_agent_history
+            assert from_batch.total_births == solo.total_births
+            assert from_batch.total_deaths == solo.total_deaths
+
+    def test_empty_seed_list_rejected(self, rng):
+        graph = complete_graph(16)
+        with pytest.raises(ValueError):
+            DynamicVisitExchange().run_batch(graph, 0, seeds=[])
+
+
+class TestAllAgentProtocols:
+    """Churn is available for every agent-based protocol, not just
+    visit-exchange."""
+
+    @pytest.mark.parametrize(
+        "protocol", ["visit-exchange", "meet-exchange", "hybrid-ppull-visitx"]
+    )
+    def test_completes_under_churn(self, protocol, rng):
+        graph = random_regular_graph(96, 8, rng)
+        result = DynamicAgentsSimulation(protocol=protocol, death_rate=0.03).run(
+            graph, 0, seed=9
+        )
+        assert result.completed
+        assert result.protocol == protocol
+        assert result.total_births > 0 and result.total_deaths > 0
+
+    def test_meet_exchange_completion_is_all_alive_agents_informed(self, rng):
+        graph = complete_graph(48)
+        result = DynamicAgentsSimulation(
+            protocol="meet-exchange", death_rate=0.02
+        ).run(graph, 0, seed=12)
+        assert result.completed
+        # The final round's alive population is fully informed.
+        assert result.informed_agent_history[-1] == result.population_history[-1]
+
+    def test_hybrid_is_faster_than_agents_alone_on_double_star(self, rng):
+        """The push-pull half keeps informing during agent churn, so the
+        hybrid cannot be drastically slower than plain dynamic agents."""
+        graph = double_star(100)
+        agents = [
+            DynamicAgentsSimulation(protocol="visit-exchange", death_rate=0.02)
+            .run(graph, 2, seed=s)
+            .broadcast_time
+            for s in range(3)
+        ]
+        hybrid = [
+            DynamicAgentsSimulation(protocol="hybrid-ppull-visitx", death_rate=0.02)
+            .run(graph, 2, seed=s)
+            .broadcast_time
+            for s in range(3)
+        ]
+        assert np.mean(hybrid) < 3 * np.mean(agents) + 10
+
+
+class TestChurnPlusTopologyDynamics:
+    """Agent churn composes with the dynamic-topology layer."""
+
+    def test_completes_under_combined_failures(self, rng):
+        graph = random_regular_graph(96, 8, rng)
+        result = DynamicAgentsSimulation(
+            death_rate=0.02,
+            dynamics={"kind": "bernoulli-edges", "rate": 0.3, "seed": 5},
+        ).run(graph, 0, seed=3)
+        assert result.completed
+
+    def test_edge_failures_slow_spreading_under_churn(self, rng):
+        graph = random_regular_graph(128, 12, rng)
+        plain = [
+            DynamicVisitExchange(death_rate=0.02).run(graph, 0, seed=s).broadcast_time
+            for s in range(4)
+        ]
+        failing = [
+            DynamicVisitExchange(
+                death_rate=0.02,
+                dynamics={"kind": "bernoulli-edges", "rate": 0.5, "seed": 6},
+            )
+            .run(graph, 0, seed=s)
+            .broadcast_time
+            for s in range(4)
+        ]
+        assert np.mean(failing) > np.mean(plain)
+
+    def test_severed_bridge_strands_the_far_star(self, rng):
+        """With the double-star bridge permanently down, churned agents can
+        never reach the second star: the run must not complete."""
+        graph = double_star(60)
+        result = DynamicVisitExchange(
+            death_rate=0.02,
+            dynamics={"kind": "static", "down_edges": [(0, 1)]},
+        ).run(graph, 2, seed=4, max_rounds=400)
+        assert not result.completed
+        assert max(result.informed_vertex_history) <= graph.num_vertices // 2

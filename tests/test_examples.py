@@ -23,6 +23,7 @@ ALL_EXAMPLES = [
     "social_network_broadcast.py",
     "coupling_demo.py",
     "fault_tolerant_agents.py",
+    "robustness_sweep.py",
 ]
 
 
@@ -66,3 +67,11 @@ class TestCheapExamplesRun:
         output = capsys.readouterr().out
         assert "Rumor pipeline" in output
         assert "rumor-9" in output
+
+    def test_robustness_sweep_runs_at_reduced_size(self, capsys):
+        module = load_example("robustness_sweep.py")
+        graph = module.build_graph(96)
+        results = module.sweep(graph, trials=6)
+        # Seed-paired degradation: the harshest rate is slower than baseline.
+        for protocol in module.PROTOCOLS:
+            assert results[(protocol, 0.4)] > results[(protocol, 0.0)]

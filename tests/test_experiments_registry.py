@@ -27,6 +27,9 @@ EXPECTED_IDS = {
     "ablation-agent-density",
     "ablation-initial-placement",
     "ablation-laziness",
+    "robustness-star",
+    "robustness-siamese",
+    "robustness-regular",
 }
 
 
@@ -109,3 +112,49 @@ class TestRegisteredDefinitions:
         case = config.build_case(config.sizes[-1], seed=0)
         degree = case.graph.regularity_degree()
         assert degree >= math.log(case.graph.num_vertices)
+
+    def test_robustness_experiments_sweep_failure_rates(self):
+        from repro.experiments.robustness import FAILURE_RATES
+        from repro.graphs.dynamic import BernoulliEdgeFailures, resolve_dynamics
+
+        for experiment_id in ("robustness-star", "robustness-siamese", "robustness-regular"):
+            config = get_experiment(experiment_id)
+            rates = []
+            for spec in config.protocols:
+                dynamics = spec.kwargs.get("dynamics")
+                if dynamics is None:
+                    rates.append(0.0)
+                    continue
+                schedule = resolve_dynamics(dynamics)
+                assert isinstance(schedule, BernoulliEdgeFailures)
+                rates.append(schedule.rate)
+            # Every protocol of the experiment covers the whole rate axis,
+            # including the failure-free (fast-path) baseline.
+            assert set(rates) == set(FAILURE_RATES)
+            # The rate axis is seed-paired: every rate of one protocol
+            # derives its trial seeds from the same key.
+            keys = {}
+            for spec in config.protocols:
+                keys.setdefault(spec.name, set()).add(spec.seed_key)
+            assert all(len(k) == 1 for k in keys.values())
+
+    def test_seed_label_pairs_trials_across_specs(self):
+        from repro.experiments.runner import run_trial_set
+        from repro.graphs import star
+
+        case = GraphCase(graph=star(40), source=1, size_parameter=40)
+        a = run_trial_set(
+            ProtocolSpec("push", label="push f=0.0", seed_label="push"),
+            case,
+            trials=4,
+            base_seed=3,
+        )
+        b = run_trial_set(
+            ProtocolSpec("push", label="push f=0.1", seed_label="push"),
+            case,
+            trials=4,
+            base_seed=3,
+        )
+        # Different display labels, same seed key, no dynamics: the runs are
+        # literally the same trials — that is what "seed-paired" means.
+        assert a.broadcast_times() == b.broadcast_times()

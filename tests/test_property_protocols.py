@@ -158,3 +158,143 @@ class TestBroadcastTimeLowerBounds:
         for protocol in ("push", "push-pull"):
             result = simulate(protocol, graph, source=source, seed=seed)
             assert result.broadcast_time >= eccentricity
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-topology schedules
+# ---------------------------------------------------------------------------
+def _make_schedule(kind: str, seed: int, rate: float, period: int, phase: int):
+    """Materialize one random topology schedule from drawn parameters.
+
+    Only *transient* failure models appear here (every edge recovers), so
+    completion stays guaranteed on connected graphs; permanent crashes are
+    covered deterministically in tests/test_dynamics.py.
+    """
+    from repro.graphs.dynamic import (
+        BernoulliEdgeFailures,
+        MarkovEdgeChurn,
+        PeriodicLinkFlapping,
+        StaticSchedule,
+    )
+
+    if kind == "static-all-active":
+        return StaticSchedule()
+    if kind == "bernoulli":
+        return BernoulliEdgeFailures(rate, seed=seed)
+    if kind == "flapping":
+        return PeriodicLinkFlapping(
+            period=period,
+            down_rounds=min(phase, period - 1),
+            edge_fraction=rate,
+            seed=seed,
+        )
+    if kind == "churn":
+        return MarkovEdgeChurn(fail_rate=rate, recover_rate=0.5, seed=seed)
+    raise AssertionError(kind)
+
+
+schedule_strategy = st.builds(
+    _make_schedule,
+    st.sampled_from(["static-all-active", "bernoulli", "flapping", "churn"]),
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.0, max_value=0.4),
+    st.integers(min_value=2, max_value=9),
+    st.integers(min_value=0, max_value=8),
+)
+
+
+class TestDynamicTopologyProperties:
+    @FAST
+    @given(
+        graph_strategy,
+        schedule_strategy,
+        st.sampled_from(["push", "push-pull", "visit-exchange"]),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_informed_counts_stay_monotone_under_any_schedule(
+        self, graph, schedule, protocol, seed
+    ):
+        """Failures delay spreading but never un-inform anyone: the informed
+        trajectories stay monotone and bounded under every random schedule."""
+        result = simulate(
+            protocol,
+            graph,
+            source=0,
+            seed=seed,
+            max_rounds=GENEROUS_BUDGET,
+            dynamics=schedule,
+        )
+        assert result.completed
+        for history in (result.informed_vertex_history, result.informed_agent_history):
+            assert all(b >= a for a, b in zip(history, history[1:]))
+        assert result.informed_vertex_history[-1] == graph.num_vertices
+
+    @FAST
+    @given(
+        graph_strategy,
+        st.sampled_from(["push", "pull", "push-pull", "visit-exchange", "meet-exchange"]),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_static_mask_schedule_equals_static_graph(self, graph, protocol, seed):
+        """An all-active schedule — even with fully materialized masks — is
+        bit-for-bit the static graph: same times, same trajectories."""
+        from repro.graphs.dynamic import StaticSchedule
+
+        kwargs = {"lazy": True} if protocol == "meet-exchange" else {}
+        plain = simulate(
+            protocol, graph, source=0, seed=seed, max_rounds=GENEROUS_BUDGET, **kwargs
+        )
+        masked = simulate(
+            protocol,
+            graph,
+            source=0,
+            seed=seed,
+            max_rounds=GENEROUS_BUDGET,
+            dynamics=StaticSchedule(
+                edge_state=np.ones(graph.num_edges, dtype=bool),
+                vertex_state=np.ones(graph.num_vertices, dtype=bool),
+            ),
+            **kwargs,
+        )
+        assert plain.broadcast_time == masked.broadcast_time
+        assert plain.informed_vertex_history == masked.informed_vertex_history
+        assert plain.informed_agent_history == masked.informed_agent_history
+
+    @FAST
+    @given(
+        graph_strategy,
+        schedule_strategy,
+        st.sampled_from(["push", "pull", "push-pull", "visit-exchange", "meet-exchange"]),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_batched_equals_sequential_round_for_round(
+        self, graph, schedule, protocol, seed
+    ):
+        """Handed the same per-trial generator and the same schedule, the
+        batched driver and the sequential adapter are the same computation:
+        identical broadcast time and identical per-round trajectories."""
+        from repro.core.batch import run_batch
+
+        kwargs = {"lazy": True} if protocol == "meet-exchange" else {}
+        sequential = simulate(
+            protocol,
+            graph,
+            source=0,
+            seed=seed,
+            max_rounds=GENEROUS_BUDGET,
+            dynamics=schedule,
+            **kwargs,
+        )
+        batched = run_batch(
+            protocol,
+            graph,
+            0,
+            seeds=[np.random.default_rng(seed)],
+            max_rounds=GENEROUS_BUDGET,
+            record_history=True,
+            dynamics=schedule,
+            **kwargs,
+        )
+        assert sequential.broadcast_time == int(batched.broadcast_times[0])
+        assert sequential.informed_vertex_history == batched.vertex_histories[0]
+        assert sequential.informed_agent_history == batched.agent_histories[0]
