@@ -29,6 +29,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -45,6 +46,7 @@ from repro.experiments.runner import run_experiment, run_trial_set  # noqa: E402
 from repro.graphs import heavy_binary_tree, random_regular_graph, star  # noqa: E402
 from repro.graphs.dynamic import StaticSchedule  # noqa: E402
 from repro.graphs.heavy_binary_tree import tree_leaves  # noqa: E402
+from repro.store import ResultStore  # noqa: E402
 
 TRIALS = 50
 N = 1024
@@ -212,6 +214,69 @@ def measure_dynamics(case):
     return cells
 
 
+def _build_star_case(size: int, seed: int) -> GraphCase:
+    return GraphCase(graph=star(size), source=1, size_parameter=size)
+
+
+STORE_CONFIG = ExperimentConfig(
+    experiment_id="bench-store",
+    title="Result-store cold/warm benchmark",
+    paper_reference="Figure 1(a)-style sweep",
+    description=(
+        "push on star graphs from a leaf source (Theta(n log n) broadcast "
+        "time, so the cells are simulation-dominated), run cold (empty "
+        "store) and warm (fully cached)"
+    ),
+    graph_builder=_build_star_case,
+    sizes=(511, 1023),
+    protocols=(ProtocolSpec("push"),),
+    trials=30,
+)
+
+
+def measure_store():
+    """Cold vs. warm sweep through the content-addressed result store.
+
+    The cold run executes (and persists) every cell of a Figure-1-style
+    sweep; the warm runs (best of ``REPEATS``) must execute **zero**
+    simulation cells and return a bit-identical ``ExperimentResult``.  The
+    acceptance threshold is warm >= 10x faster than cold — the warm path is
+    key derivation plus NPZ/JSON decoding, so on simulation-dominated cells
+    it lands orders of magnitude beyond the gate.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(Path(tmp) / "store")
+        start = time.perf_counter()
+        cold = run_experiment(STORE_CONFIG, base_seed=BASE_SEED, store=store)
+        cold_seconds = time.perf_counter() - start
+        warm_seconds = float("inf")
+        warm = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            warm = run_experiment(STORE_CONFIG, base_seed=BASE_SEED, store=store)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+        statuses = [c.trials.store_status[0] for c in warm.cells]
+        identical = [c.trials for c in warm.cells] == [c.trials for c in cold.cells]
+        cell = {
+            "experiment": STORE_CONFIG.experiment_id,
+            "sizes": list(STORE_CONFIG.sizes),
+            "trials": STORE_CONFIG.trials,
+            "protocols": [s.name for s in STORE_CONFIG.protocols],
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(cold_seconds / warm_seconds, 2),
+            "warm_cells_computed": statuses.count("computed"),
+            "warm_results_identical_to_cold": identical,
+        }
+        print(
+            f"{'store cold/warm':20s} {'star push x2 cells':28s} "
+            f"cold {cold_seconds * 1000:7.1f} ms   warm {warm_seconds * 1000:7.1f} ms   "
+            f"speedup {cell['warm_speedup']:7.2f}x   "
+            f"recomputed {cell['warm_cells_computed']} cells"
+        )
+        return cell
+
+
 def measure_workers():
     """Time the same multi-cell sweep serially and on the process pool."""
     start = time.perf_counter()
@@ -253,6 +318,8 @@ def main() -> int:
     dynamics_cells = measure_dynamics(cases[0])
     print(f"-- process-parallel cell scheduler (workers={WORKERS}) --")
     workers_cell = measure_workers()
+    print("-- content-addressed result store (cold vs. warm sweep) --")
+    store_cell = measure_store()
 
     acceptance = [c for c in sweep_cells if c["protocol"] in ACCEPTANCE_PROTOCOLS]
     sweep_seq = sum(c["sequential_seconds"] for c in acceptance)
@@ -274,7 +341,10 @@ def main() -> int:
             "static all-active schedule (collapsed to the maskless fast path) "
             "must stay < 15% with bit-identical results, and a one-edge-down "
             "schedule records the true per-sample masking cost as "
-            "informational masked_overhead"
+            "informational masked_overhead; the store cell times a cold "
+            "(computing + persisting) vs. warm (fully cached) sweep through "
+            "the content-addressed result store, which must be >= 10x faster "
+            "warm with zero recomputed cells and bit-identical results"
         ),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -282,6 +352,7 @@ def main() -> int:
         "extra_cells": extra_cells,
         "dynamics_cells": dynamics_cells,
         "workers_cell": workers_cell,
+        "store_cell": store_cell,
         "sweep_sequential_seconds": round(sweep_seq, 4),
         "sweep_batched_seconds": round(sweep_bat, 4),
         "overall_speedup": overall,
@@ -306,7 +377,17 @@ def main() -> int:
     if not overhead_ok:
         print("FAIL: static-schedule masking overhead exceeds 15% "
               "or changed results")
-    return 0 if ok and overhead_ok else 1
+    # A warm store must skip every simulation cell, return the exact cold
+    # results, and be at least an order of magnitude faster than computing.
+    store_ok = (
+        store_cell["warm_speedup"] >= 10.0
+        and store_cell["warm_cells_computed"] == 0
+        and store_cell["warm_results_identical_to_cold"]
+    )
+    if not store_ok:
+        print("FAIL: warm result-store sweep must be >= 10x faster than cold "
+              "with zero recomputed cells and bit-identical results")
+    return 0 if ok and overhead_ok and store_ok else 1
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from . import analysis, core, graphs, theory
+from . import analysis, core, graphs, store, theory
 from .core import (
     AgentSystem,
     BatchResult,
@@ -41,6 +41,7 @@ from .core import (
 )
 from .core.observers import ObserverGroup
 from .graphs import Graph
+from .store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -64,8 +65,10 @@ __all__ = [
     "CoupledPushVisitExchange",
     "PROTOCOL_REGISTRY",
     "make_protocol",
+    "ResultStore",
     "graphs",
     "core",
+    "store",
     "theory",
     "analysis",
 ]

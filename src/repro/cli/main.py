@@ -12,6 +12,13 @@ Sub-commands
     Run a single protocol on a single graph and print the result.
 ``report``
     Regenerate the Markdown experiment report (EXPERIMENTS.md content).
+``store ls|info|gc|export``
+    Inspect and manage the content-addressed result store.
+
+The experiment-running sub-commands accept ``--store [PATH]`` (cache every
+cell in a content-addressed result store; a bare ``--store`` uses
+``$REPRO_STORE`` or ``.repro-store``), ``--no-store`` (ignore
+``$REPRO_STORE``) and ``--force`` (recompute and overwrite cached cells).
 """
 
 from __future__ import annotations
@@ -45,8 +52,19 @@ from ..graphs import (
     star,
 )
 from ..graphs.dynamic import resolve_dynamics
+from ..store import STORE_ENV_VAR, ResultStore
 
 __all__ = ["main", "build_parser"]
+
+#: Store root used by a bare ``--store`` / the ``store`` sub-command when
+#: neither a path nor ``$REPRO_STORE`` is given.
+DEFAULT_STORE_PATH = ".repro-store"
+
+
+def _default_store_path() -> str:
+    import os
+
+    return os.environ.get(STORE_ENV_VAR, "").strip() or DEFAULT_STORE_PATH
 
 
 def _build_graph(family: str, size: int, seed: int):
@@ -113,6 +131,43 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_dynamics_option(parser)
+    _add_store_options(parser)
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    """Result-store options shared by the experiment-running sub-commands."""
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "cache finished cells in a content-addressed result store and "
+            "reuse them on later runs (bit-identical to recomputing); with no "
+            f"PATH, uses ${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}'"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help=f"disable the result store even when ${STORE_ENV_VAR} is set",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every cell and overwrite any cached artifact",
+    )
+
+
+def _resolve_store_arg(args: argparse.Namespace):
+    """Map the --store/--no-store flags onto a run_experiment store argument."""
+    if getattr(args, "no_store", False):
+        return False
+    store = getattr(args, "store", None)
+    if store is None:
+        return None  # defer to $REPRO_STORE
+    return ResultStore(store or _default_store_path())
 
 
 def _add_dynamics_option(parser: argparse.ArgumentParser) -> None:
@@ -182,6 +237,70 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--output", default="-", help="output path, or '-' for stdout"
     )
+    report_parser.add_argument(
+        "--from-store",
+        action="store_true",
+        help=(
+            "build the sweep sections purely from cached cells (no "
+            "simulation; errors if a cell is missing from the store)"
+        ),
+    )
+    report_parser.add_argument(
+        "--backend",
+        choices=["auto", "batched", "sequential"],
+        default="auto",
+        help=(
+            "trial-execution backend; with --from-store this must match the "
+            "backend the cells were cached with (it is part of the cell key)"
+        ),
+    )
+    _add_dynamics_option(report_parser)
+    _add_store_options(report_parser)
+
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and manage the content-addressed result store"
+    )
+    store_parser.add_argument(
+        "--store",
+        dest="store_path",
+        default=None,
+        metavar="PATH",
+        help=f"store root (default: ${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}')",
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+
+    store_subparsers.add_parser("ls", help="list cached cells")
+
+    info_parser = store_subparsers.add_parser(
+        "info", help="show one cached cell's metadata"
+    )
+    info_parser.add_argument("key", help="cell key (a unique prefix is enough)")
+
+    gc_parser = store_subparsers.add_parser(
+        "gc", help="delete unreferenced cached cells"
+    )
+    gc_parser.add_argument(
+        "--keep-days",
+        type=float,
+        default=0.0,
+        help="also keep unreferenced objects younger than this many days",
+    )
+    gc_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="ignore sweep-journal references and collect everything eligible",
+    )
+    gc_parser.add_argument(
+        "--dry-run", action="store_true", help="report what would be deleted"
+    )
+
+    export_parser = store_subparsers.add_parser(
+        "export", help="copy the store (or selected cells) to another root"
+    )
+    export_parser.add_argument("destination", help="destination store root")
+    export_parser.add_argument(
+        "--keys", nargs="+", default=None, help="export only these cell keys"
+    )
 
     return parser
 
@@ -194,6 +313,8 @@ def _run_one(
     backend: str = "auto",
     workers: Optional[int] = None,
     dynamics: Optional[str] = None,
+    store=None,
+    force: bool = False,
 ):
     config = get_experiment(experiment_id)
     sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
@@ -205,6 +326,8 @@ def _run_one(
         backend=backend,
         workers=workers,
         dynamics=resolve_dynamics(dynamics),
+        store=store,
+        force=force,
     )
 
 
@@ -226,6 +349,8 @@ def _command_run(args: argparse.Namespace) -> int:
         args.backend,
         args.workers,
         args.dynamics,
+        _resolve_store_arg(args),
+        args.force,
     )
     if args.markdown:
         print(experiment_markdown_section(result))
@@ -235,6 +360,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
+    store = _resolve_store_arg(args)
     for experiment_id in list_experiment_ids():
         result = _run_one(
             experiment_id,
@@ -244,6 +370,8 @@ def _command_run_all(args: argparse.Namespace) -> int:
             args.backend,
             args.workers,
             args.dynamics,
+            store,
+            args.force,
         )
         print(experiment_table(result))
         print()
@@ -274,6 +402,9 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
+    from ..experiments.reporting import experiment_markdown_section_from_store
+
+    store = _resolve_store_arg(args)
     sections: List[str] = [
         "# Experiment report",
         "",
@@ -281,13 +412,59 @@ def _command_report(args: argparse.Namespace) -> int:
         "trials; growth fits against the candidate models of the paper.",
         "",
     ]
-    for experiment_id in list_experiment_ids():
-        result = _run_one(experiment_id, args.seed, args.trials, args.scale)
-        sections.append(experiment_markdown_section(result))
-    coupling = run_coupling_experiment(base_seed=args.seed)
-    sections.append(coupling_markdown_section(coupling))
-    fairness = run_fairness_experiment(base_seed=args.seed)
-    sections.append(fairness_markdown_section(fairness))
+    if args.from_store:
+        if args.no_store:
+            print(
+                "--from-store reads from a result store; it cannot be "
+                "combined with --no-store",
+                file=sys.stderr,
+            )
+            return 2
+        # Pure store reads: regenerate every sweep table without running a
+        # single simulation.  The store to read defaults to $REPRO_STORE.
+        if store is None:
+            store = ResultStore(_default_store_path())
+        for experiment_id in list_experiment_ids():
+            config = get_experiment(experiment_id)
+            sizes = (
+                scaled_sizes(config.sizes, args.scale) if args.scale != 1.0 else None
+            )
+            try:
+                sections.append(
+                    experiment_markdown_section_from_store(
+                        config,
+                        store,
+                        base_seed=args.seed,
+                        sizes=sizes,
+                        trials=args.trials,
+                        backend=args.backend,
+                        dynamics=resolve_dynamics(args.dynamics),
+                    )
+                )
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 1
+        sections.append(
+            "*(coupling and fairness sections are not store-backed and are "
+            "omitted in --from-store mode)*\n"
+        )
+    else:
+        for experiment_id in list_experiment_ids():
+            result = _run_one(
+                experiment_id,
+                args.seed,
+                args.trials,
+                args.scale,
+                backend=args.backend,
+                dynamics=args.dynamics,
+                store=store,
+                force=args.force,
+            )
+            sections.append(experiment_markdown_section(result))
+        coupling = run_coupling_experiment(base_seed=args.seed)
+        sections.append(coupling_markdown_section(coupling))
+        fairness = run_fairness_experiment(base_seed=args.seed)
+        sections.append(fairness_markdown_section(fairness))
     text = "\n".join(sections)
     if args.output == "-":
         print(text)
@@ -296,6 +473,58 @@ def _command_report(args: argparse.Namespace) -> int:
             handle.write(text)
         print(f"wrote {args.output}")
     return 0
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    import json
+
+    store = ResultStore(args.store_path or _default_store_path())
+    if args.store_command == "ls":
+        rows = [
+            [
+                e["key"][:16],
+                e["protocol"],
+                e["graph"],
+                e["n"],
+                e["trials"],
+                e["backend"],
+                e["bytes"],
+                e["created_at"],
+            ]
+            for e in store.entries()
+        ]
+        print(
+            format_table(
+                ["key", "protocol", "graph", "n", "trials", "backend", "bytes", "created (UTC)"],
+                rows,
+                title=f"result store at {store.root} ({len(rows)} objects)",
+            )
+        )
+        return 0
+    if args.store_command == "info":
+        matches = [k for k in store.keys() if k.startswith(args.key)]
+        if not matches:
+            print(f"no object with key prefix {args.key!r} in {store.root}")
+            return 1
+        if len(matches) > 1:
+            print(f"key prefix {args.key!r} is ambiguous ({len(matches)} matches)")
+            return 1
+        print(json.dumps(store.read_sidecar(matches[0]), indent=2, sort_keys=True))
+        return 0
+    if args.store_command == "gc":
+        removed = store.gc(
+            keep_referenced=not args.all,
+            older_than_days=args.keep_days,
+            dry_run=args.dry_run,
+        )
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"{verb} {len(removed)} object(s) from {store.root}")
+        return 0
+    if args.store_command == "export":
+        copied = store.export(args.destination, keys=args.keys)
+        print(f"exported {copied} object(s) to {args.destination}")
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -312,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "store":
+        return _command_store(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -7,6 +7,34 @@ which source vertex to use, which protocols to run with which arguments, what
 sweep of sizes and how many trials — everything needed for
 :mod:`repro.experiments.runner` to produce the numbers, and for
 :mod:`repro.experiments.reporting` to render them.
+
+Result-store cell keys
+----------------------
+Every (size, protocol) cell of an experiment is cached exactly by the
+content-addressed result store (:mod:`repro.store`).  The cell key is a
+SHA-256 over the canonical JSON of:
+
+* the **graph fingerprint** — a hash of the built case's CSR adjacency
+  arrays plus name and vertex/edge counts (so it captures the instance the
+  ``graph_builder`` actually produced, not how it was described) — and the
+  case's source vertex;
+* the **protocol spec** — ``ProtocolSpec.name`` plus ``kwargs`` with dict
+  keys sorted, tuples listified, numpy scalars unwrapped and ``-0.0``
+  normalized to ``0.0``;
+* the **dynamics spec** — the resolved schedule's round-trippable ``spec()``
+  dict (spec-level ``kwargs["dynamics"]`` overrides a sweep-wide default,
+  exactly as at run time), or ``null`` for a static topology;
+* the exact **per-trial seed list** (derived from ``base_seed``, the
+  experiment id, ``ProtocolSpec.seed_key`` and the size parameter — i.e.
+  everything seed derivation already depends on), the trial count, the
+  resolved round budget and the ``record_history`` flag;
+* the resolved **backend name** and the store's semantics version.
+
+On disk each cell is a compressed NPZ (per-trial broadcast times,
+completion flags, message counts, ragged per-round histories) plus a JSON
+sidecar (protocol/graph/backend metadata, per-trial metadata dicts, the key
+payload above, and the NPZ's SHA-256 for integrity checking); see
+:mod:`repro.store.artifacts` for the layout and atomicity guarantees.
 """
 
 from __future__ import annotations

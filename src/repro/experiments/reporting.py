@@ -10,11 +10,15 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..analysis.statistics import summarize_trials
 from ..analysis.tables import format_float, format_markdown_table, format_table
+from ..core.rng import derive_seed
+from ..store import resolve_cell, resolve_store
 from ..theory.predictions import PAPER_PREDICTIONS, Prediction
+from .config import ExperimentConfig
 from .coupling_experiment import CouplingExperimentResult
 from .fairness_experiment import FairnessExperimentResult
-from .runner import ExperimentResult
+from .runner import CellResult, ExperimentResult
 
 __all__ = [
     "experiment_table",
@@ -22,6 +26,8 @@ __all__ = [
     "coupling_markdown_section",
     "fairness_markdown_section",
     "claims_for_experiment",
+    "result_from_store",
+    "experiment_markdown_section_from_store",
 ]
 
 
@@ -104,6 +110,83 @@ def experiment_markdown_section(result: ExperimentResult) -> str:
         lines.extend(["", f"Notes: {config.notes}"])
     lines.append("")
     return "\n".join(lines)
+
+
+def result_from_store(
+    config: ExperimentConfig,
+    store,
+    *,
+    base_seed: int = 0,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    backend: str = "auto",
+    dynamics=None,
+    strict: bool = True,
+) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` purely from cached cells.
+
+    Derives the same cell plans :func:`~repro.experiments.runner.run_experiment`
+    would execute (building graphs is cheap; only the simulations are
+    expensive) and fetches each plan's trial set from the store — zero
+    simulation work, so figures and tables regenerate from a warm store in
+    milliseconds.  With ``strict=True`` (default) a missing cell raises
+    ``KeyError`` naming every absent plan; with ``strict=False`` missing
+    cells are skipped, yielding a partial (but honest) result.
+    """
+    store_obj = resolve_store(store)
+    if store_obj is None:
+        raise ValueError("result_from_store needs an enabled result store")
+    sweep = tuple(sizes) if sizes is not None else config.sizes
+    num_trials = int(trials) if trials is not None else config.trials
+    result = ExperimentResult(config=config, base_seed=base_seed)
+    missing: List[str] = []
+    for size_parameter in sweep:
+        case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
+        case = config.build_case(size_parameter, case_seed)
+        budget = config.round_budget(size_parameter)
+        for spec in config.protocols:
+            plan = resolve_cell(
+                spec,
+                case,
+                trials=num_trials,
+                base_seed=base_seed,
+                experiment_id=config.experiment_id,
+                max_rounds=budget,
+                backend=backend,
+                dynamics=dynamics,
+            )
+            trial_set = store_obj.get_trial_set(plan.key)
+            if trial_set is None:
+                missing.append(
+                    f"{config.experiment_id} size={size_parameter} "
+                    f"protocol={spec.display_label} key={plan.key[:16]}"
+                )
+                continue
+            result.cells.append(
+                CellResult(
+                    experiment_id=config.experiment_id,
+                    size_parameter=size_parameter,
+                    num_vertices=case.num_vertices,
+                    protocol_label=spec.display_label,
+                    protocol_name=spec.name,
+                    trials=trial_set,
+                    summary=summarize_trials(trial_set),
+                )
+            )
+    if missing and strict:
+        raise KeyError(
+            "result store is missing "
+            f"{len(missing)} cell(s); run the sweep with --store first:\n  "
+            + "\n  ".join(missing)
+        )
+    return result
+
+
+def experiment_markdown_section_from_store(
+    config: ExperimentConfig, store, **kwargs
+) -> str:
+    """Markdown section for one experiment, read straight from the store."""
+    return experiment_markdown_section(result_from_store(config, store, **kwargs))
 
 
 def coupling_markdown_section(result: CouplingExperimentResult) -> str:

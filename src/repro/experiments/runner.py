@@ -27,6 +27,14 @@ Multi-cell sweeps additionally shard across CPU cores: ``run_experiment``
 accepts ``workers=N`` and schedules one task per (size, protocol) cell on a
 spawn-safe process pool, deriving every seed exactly as the serial path does,
 so the result is bit-identical to ``workers=1`` regardless of scheduling.
+
+Both entry points compose with the content-addressed result store of
+:mod:`repro.store` (``store=`` / ``force=`` parameters): each cell is a pure
+function of its resolved plan, so before executing a cell the runner consults
+the store under the cell's canonical key, and after executing it persists the
+trial set.  Cache hits return bit-identical results to a recompute, sweeps
+journal their progress (``sweeps/`` in the store root) and an interrupted
+sweep resumes from its completed cells on the next invocation.
 """
 
 from __future__ import annotations
@@ -40,11 +48,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.scaling import best_growth_model, power_law_exponent
 from ..analysis.statistics import Summary, summarize_trials
-from ..core.batch import run_batch, supports_batched, trial_seeds
+from ..core.batch import run_batch
 from ..core.engine import Engine
 from ..core.protocols import make_protocol
 from ..core.results import RunResult, TrialSet
 from ..core.rng import derive_seed
+from ..store import SweepJournal, resolve_cell, resolve_store, sweep_payload
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
 
 __all__ = ["CellResult", "ExperimentResult", "run_trial_set", "run_experiment"]
@@ -161,6 +170,8 @@ def run_trial_set(
     record_history: bool = False,
     backend: str = "auto",
     dynamics=None,
+    store=None,
+    force: bool = False,
 ) -> TrialSet:
     """Run ``trials`` independent runs of one protocol on one graph case.
 
@@ -180,45 +191,51 @@ def run_trial_set(
     consume the same schedule round for round, and the trial seeds do not
     depend on it, so failure-rate sweeps are seed-paired with their
     failure-free baseline.
+
+    ``store`` enables the content-addressed result cache: ``None`` (default)
+    consults the ``REPRO_STORE`` environment variable, ``False`` disables
+    caching, and a path / :class:`~repro.store.ResultStore` uses that store.
+    The cell is a pure function of its resolved plan (graph structure,
+    protocol kwargs, dynamics spec, per-trial seeds, round budget, backend),
+    so a cache hit returns a :class:`TrialSet` bit-identical to a recompute;
+    ``force=True`` recomputes and overwrites the cached artifact.
     """
-    if trials < 1:
-        raise ValueError("trials must be at least 1")
-    if backend not in ("auto", "batched", "sequential"):
-        raise ValueError(f"unknown backend {backend!r}")
-
-    protocol_kwargs = dict(protocol_spec.kwargs)
-    spec_dynamics = protocol_kwargs.pop("dynamics", None)
-    if spec_dynamics is not None:
-        dynamics = spec_dynamics
-
-    seed_components = (
-        experiment_id,
-        protocol_spec.seed_key,
-        case.size_parameter,
+    plan = resolve_cell(
+        protocol_spec,
+        case,
+        trials=trials,
+        base_seed=base_seed,
+        experiment_id=experiment_id,
+        max_rounds=max_rounds,
+        record_history=record_history,
+        backend=backend,
+        dynamics=dynamics,
     )
-    use_batched = backend == "batched" or (
-        backend == "auto" and supports_batched(protocol_spec.name, protocol_spec.kwargs)
-    )
-    if use_batched:
-        seeds = trial_seeds(base_seed, *seed_components, trials=trials)
+    store_obj = resolve_store(store)
+    if store_obj is not None and not force:
+        cached = store_obj.get_trial_set(plan.key)
+        if cached is not None:
+            cached._store_status = ("cached", plan.key)
+            return cached
+
+    if plan.use_batched:
         batch = run_batch(
             protocol_spec.name,
             case.graph,
             case.source,
-            seeds=seeds,
+            seeds=list(plan.seeds),
             max_rounds=max_rounds,
             record_history=record_history,
-            dynamics=dynamics,
-            **protocol_kwargs,
+            dynamics=plan.dynamics,
+            **plan.kwargs,
         )
         trial_set = batch.to_trial_set()
     else:
         engine = Engine(max_rounds=max_rounds, record_history=record_history)
         results: List[RunResult] = []
-        for trial_index in range(trials):
-            seed = derive_seed(base_seed, *seed_components, trial_index)
+        for seed in plan.seeds:
             protocol = make_protocol(
-                protocol_spec.name, dynamics=dynamics, **protocol_kwargs
+                protocol_spec.name, dynamics=plan.dynamics, **plan.kwargs
             )
             results.append(engine.run(protocol, case.graph, case.source, seed=seed))
         trial_set = TrialSet(
@@ -229,10 +246,12 @@ def run_trial_set(
         for result in results:
             trial_set.add(result)
 
-    chosen = "batched" if use_batched else "sequential"
-    trial_set.backend = chosen
+    trial_set.backend = plan.backend
     for result in trial_set.results:
-        result.metadata["backend"] = chosen
+        result.metadata["backend"] = plan.backend
+    if store_obj is not None:
+        store_obj.put_trial_set(plan.key, trial_set, cell=plan.payload)
+        trial_set._store_status = ("computed", plan.key)
     return trial_set
 
 
@@ -272,6 +291,8 @@ def _run_cell(task: Tuple) -> CellResult:
         budget,
         backend,
         dynamics,
+        store,
+        force,
     ) = task
     case = _materialize_case(case_payload)
     trial_set = run_trial_set(
@@ -283,6 +304,8 @@ def _run_cell(task: Tuple) -> CellResult:
         max_rounds=budget,
         backend=backend,
         dynamics=dynamics,
+        store=store if store is not None else False,
+        force=force,
     )
     return CellResult(
         experiment_id=experiment_id,
@@ -314,6 +337,8 @@ def run_experiment(
     backend: str = "auto",
     workers: Optional[int] = None,
     dynamics=None,
+    store=None,
+    force: bool = False,
 ) -> ExperimentResult:
     """Run a full experiment sweep.
 
@@ -329,10 +354,34 @@ def run_experiment(
     with threaded BLAS in forked children) and every worker derives its cell's
     seeds exactly as the serial path does, so results are identical to
     ``workers=1``.
+
+    ``store`` / ``force`` enable the content-addressed result cache (see
+    :func:`run_trial_set` for the resolution rules).  With a store, the sweep
+    becomes **resumable**: every finished cell is persisted the moment it
+    completes (workers persist from their own process), a journal under
+    ``sweeps/`` in the store root records per-cell progress, and a rerun of
+    the same sweep executes only the cells the store does not already hold —
+    returning an :class:`ExperimentResult` bit-identical to an uncached,
+    uninterrupted serial run.
     """
     sweep = tuple(sizes) if sizes is not None else config.sizes
     num_trials = int(trials) if trials is not None else config.trials
     result = ExperimentResult(config=config, base_seed=base_seed)
+
+    store_obj = resolve_store(store)
+    journal = None
+    if store_obj is not None:
+        journal = SweepJournal(
+            store_obj,
+            sweep_payload(
+                config,
+                base_seed=base_seed,
+                sizes=sweep,
+                trials=num_trials,
+                backend=backend,
+                dynamics=dynamics,
+            ),
+        )
 
     pool_size = min(resolve_workers(workers), len(sweep) * len(config.protocols))
     # When the builder itself crosses the spawn boundary, workers build their
@@ -368,7 +417,24 @@ def run_experiment(
                     budget,
                     backend,
                     dynamics,
+                    store_obj,
+                    force,
                 )
+            )
+
+    if journal is not None:
+        journal.start(cells=len(tasks))
+
+    def collect(index: int, cell: CellResult) -> None:
+        result.cells.append(cell)
+        if journal is not None:
+            status, key = getattr(cell.trials, "_store_status", ("computed", ""))
+            journal.cell(
+                index=index,
+                size=cell.size_parameter,
+                protocol=cell.protocol_label,
+                key=key,
+                status=status,
             )
 
     if pool_size > 1:
@@ -378,7 +444,11 @@ def run_experiment(
             # Submission order == serial order, so collecting in submission
             # order reassembles the exact serial cell sequence.
             futures = [pool.submit(_run_cell, task) for task in tasks]
-            result.cells.extend(future.result() for future in futures)
+            for index, future in enumerate(futures):
+                collect(index, future.result())
     else:
-        result.cells.extend(_run_cell(task) for task in tasks)
+        for index, task in enumerate(tasks):
+            collect(index, _run_cell(task))
+    if journal is not None:
+        journal.finish()
     return result

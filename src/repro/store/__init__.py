@@ -1,0 +1,55 @@
+"""Content-addressed result store and resumable sweep orchestration.
+
+Every (graph, protocol, seeds, backend) cell in this package is a pure
+function of its spec, so finished cells are cached *exactly*: the store maps
+a canonical cell key (:mod:`repro.store.keys`) to a compressed artifact
+holding the full :class:`~repro.core.results.TrialSet`
+(:mod:`repro.store.artifacts`), sweeps journal their progress for resume and
+garbage-collection anchoring (:mod:`repro.store.journal`), and
+:mod:`repro.store.orchestrator` resolves (spec, case) pairs into the cell
+plans the experiment runner executes and the reporting layer looks up.
+
+Enable it with ``store=`` on :func:`repro.experiments.runner.run_trial_set`
+/ :func:`~repro.experiments.runner.run_experiment`, the ``--store`` CLI flag
+or the ``REPRO_STORE`` environment variable; manage it with
+``repro store ls|info|gc|export``.
+"""
+
+from .artifacts import (
+    STORE_ENV_VAR,
+    ResultStore,
+    StoreCorruptionError,
+    StoreError,
+    resolve_store,
+)
+from .journal import SweepJournal, sweep_id
+from .keys import (
+    SEMANTICS_VERSION,
+    STORE_FORMAT_VERSION,
+    canonical_json,
+    cell_key,
+    dynamics_spec,
+    graph_fingerprint,
+    trial_cell_payload,
+)
+from .orchestrator import CellPlan, resolve_cell, sweep_payload
+
+__all__ = [
+    "CellPlan",
+    "ResultStore",
+    "SEMANTICS_VERSION",
+    "STORE_ENV_VAR",
+    "STORE_FORMAT_VERSION",
+    "StoreCorruptionError",
+    "StoreError",
+    "SweepJournal",
+    "canonical_json",
+    "cell_key",
+    "dynamics_spec",
+    "graph_fingerprint",
+    "resolve_cell",
+    "resolve_store",
+    "sweep_id",
+    "sweep_payload",
+    "trial_cell_payload",
+]

@@ -1,0 +1,492 @@
+"""Content-addressed artifact store for cached :class:`TrialSet` records.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      objects/<k0k1>/<key>.npz    compressed per-trial arrays
+      objects/<k0k1>/<key>.json   sidecar: metadata + integrity checksum
+      sweeps/<sweep_id>.jsonl     append-only sweep journals (see journal.py)
+
+``<key>`` is the 64-hex-digit cell key of :mod:`repro.store.keys`; objects
+are sharded by the first two hex digits to keep directory listings sane at
+scale.  The NPZ member holds the numeric per-trial data (broadcast times,
+completion flags, message counts, ragged per-round histories in
+flat-plus-lengths form); the JSON sidecar holds everything else (protocol,
+graph name, backend, per-trial metadata and edge-traversal dicts) plus the
+SHA-256 of the NPZ bytes.
+
+Writes are atomic (write to a temp file in the same directory, then
+``os.replace``) and ordered NPZ-before-sidecar, so the sidecar's existence
+is the commit marker: a reader never observes a half-written object, and a
+crash mid-write leaves at worst an orphaned temp/NPZ file for ``gc`` to
+sweep.  Reads verify the sidecar's checksum against the NPZ bytes and raise
+:class:`StoreCorruptionError` on any mismatch — a corrupt cache must fail
+loudly, never silently feed wrong numbers into a figure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.results import RunResult, TrialSet
+from .keys import STORE_FORMAT_VERSION
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "ResultStore",
+    "StoreCorruptionError",
+    "StoreError",
+    "resolve_store",
+]
+
+#: Environment variable that enables the store by default when set to a path.
+STORE_ENV_VAR = "REPRO_STORE"
+
+_KEY_HEX_LENGTH = 64
+
+
+class StoreError(RuntimeError):
+    """Base class for result-store failures."""
+
+
+class StoreCorruptionError(StoreError):
+    """An on-disk artifact failed its integrity check."""
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory temp + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
+
+
+def _sha256(data: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
+def _flatten_histories(histories: Sequence[Sequence[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode a ragged list of int lists as (flat values, per-trial lengths)."""
+    lengths = np.asarray([len(h) for h in histories], dtype=np.int64)
+    if int(lengths.sum()) == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    flat = np.concatenate([np.asarray(h, dtype=np.int64) for h in histories if len(h)])
+    return flat, lengths
+
+
+def _unflatten_histories(flat: np.ndarray, lengths: np.ndarray) -> List[List[int]]:
+    """Invert :func:`_flatten_histories`."""
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return [
+        [int(v) for v in flat[offsets[i]:offsets[i + 1]]] for i in range(lengths.size)
+    ]
+
+
+class ResultStore:
+    """A content-addressed store of trial-set artifacts rooted at a directory.
+
+    The store is safe for concurrent writers (the process-parallel cell
+    scheduler persists from worker processes): writes are atomic renames and
+    two writers racing on the same key write identical bytes by construction.
+    Instances are cheap and picklable — only the root path crosses process
+    boundaries.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        """Directory holding the content-addressed objects."""
+        return self.root / "objects"
+
+    @property
+    def sweeps_dir(self) -> Path:
+        """Directory holding the per-sweep journals."""
+        return self.root / "sweeps"
+
+    def _check_key(self, key: str) -> str:
+        key = str(key)
+        if len(key) != _KEY_HEX_LENGTH or any(c not in "0123456789abcdef" for c in key):
+            raise StoreError(f"malformed cell key {key!r}")
+        return key
+
+    def object_paths(self, key: str) -> Tuple[Path, Path]:
+        """``(npz_path, sidecar_path)`` of a key (whether or not it exists)."""
+        key = self._check_key(key)
+        shard = self.objects_dir / key[:2]
+        return shard / f"{key}.npz", shard / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        _npz, sidecar = self.object_paths(key)
+        return sidecar.exists()
+
+    # ------------------------------------------------------------------
+    # put / get
+    # ------------------------------------------------------------------
+    def put_trial_set(
+        self,
+        key: str,
+        trial_set: TrialSet,
+        *,
+        cell: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist a trial set under ``key``; returns the sidecar path.
+
+        ``cell`` is the key payload (see
+        :func:`repro.store.keys.trial_cell_payload`); storing it alongside
+        the data makes every object self-describing (``repro store info``).
+        Re-putting an existing key simply overwrites it with identical
+        content — puts are idempotent.
+        """
+        npz_path, sidecar_path = self.object_paths(key)
+        payload = trial_set.to_dict()
+        results = payload.pop("results")
+
+        vertex_flat, vertex_lengths = _flatten_histories(
+            [r["informed_vertex_history"] for r in results]
+        )
+        agent_flat, agent_lengths = _flatten_histories(
+            [r["informed_agent_history"] for r in results]
+        )
+        arrays = {
+            "broadcast_time": np.asarray(
+                [-1 if r["broadcast_time"] is None else r["broadcast_time"] for r in results],
+                dtype=np.int64,
+            ),
+            "completed": np.asarray([r["completed"] for r in results], dtype=bool),
+            "rounds_executed": np.asarray(
+                [r["rounds_executed"] for r in results], dtype=np.int64
+            ),
+            "messages_sent": np.asarray(
+                [r["messages_sent"] for r in results], dtype=np.int64
+            ),
+            "num_agents": np.asarray([r["num_agents"] for r in results], dtype=np.int64),
+            "source": np.asarray([r["source"] for r in results], dtype=np.int64),
+            "num_edges": np.asarray([r["num_edges"] for r in results], dtype=np.int64),
+            "vertex_history_flat": vertex_flat,
+            "vertex_history_lengths": vertex_lengths,
+            "agent_history_flat": agent_flat,
+            "agent_history_lengths": agent_lengths,
+        }
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        npz_bytes = buffer.getvalue()
+
+        rest = [
+            {
+                "protocol": r["protocol"],
+                "graph_name": r["graph_name"],
+                "num_vertices": r["num_vertices"],
+                "edge_traversals": r["edge_traversals"],
+                "metadata": r["metadata"],
+            }
+            for r in results
+        ]
+        sidecar = {
+            "format": STORE_FORMAT_VERSION,
+            "key": key,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+            "npz_sha256": _sha256(npz_bytes),
+            "cell": cell,
+            "trial_set": payload,  # protocol / graph_name / num_vertices / backend
+            "results": rest,
+        }
+        # NPZ first, sidecar last: the sidecar commits the object.
+        _atomic_write_bytes(npz_path, npz_bytes)
+        _atomic_write_bytes(
+            sidecar_path, json.dumps(sidecar, sort_keys=True).encode("utf-8")
+        )
+        return sidecar_path
+
+    def read_sidecar(self, key: str) -> Optional[Dict[str, Any]]:
+        """Parsed sidecar of a key, or None if the object is absent."""
+        _npz, sidecar_path = self.object_paths(key)
+        try:
+            text = sidecar_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            sidecar = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"store object {key} has an unparsable sidecar: {exc}"
+            ) from exc
+        return sidecar
+
+    def get_trial_set(self, key: str) -> Optional[TrialSet]:
+        """Load the trial set stored under ``key`` (None if absent).
+
+        The NPZ bytes are checked against the sidecar's SHA-256 before being
+        parsed; any mismatch, missing member or trial-count inconsistency
+        raises :class:`StoreCorruptionError`.
+        """
+        sidecar = self.read_sidecar(key)
+        if sidecar is None:
+            return None
+        if sidecar.get("format") != STORE_FORMAT_VERSION:
+            raise StoreCorruptionError(
+                f"store object {key} has format {sidecar.get('format')!r}; "
+                f"this build reads format {STORE_FORMAT_VERSION} "
+                "(run 'repro store gc --all' to drop stale objects)"
+            )
+        npz_path, sidecar_path = self.object_paths(key)
+        try:
+            npz_bytes = npz_path.read_bytes()
+        except FileNotFoundError as exc:
+            if not sidecar_path.exists():
+                # A concurrent gc deleted the whole object between our
+                # sidecar read and the NPZ read: that is a plain cache miss,
+                # not corruption.
+                return None
+            raise StoreCorruptionError(
+                f"store object {key} lost its NPZ payload ({npz_path})"
+            ) from exc
+        if _sha256(npz_bytes) != sidecar.get("npz_sha256"):
+            raise StoreCorruptionError(
+                f"store object {key} failed its integrity check: NPZ bytes do "
+                "not match the sidecar checksum"
+            )
+        try:
+            with np.load(io.BytesIO(npz_bytes), allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+            vertex_histories = _unflatten_histories(
+                arrays["vertex_history_flat"], arrays["vertex_history_lengths"]
+            )
+            agent_histories = _unflatten_histories(
+                arrays["agent_history_flat"], arrays["agent_history_lengths"]
+            )
+            rest = sidecar["results"]
+            trials = len(rest)
+            if any(arrays[name].shape[0] != trials for name in (
+                "broadcast_time", "completed", "rounds_executed",
+                "messages_sent", "num_agents", "source", "num_edges",
+            )):
+                raise KeyError("per-trial array lengths disagree with sidecar")
+            results = []
+            for t in range(trials):
+                done = bool(arrays["completed"][t])
+                results.append(
+                    {
+                        "protocol": rest[t]["protocol"],
+                        "graph_name": rest[t]["graph_name"],
+                        "num_vertices": rest[t]["num_vertices"],
+                        "num_edges": int(arrays["num_edges"][t]),
+                        "source": int(arrays["source"][t]),
+                        "broadcast_time": int(arrays["broadcast_time"][t]) if done else None,
+                        "rounds_executed": int(arrays["rounds_executed"][t]),
+                        "completed": done,
+                        "num_agents": int(arrays["num_agents"][t]),
+                        "informed_vertex_history": vertex_histories[t],
+                        "informed_agent_history": agent_histories[t],
+                        "messages_sent": int(arrays["messages_sent"][t]),
+                        "edge_traversals": rest[t]["edge_traversals"],
+                        "metadata": rest[t]["metadata"],
+                    }
+                )
+            payload = dict(sidecar["trial_set"])
+            payload["results"] = results
+            return TrialSet.from_dict(payload)
+        except StoreCorruptionError:
+            raise
+        except (KeyError, ValueError, TypeError, OSError) as exc:
+            raise StoreCorruptionError(
+                f"store object {key} could not be decoded: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # query / management
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All committed object keys (sidecar present), in sorted order."""
+        if not self.objects_dir.is_dir():
+            return iter(())
+        found = sorted(
+            path.stem
+            for path in self.objects_dir.glob("??/*.json")
+            if len(path.stem) == _KEY_HEX_LENGTH
+        )
+        return iter(found)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """One summary row per object — the ``repro store ls`` view.
+
+        An object with an unreadable sidecar is reported as a ``"corrupt"``
+        row rather than raised: the inspection surface must stay usable
+        precisely when the store has a damaged object to show.
+        """
+        rows = []
+        for key in self.keys():
+            npz_path, _ = self.object_paths(key)
+            try:
+                sidecar = self.read_sidecar(key)
+            except StoreCorruptionError:
+                rows.append(
+                    {
+                        "key": key,
+                        "protocol": "<corrupt sidecar>",
+                        "graph": None,
+                        "n": None,
+                        "trials": 0,
+                        "backend": None,
+                        "max_rounds": None,
+                        "bytes": npz_path.stat().st_size if npz_path.exists() else 0,
+                        "created_at": None,
+                    }
+                )
+                continue
+            if sidecar is None:  # pragma: no cover - raced deletion
+                continue
+            trial_set = sidecar.get("trial_set", {})
+            cell = sidecar.get("cell") or {}
+            rows.append(
+                {
+                    "key": key,
+                    "protocol": trial_set.get("protocol"),
+                    "graph": trial_set.get("graph_name"),
+                    "n": trial_set.get("num_vertices"),
+                    "trials": len(sidecar.get("results", [])),
+                    "backend": trial_set.get("backend"),
+                    "max_rounds": cell.get("max_rounds"),
+                    "bytes": npz_path.stat().st_size if npz_path.exists() else 0,
+                    "created_at": sidecar.get("created_at"),
+                }
+            )
+        return rows
+
+    def referenced_keys(self) -> set:
+        """Keys referenced by any sweep journal under ``sweeps/``."""
+        referenced = set()
+        if not self.sweeps_dir.is_dir():
+            return referenced
+        for journal in sorted(self.sweeps_dir.glob("*.jsonl")):
+            for line in journal.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn tail line from an interrupted run
+                key = event.get("key")
+                if isinstance(key, str):
+                    referenced.add(key)
+        return referenced
+
+    def gc(
+        self,
+        *,
+        keep_referenced: bool = True,
+        older_than_days: float = 0.0,
+        dry_run: bool = False,
+    ) -> List[str]:
+        """Delete unreferenced objects; returns the keys removed.
+
+        By default an object survives if any sweep journal references it
+        (``keep_referenced``) or if it is younger than ``older_than_days``.
+        Temp files abandoned by crashed writers are swept too, but only once
+        they are over an hour old: a young temp file may belong to a live
+        writer about to ``os.replace`` it, and unlinking it mid-flight would
+        crash that writer's sweep.  With ``keep_referenced=False`` every
+        object older than the cutoff goes — combined with
+        ``older_than_days=0`` that empties the store.
+        """
+        referenced = self.referenced_keys() if keep_referenced else set()
+        cutoff = time.time() - older_than_days * 86400.0
+        removed = []
+        for key in self.keys():
+            if key in referenced:
+                continue
+            npz_path, sidecar_path = self.object_paths(key)
+            mtime = sidecar_path.stat().st_mtime
+            if mtime > cutoff:
+                continue
+            removed.append(key)
+            if not dry_run:
+                # Sidecar first: the object is uncommitted from the moment
+                # the marker disappears.
+                sidecar_path.unlink(missing_ok=True)
+                npz_path.unlink(missing_ok=True)
+        if not dry_run and self.objects_dir.is_dir():
+            stale_before = time.time() - 3600.0
+            # Crashed-writer debris: abandoned temp files, and NPZ payloads
+            # whose sidecar (the commit marker) never landed.  Both are
+            # swept only once they are over an hour old — a younger file may
+            # belong to a live writer between its two writes, and unlinking
+            # it mid-flight would crash that writer's sweep.
+            stale_candidates = list(self.objects_dir.glob("??/.*.tmp")) + [
+                npz
+                for npz in self.objects_dir.glob("??/*.npz")
+                if not npz.with_suffix(".json").exists()
+            ]
+            for debris in stale_candidates:
+                try:
+                    if debris.stat().st_mtime < stale_before:
+                        debris.unlink(missing_ok=True)
+                except FileNotFoundError:  # pragma: no cover - raced writer
+                    pass
+        return removed
+
+    def export(self, destination: Union[str, Path], keys: Optional[Sequence[str]] = None) -> int:
+        """Copy objects (and journals) into another store root; returns a count.
+
+        With ``keys=None`` the whole store is exported.  The destination can
+        then be used as a ``--store`` root directly — e.g. to seed a CI cache
+        or share results with a colleague.
+        """
+        destination_store = ResultStore(destination)
+        selected = list(keys) if keys is not None else list(self.keys())
+        copied = 0
+        for key in selected:
+            src_npz, src_sidecar = self.object_paths(key)
+            if not src_sidecar.exists():
+                raise StoreError(f"cannot export missing key {key}")
+            dst_npz, dst_sidecar = destination_store.object_paths(key)
+            # Atomic data-before-marker, as in put_trial_set: the destination
+            # may be a live shared store with concurrent readers, so neither
+            # file may ever be observable half-written.
+            _atomic_write_bytes(dst_npz, src_npz.read_bytes())
+            _atomic_write_bytes(dst_sidecar, src_sidecar.read_bytes())
+            copied += 1
+        if keys is None and self.sweeps_dir.is_dir():
+            destination_store.sweeps_dir.mkdir(parents=True, exist_ok=True)
+            for journal in self.sweeps_dir.glob("*.jsonl"):
+                shutil.copy2(journal, destination_store.sweeps_dir / journal.name)
+        return copied
+
+
+def resolve_store(store: Any) -> Optional[ResultStore]:
+    """Normalize a ``store=`` argument into a :class:`ResultStore` or None.
+
+    ``None`` consults the :data:`REPRO_STORE <STORE_ENV_VAR>` environment
+    variable (a non-empty value enables the store at that path — how CI runs
+    the whole suite store-backed); ``False`` disables the store
+    unconditionally; a string/path opens a store at that root; an existing
+    :class:`ResultStore` passes through.
+    """
+    if store is None:
+        env = os.environ.get(STORE_ENV_VAR, "").strip()
+        return ResultStore(env) if env else None
+    if store is False:
+        return None
+    if isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -1,0 +1,106 @@
+"""Append-only sweep journals: what a resumable sweep did, cell by cell.
+
+Correctness of resume never depends on the journal — the content-addressed
+objects are the ground truth, and an interrupted sweep resumes simply
+because its completed cells are already in the store.  The journal exists
+for two jobs the objects cannot do:
+
+* **observability** — ``repro store info --sweep`` style inspection of which
+  cells of a sweep are done, which were cache hits, and where an interrupted
+  run stopped;
+* **gc anchoring** — journals are the liveness roots of
+  :meth:`ResultStore.gc`: an object referenced by any journal is kept.
+
+Each sweep appends JSON lines to ``sweeps/<sweep_id>.jsonl``.  Appends are
+single ``write`` calls of one line, so an interruption leaves at worst one
+torn tail line, which every reader tolerates.  The sweep id hashes the sweep
+description (experiment id, seed, sizes, trials, backend, dynamics), so
+re-running the same sweep — including a resume after a kill — appends to the
+same journal, and the file reads as the sweep's history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from .artifacts import ResultStore
+from .keys import canonical_json
+
+__all__ = ["SweepJournal", "sweep_id"]
+
+
+def sweep_id(payload: Dict[str, Any]) -> str:
+    """Stable 16-hex-digit id of a sweep description (canonical-JSON hash)."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL journal of one sweep inside a result store."""
+
+    def __init__(self, store: ResultStore, sweep: Dict[str, Any]) -> None:
+        self.store = store
+        self.sweep = sweep
+        self.sweep_id = sweep_id(sweep)
+        self.path = store.sweeps_dir / f"{self.sweep_id}.jsonl"
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event line (creates the journal on first use)."""
+        payload = {"event": event, "at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime()), **fields}
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def start(self, *, cells: int) -> None:
+        """Record the start of a (re)run of this sweep."""
+        self.record("sweep-start", cells=cells, sweep=self.sweep)
+
+    def cell(self, *, index: int, size: int, protocol: str, key: str, status: str) -> None:
+        """Record one completed cell (``status`` is ``"cached"`` / ``"computed"``)."""
+        self.record(
+            "cell", index=index, size=size, protocol=protocol, key=key, status=status
+        )
+
+    def finish(self) -> None:
+        """Record that the sweep ran to completion."""
+        self.record("sweep-end")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Parsed journal events, tolerating a torn tail line."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+    def cell_events(self) -> List[Dict[str, Any]]:
+        """All recorded cell completions, in journal order."""
+        return [event for event in self.events() if event.get("event") == "cell"]
+
+    def completed_keys(self) -> set:
+        """Keys of every cell any run of this sweep has completed."""
+        return {event["key"] for event in self.cell_events() if "key" in event}
+
+    def last_run_statuses(self) -> Optional[Dict[str, str]]:
+        """``key -> status`` map of the most recent run (None if never started)."""
+        statuses: Optional[Dict[str, str]] = None
+        for event in self.events():
+            if event.get("event") == "sweep-start":
+                statuses = {}
+            elif event.get("event") == "cell" and statuses is not None:
+                statuses[event.get("key", "")] = event.get("status", "")
+        return statuses

@@ -1,0 +1,161 @@
+"""Cell-plan resolution: the single source of truth for "what would run".
+
+:func:`resolve_cell` performs exactly the resolution steps
+:func:`repro.experiments.runner.run_trial_set` performs before touching a
+kernel — spec-level dynamics override, ``auto`` backend selection, per-trial
+seed derivation — and condenses them into a :class:`CellPlan` whose ``key``
+addresses the cell in a :class:`~repro.store.artifacts.ResultStore`.  The
+runner executes plans; the reporting layer (and ``repro store`` tooling)
+only *derives* them, which is how figures and tables regenerate from the
+store without recomputing anything: same resolution, same key, same bits.
+
+This module deliberately does not import the runner, so the dependency flow
+stays one-way: ``experiments.runner -> store -> core/graphs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..core.batch import supports_batched, trial_seeds
+from ..graphs.graph import Graph
+from .keys import cell_key, dynamics_spec, trial_cell_payload
+
+if TYPE_CHECKING:  # imported for annotations only — the experiments package
+    # imports this module at runtime, so a runtime import would be circular.
+    from ..experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
+
+__all__ = ["CellPlan", "resolve_cell", "sweep_payload"]
+
+
+@dataclass
+class CellPlan:
+    """Everything needed to execute — or look up — one cell.
+
+    ``kwargs`` is the protocol spec's keyword arguments with the
+    ``"dynamics"`` entry removed (it travels separately in ``dynamics``,
+    after the spec-level value has overridden any sweep-wide default), and
+    ``backend`` is always resolved to ``"batched"`` or ``"sequential"``.
+
+    ``payload`` and ``key`` are computed lazily and cached: hashing the
+    graph's CSR arrays and canonicalizing a dynamics spec is cheap next to a
+    simulation but not free, and store-less runs (the overwhelmingly common
+    hot path in tests and benchmarks) never need a key at all.
+    """
+
+    graph: Graph
+    source: int
+    protocol_name: str
+    backend: str
+    seeds: Tuple[int, ...]
+    kwargs: Dict[str, Any]
+    dynamics: Any
+    max_rounds: Optional[int] = None
+    record_history: bool = False
+
+    @property
+    def use_batched(self) -> bool:
+        """True when the plan runs on the batched multi-trial backend."""
+        return self.backend == "batched"
+
+    @cached_property
+    def payload(self) -> Dict[str, Any]:
+        """The canonicalizable cell description (see ``trial_cell_payload``)."""
+        return trial_cell_payload(
+            graph=self.graph,
+            source=self.source,
+            protocol_name=self.protocol_name,
+            protocol_kwargs=self.kwargs,
+            dynamics=self.dynamics,
+            seeds=self.seeds,
+            max_rounds=self.max_rounds,
+            record_history=self.record_history,
+            backend=self.backend,
+        )
+
+    @cached_property
+    def key(self) -> str:
+        """The cell's content address in a result store."""
+        return cell_key(self.payload)
+
+
+def resolve_cell(
+    protocol_spec: "ProtocolSpec",
+    case: "GraphCase",
+    *,
+    trials: int,
+    base_seed: int,
+    experiment_id: str = "adhoc",
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    backend: str = "auto",
+    dynamics: Any = None,
+) -> CellPlan:
+    """Resolve one (protocol spec, graph case) cell into its executable plan.
+
+    Raises ``ValueError`` for an invalid trial count or backend name, exactly
+    as :func:`~repro.experiments.runner.run_trial_set` does — callers that
+    only derive keys get the same argument validation as callers that run.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    if backend not in ("auto", "batched", "sequential"):
+        raise ValueError(f"unknown backend {backend!r}")
+
+    kwargs = dict(protocol_spec.kwargs)
+    spec_dynamics = kwargs.pop("dynamics", None)
+    if spec_dynamics is not None:
+        dynamics = spec_dynamics
+
+    use_batched = backend == "batched" or (
+        backend == "auto" and supports_batched(protocol_spec.name, protocol_spec.kwargs)
+    )
+    resolved_backend = "batched" if use_batched else "sequential"
+    seeds = trial_seeds(
+        base_seed,
+        experiment_id,
+        protocol_spec.seed_key,
+        case.size_parameter,
+        trials=trials,
+    )
+    return CellPlan(
+        graph=case.graph,
+        source=case.source,
+        protocol_name=protocol_spec.name,
+        backend=resolved_backend,
+        seeds=tuple(seeds),
+        kwargs=kwargs,
+        dynamics=dynamics,
+        max_rounds=max_rounds,
+        record_history=record_history,
+    )
+
+
+def sweep_payload(
+    config: "ExperimentConfig",
+    *,
+    base_seed: int,
+    sizes: Tuple[int, ...],
+    trials: int,
+    backend: str,
+    dynamics: Any = None,
+) -> Dict[str, Any]:
+    """Canonical description of a whole sweep — the journal's identity.
+
+    Identifies the sweep by *what is asked for* (experiment id, seed, size
+    sweep, trial count, backend, sweep-wide dynamics and the protocol
+    labels), not by the per-cell keys: a resumed run must map to the same
+    journal before any graph is built.
+    """
+    labels: List[str] = [spec.display_label for spec in config.protocols]
+    return {
+        "experiment_id": config.experiment_id,
+        "base_seed": int(base_seed),
+        "sizes": [int(size) for size in sizes],
+        "trials": int(trials),
+        "backend": backend,
+        "dynamics": dynamics_spec(dynamics),
+        "protocols": labels,
+    }

@@ -33,6 +33,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig1a-star", "--store", "/tmp/s", "--force"]
+        )
+        assert args.store == "/tmp/s"
+        assert args.force
+        bare = build_parser().parse_args(["run", "fig1a-star", "--store"])
+        assert bare.store == ""
+        off = build_parser().parse_args(["run", "fig1a-star", "--no-store"])
+        assert off.no_store
+
+    def test_store_subcommand_parses(self):
+        args = build_parser().parse_args(["store", "--store", "/tmp/s", "ls"])
+        assert args.command == "store"
+        assert args.store_command == "ls"
+        assert args.store_path == "/tmp/s"
+        gc = build_parser().parse_args(["store", "gc", "--keep-days", "2", "--dry-run"])
+        assert gc.keep_days == 2.0
+        assert gc.dry_run
+
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "gossip-9000", "star", "10"])
@@ -89,6 +109,47 @@ class TestCommands:
         )
         output = capsys.readouterr().out
         assert "Star graph" in output
+
+    def test_run_with_store_then_store_ls_and_info(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        run_args = [
+            "run", "fig1a-star", "--scale", "0.1", "--trials", "1",
+            "--store", store_path,
+        ]
+        assert main(run_args) == 0
+        first = capsys.readouterr().out
+        assert main(run_args) == 0  # warm rerun: pure cache hits
+        second = capsys.readouterr().out
+        assert first == second
+
+        assert main(["store", "--store", store_path, "ls"]) == 0
+        listing = capsys.readouterr().out
+        assert "push-pull" in listing
+
+        key_prefix = listing.splitlines()[3].split()[0]
+        assert main(["store", "--store", store_path, "info", key_prefix]) == 0
+        info = capsys.readouterr().out
+        assert '"fingerprint"' in info
+
+    def test_store_gc_and_export_commands(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        assert main([
+            "run", "fig1a-star", "--scale", "0.1", "--trials", "1",
+            "--store", store_path,
+        ]) == 0
+        capsys.readouterr()
+        destination = str(tmp_path / "copy")
+        assert main(["store", "--store", store_path, "export", destination]) == 0
+        assert "exported" in capsys.readouterr().out
+        assert main(["store", "--store", destination, "gc", "--all"]) == 0
+        assert "deleted" in capsys.readouterr().out
+
+    def test_store_info_unknown_key_fails(self, capsys, tmp_path):
+        assert main(["store", "--store", str(tmp_path / "s"), "info", "feed"]) == 1
+
+    def test_report_from_store_conflicts_with_no_store(self, capsys):
+        assert main(["report", "--from-store", "--no-store"]) == 2
+        assert "--no-store" in capsys.readouterr().err
 
     def test_run_markdown_mode(self, capsys):
         assert (

@@ -24,6 +24,7 @@ ALL_EXAMPLES = [
     "coupling_demo.py",
     "fault_tolerant_agents.py",
     "robustness_sweep.py",
+    "cached_sweep.py",
 ]
 
 
@@ -75,3 +76,10 @@ class TestCheapExamplesRun:
         # Seed-paired degradation: the harshest rate is slower than baseline.
         for protocol in module.PROTOCOLS:
             assert results[(protocol, 0.4)] > results[(protocol, 0.0)]
+
+    def test_cached_sweep_runs_at_reduced_size(self, capsys):
+        module = load_example("cached_sweep.py")
+        module.main(sizes=(32, 64), trials=3)
+        output = capsys.readouterr().out
+        assert "warm results bit-identical to cold: True" in output
+        assert "reproduces the table: True" in output

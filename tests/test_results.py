@@ -118,3 +118,115 @@ class TestTrialSet:
         payload = trials.to_dict()
         assert payload["protocol"] == "push"
         assert len(payload["results"]) == 2
+
+    def test_from_dict_restores_backend_and_results(self):
+        trials = TrialSet.from_results([make_result(), make_result(broadcast_time=3)])
+        trials.backend = "batched"
+        clone = TrialSet.from_dict(trials.to_dict())
+        assert clone == trials
+        assert clone.backend == "batched"
+
+    def test_from_json_round_trip(self):
+        trials = TrialSet.from_results([make_result(metadata={"alpha": 0.5})])
+        assert TrialSet.from_json(trials.to_json()) == trials
+
+    def test_from_dict_rejects_mixed_protocols(self):
+        trials = TrialSet.from_results([make_result()])
+        payload = trials.to_dict()
+        payload["results"][0]["protocol"] = "pull"
+        with pytest.raises(ValueError):
+            TrialSet.from_dict(payload)
+
+    def test_to_dict_normalizes_numpy_metadata(self):
+        import numpy as np
+
+        result = make_result(
+            metadata={
+                "count": np.int64(3),
+                "rate": np.float64(0.25),
+                "flag": np.bool_(True),
+                "mask": np.array([1, 2]),
+                "pair": (1, 2),
+            }
+        )
+        payload = result.to_dict()
+        text = json.dumps(payload)  # must be JSON-serializable
+        clone = RunResult.from_dict(json.loads(text))
+        assert clone.metadata == {
+            "count": 3,
+            "rate": 0.25,
+            "flag": True,
+            "mask": [1, 2],
+            "pair": [1, 2],
+        }
+
+    def test_to_dict_rejects_non_string_metadata_keys(self):
+        # str(3) would silently round-trip {3: x} into {"3": x}; the lossless
+        # contract demands a loud failure instead.
+        result = make_result(metadata={3: "x"})
+        with pytest.raises(TypeError):
+            result.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# property-based round-trip: the result store persists TrialSets through
+# to_dict/from_dict (via JSON), so the round trip must be lossless for every
+# representable record — histories, metadata, edge traversals, backend.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+json_scalars = st.none() | st.booleans() | st.integers(-10**9, 10**9) | st.floats(
+    allow_nan=False, allow_infinity=False
+) | st.text(max_size=12)
+metadata_values = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=8,
+)
+
+
+@st.composite
+def run_results(draw, protocol="push", num_vertices=16):
+    completed = draw(st.booleans())
+    broadcast_time = draw(st.integers(0, 500)) if completed else None
+    rounds = broadcast_time if completed else draw(st.integers(0, 500))
+    return RunResult(
+        protocol=protocol,
+        graph_name=draw(st.text(max_size=10)),
+        num_vertices=num_vertices,
+        num_edges=draw(st.integers(1, 100)),
+        source=draw(st.integers(0, num_vertices - 1)),
+        broadcast_time=broadcast_time,
+        rounds_executed=rounds,
+        completed=completed,
+        num_agents=draw(st.integers(0, 64)),
+        informed_vertex_history=draw(st.lists(st.integers(0, num_vertices), max_size=6)),
+        informed_agent_history=draw(st.lists(st.integers(0, 64), max_size=6)),
+        messages_sent=draw(st.integers(0, 10**6)),
+        edge_traversals=draw(
+            st.dictionaries(st.text(max_size=8), st.integers(0, 1000), max_size=4)
+        ),
+        metadata=draw(st.dictionaries(st.text(max_size=8), metadata_values, max_size=4)),
+    )
+
+
+class TestTrialSetRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        results=st.lists(run_results(), min_size=1, max_size=4),
+        backend=st.none() | st.sampled_from(["batched", "sequential"]),
+    )
+    def test_json_round_trip_is_lossless(self, results, backend):
+        trials = TrialSet.from_results(results)
+        trials.backend = backend
+        payload = json.loads(json.dumps(trials.to_dict()))
+        clone = TrialSet.from_dict(payload)
+        assert clone == trials
+        assert clone.backend == backend
+        for original, restored in zip(trials.results, clone.results):
+            assert restored.informed_vertex_history == original.informed_vertex_history
+            assert restored.informed_agent_history == original.informed_agent_history
+            assert restored.metadata == original.metadata
+            assert restored.edge_traversals == original.edge_traversals
