@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from _helpers import mean_broadcast_time
 from repro.graphs import random_regular_graph, star

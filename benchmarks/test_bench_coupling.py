@@ -14,7 +14,6 @@ and asserts both facts, and pytest-benchmark times one coupled run.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.coupling import CoupledPushVisitExchange
 from repro.experiments.coupling_experiment import run_coupling_experiment

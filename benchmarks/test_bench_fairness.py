@@ -9,7 +9,6 @@ mechanisms on the star, the double star and a random regular graph.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.fairness import expected_uniform_share
 from repro.experiments.fairness_experiment import run_fairness_experiment

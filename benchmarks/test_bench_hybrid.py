@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from _helpers import mean_broadcast_time
 from repro.graphs import double_star, heavy_binary_tree

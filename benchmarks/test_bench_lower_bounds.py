@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from _helpers import mean_broadcast_time
 from repro import simulate

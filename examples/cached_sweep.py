@@ -11,7 +11,11 @@ full loop on a Figure-1(b)-style sweep:
    faster, byte-for-byte the same numbers);
 3. the reporting layer rebuilds the experiment table **straight from the
    store**, without touching the runner at all;
-4. the store is inspected the way ``repro store ls`` does.
+4. the store is inspected the way ``repro store ls`` does;
+5. the warm store is **served over HTTP** (``repro store serve``) and the
+   same sweep runs against the URL: zero simulations, every object fetched
+   once into a local read-through cache, and a second URL-backed run that
+   never touches the network at all.
 
 Resumability falls out of the same mechanism: each cell is persisted the
 moment it finishes, so a killed sweep simply reruns — only the missing
@@ -32,7 +36,7 @@ from repro.experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
 from repro.experiments.reporting import experiment_table, result_from_store
 from repro.experiments.runner import run_experiment
 from repro.graphs import double_star
-from repro.store import ResultStore
+from repro.store import ResultStore, StoreService
 
 
 def build_case(size: int, seed: int) -> GraphCase:
@@ -91,6 +95,31 @@ def main(sizes=(64, 128, 256), trials: int = 10) -> None:
                 f"  {entry['key'][:16]}  {entry['protocol']:15s} "
                 f"{entry['graph']:22s} trials={entry['trials']} "
                 f"{entry['bytes']:6d} bytes"
+            )
+
+        # Shared-store service: serve the warm store over HTTP and run the
+        # same sweep against the URL, exactly as a colleague's laptop or a
+        # CI job would with REPRO_STORE=http://host:port.
+        with StoreService(store, port=0) as service:
+            print(f"\nserving the store at {service.url} ...")
+            remote = ResultStore(service.url, cache=Path(tmp) / "cache")
+
+            start = time.perf_counter()
+            over_http = run_experiment(config, base_seed=0, store=remote)
+            http_seconds = time.perf_counter() - start
+            identical = [c.trials for c in over_http.cells] == [c.trials for c in cold.cells]
+            fetches = service.request_counts.get("/cells/*/object", 0)
+            print(
+                f"sweep via HTTP: {http_seconds * 1000:8.1f} ms "
+                f"(zero simulations, {fetches} objects fetched once)"
+            )
+            print(f"HTTP results bit-identical to cold: {identical}")
+
+            run_experiment(config, base_seed=0, store=remote)
+            fetches_after = service.request_counts.get("/cells/*/object", 0)
+            print(
+                "second HTTP-backed run object fetches: "
+                f"{fetches_after - fetches} (served from the read-through cache)"
             )
 
 

@@ -7,9 +7,8 @@ what ends up in the generated tables of EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

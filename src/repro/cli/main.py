@@ -12,13 +12,16 @@ Sub-commands
     Run a single protocol on a single graph and print the result.
 ``report``
     Regenerate the Markdown experiment report (EXPERIMENTS.md content).
-``store ls|info|gc|export``
-    Inspect and manage the content-addressed result store.
+``store serve|ls|info|gc|export``
+    Serve, inspect and manage the content-addressed result store.
 
-The experiment-running sub-commands accept ``--store [PATH]`` (cache every
-cell in a content-addressed result store; a bare ``--store`` uses
+The experiment-running sub-commands accept ``--store [PATH|URL]`` (cache
+every cell in a content-addressed result store; a bare ``--store`` uses
 ``$REPRO_STORE`` or ``.repro-store``), ``--no-store`` (ignore
 ``$REPRO_STORE``) and ``--force`` (recompute and overwrite cached cells).
+A store designator is either a directory path or the ``http://host:port``
+URL of a ``repro store serve`` service — remote objects are fetched once
+and read-through-cached locally.
 """
 
 from __future__ import annotations
@@ -65,6 +68,23 @@ def _default_store_path() -> str:
     import os
 
     return os.environ.get(STORE_ENV_VAR, "").strip() or DEFAULT_STORE_PATH
+
+
+def parse_byte_size(value: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (e.g. ``500M``)."""
+    text = value.strip().upper()
+    multiplier = 1
+    for suffix, factor in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
+        if text.endswith(suffix):
+            text, multiplier = text[: -len(suffix)], factor
+            break
+    try:
+        count = int(float(text) * multiplier)
+    except (ValueError, OverflowError):
+        raise argparse.ArgumentTypeError(f"not a byte size: {value!r}") from None
+    if count < 0:
+        raise argparse.ArgumentTypeError(f"byte size must be non-negative: {value!r}")
+    return count
 
 
 def _build_graph(family: str, size: int, seed: int):
@@ -141,11 +161,13 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
         nargs="?",
         const="",
         default=None,
-        metavar="PATH",
+        metavar="PATH|URL",
         help=(
             "cache finished cells in a content-addressed result store and "
-            "reuse them on later runs (bit-identical to recomputing); with no "
-            f"PATH, uses ${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}'"
+            "reuse them on later runs (bit-identical to recomputing); accepts "
+            "a directory or the http://host:port URL of a 'repro store serve' "
+            f"service; with no value, uses ${STORE_ENV_VAR} or "
+            f"'{DEFAULT_STORE_PATH}'"
         ),
     )
     parser.add_argument(
@@ -258,16 +280,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_options(report_parser)
 
     store_parser = subparsers.add_parser(
-        "store", help="inspect and manage the content-addressed result store"
+        "store", help="serve, inspect and manage the content-addressed result store"
     )
     store_parser.add_argument(
         "--store",
         dest="store_path",
         default=None,
-        metavar="PATH",
-        help=f"store root (default: ${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}')",
+        metavar="PATH|URL",
+        help=(
+            "store root: a directory, or a service URL for the read-only "
+            f"commands (default: ${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}')"
+        ),
     )
     store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+
+    serve_parser = store_subparsers.add_parser(
+        "serve",
+        help=(
+            "serve the store root over a read-only HTTP API "
+            "(point clients at it via REPRO_STORE=http://host:port)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (default: 8080; 0 = ephemeral)"
+    )
 
     store_subparsers.add_parser("ls", help="list cached cells")
 
@@ -277,13 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser.add_argument("key", help="cell key (a unique prefix is enough)")
 
     gc_parser = store_subparsers.add_parser(
-        "gc", help="delete unreferenced cached cells"
+        "gc", help="delete unreferenced cached cells, or trim to a byte budget"
     )
     gc_parser.add_argument(
         "--keep-days",
         type=float,
         default=0.0,
         help="also keep unreferenced objects younger than this many days",
+    )
+    gc_parser.add_argument(
+        "--max-bytes",
+        type=parse_byte_size,
+        default=None,
+        metavar="SIZE",
+        help=(
+            "instead of sweeping every unreferenced object, evict least-"
+            "recently-read cells until the store fits SIZE bytes (suffixes "
+            "K/M/G allowed, e.g. 500M); journal-referenced cells stay "
+            "pinned, and --keep-days acts as an age floor for eviction"
+        ),
     )
     gc_parser.add_argument(
         "--all",
@@ -479,6 +530,37 @@ def _command_store(args: argparse.Namespace) -> int:
     import json
 
     store = ResultStore(args.store_path or _default_store_path())
+    if args.store_command == "serve":
+        from ..store import StoreError
+        from ..store.service import serve
+
+        try:
+            service = serve(store.root, host=args.host, port=args.port)
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        except OSError as exc:
+            # Most commonly EADDRINUSE: the bind happens in the constructor.
+            print(f"cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 2
+        client_url = service.url
+        if args.host == "0.0.0.0":
+            # The wildcard bind address is not routable; tell clients the
+            # machine's name instead.  (The server is IPv4-only, so "::"
+            # never binds in the first place.)
+            import socket
+
+            port = service.server.server_address[1]
+            client_url = f"http://{socket.gethostname()}:{port}"
+        print(
+            f"serving result store {store.root} at {service.url} "
+            f"(point clients at it via {STORE_ENV_VAR}={client_url})"
+        )
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            print("shutting down")
+        return 0
     if args.store_command == "ls":
         rows = [
             [
@@ -516,9 +598,13 @@ def _command_store(args: argparse.Namespace) -> int:
             keep_referenced=not args.all,
             older_than_days=args.keep_days,
             dry_run=args.dry_run,
+            max_bytes=args.max_bytes,
         )
         verb = "would delete" if args.dry_run else "deleted"
-        print(f"{verb} {len(removed)} object(s) from {store.root}")
+        target = store.root if store.backend.local is store.backend else (
+            f"the local cache of {store.root}"
+        )
+        print(f"{verb} {len(removed)} object(s) from {target}")
         return 0
     if args.store_command == "export":
         copied = store.export(args.destination, keys=args.keys)

@@ -14,11 +14,10 @@ linear-agent regime (``|A| = Theta(n)``) affordable for the experiment sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
-from ..graphs.graph import Graph, GraphError
+from ..graphs.graph import Graph
 from .rng import make_rng
 
 __all__ = ["AgentSystem", "default_agent_count"]

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..graphs.graph import Graph, GraphError
-from .observers import Observer, ObserverGroup
+from .observers import ObserverGroup
 from .results import RunResult
 from .rng import make_rng
 

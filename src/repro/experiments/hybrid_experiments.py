@@ -15,7 +15,6 @@ In both cases the hybrid should track the faster constituent up to constants.
 
 from __future__ import annotations
 
-import math
 
 from ..graphs.double_star import double_star
 from ..graphs.heavy_binary_tree import heavy_binary_tree, tree_leaves

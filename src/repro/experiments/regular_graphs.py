@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 
-from ..graphs.regular import clique_cycle, hypercube, random_regular_graph, torus_grid
+from ..graphs.regular import clique_cycle, hypercube, random_regular_graph
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
 from .registry import register
 

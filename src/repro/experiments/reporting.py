@@ -8,7 +8,7 @@ experiments contribute their dedicated tables.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.statistics import summarize_trials
 from ..analysis.tables import format_float, format_markdown_table, format_table
@@ -129,7 +129,10 @@ def result_from_store(
     would execute (building graphs is cheap; only the simulations are
     expensive) and fetches each plan's trial set from the store — zero
     simulation work, so figures and tables regenerate from a warm store in
-    milliseconds.  With ``strict=True`` (default) a missing cell raises
+    milliseconds.  ``store`` accepts anything
+    :func:`~repro.store.resolve_store` does, including a ``repro store
+    serve`` URL — dashboards and notebooks can pull cached cells without a
+    filesystem mount.  With ``strict=True`` (default) a missing cell raises
     ``KeyError`` naming every absent plan; with ``strict=False`` missing
     cells are skipped, yielding a partial (but honest) result.
     """

@@ -34,7 +34,11 @@ function of its resolved plan, so before executing a cell the runner consults
 the store under the cell's canonical key, and after executing it persists the
 trial set.  Cache hits return bit-identical results to a recompute, sweeps
 journal their progress (``sweeps/`` in the store root) and an interrupted
-sweep resumes from its completed cells on the next invocation.
+sweep resumes from its completed cells on the next invocation.  The store may
+be a local directory or the URL of a ``repro store serve`` service
+(``REPRO_STORE=http://host:port``): a sweep against a pre-warmed central
+store executes zero simulation cells, fetches each object once into a local
+read-through cache, and computes anything the server lacks locally.
 """
 
 from __future__ import annotations
@@ -194,7 +198,9 @@ def run_trial_set(
 
     ``store`` enables the content-addressed result cache: ``None`` (default)
     consults the ``REPRO_STORE`` environment variable, ``False`` disables
-    caching, and a path / :class:`~repro.store.ResultStore` uses that store.
+    caching, and a path / service URL / :class:`~repro.store.ResultStore`
+    uses that store (URLs read through a local cache; computed cells land in
+    the cache, since the service is read-only).
     The cell is a pure function of its resolved plan (graph structure,
     protocol kwargs, dynamics spec, per-trial seeds, round budget, backend),
     so a cache hit returns a :class:`TrialSet` bit-identical to a recompute;

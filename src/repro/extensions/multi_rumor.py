@@ -15,8 +15,8 @@ cost is O((n + |A|) * r / 64) words for ``r`` concurrent rumors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 

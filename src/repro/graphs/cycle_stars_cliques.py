@@ -16,7 +16,7 @@ where visit-exchange beats meet-exchange, and only by a logarithmic factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from .graph import Graph, GraphError
 

@@ -43,7 +43,7 @@ static all-active schedule reproduces the undynamic trajectories bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -9,10 +9,19 @@ garbage-collection anchoring (:mod:`repro.store.journal`), and
 :mod:`repro.store.orchestrator` resolves (spec, case) pairs into the cell
 plans the experiment runner executes and the reporting layer looks up.
 
+Storage is pluggable (:mod:`repro.store.backends`): the same
+:class:`ResultStore` facade runs over a local directory
+(:class:`~repro.store.backends.LocalBackend`) or over the read-only HTTP
+service of :mod:`repro.store.service` (``repro store serve``) through
+:class:`~repro.store.backends.RemoteBackend`, which read-through-caches
+every fetched object locally so a warm central store serves many laptops
+and CI runs while each object crosses the network at most once.
+
 Enable it with ``store=`` on :func:`repro.experiments.runner.run_trial_set`
 / :func:`~repro.experiments.runner.run_experiment`, the ``--store`` CLI flag
-or the ``REPRO_STORE`` environment variable; manage it with
-``repro store ls|info|gc|export``.
+or the ``REPRO_STORE`` environment variable (a directory path or an
+``http(s)://host:port`` service URL); manage it with
+``repro store serve|ls|info|gc|export``.
 """
 
 from .artifacts import (
@@ -21,6 +30,13 @@ from .artifacts import (
     StoreCorruptionError,
     StoreError,
     resolve_store,
+)
+from .backends import (
+    CACHE_ENV_VAR,
+    LocalBackend,
+    RemoteBackend,
+    StoreBackend,
+    resolve_backend,
 )
 from .journal import SweepJournal, sweep_id
 from .keys import (
@@ -33,22 +49,30 @@ from .keys import (
     trial_cell_payload,
 )
 from .orchestrator import CellPlan, resolve_cell, sweep_payload
+from .service import StoreService, serve
 
 __all__ = [
+    "CACHE_ENV_VAR",
     "CellPlan",
+    "LocalBackend",
+    "RemoteBackend",
     "ResultStore",
     "SEMANTICS_VERSION",
     "STORE_ENV_VAR",
     "STORE_FORMAT_VERSION",
+    "StoreBackend",
     "StoreCorruptionError",
     "StoreError",
+    "StoreService",
     "SweepJournal",
     "canonical_json",
     "cell_key",
     "dynamics_spec",
     "graph_fingerprint",
+    "resolve_backend",
     "resolve_cell",
     "resolve_store",
+    "serve",
     "sweep_id",
     "sweep_payload",
     "trial_cell_payload",

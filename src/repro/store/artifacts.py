@@ -1,27 +1,35 @@
 """Content-addressed artifact store for cached :class:`TrialSet` records.
 
-Layout (everything under one root directory)::
+:class:`ResultStore` is the facade: it owns serialization (compressed NPZ
+per-trial arrays + JSON sidecar), the SHA-256 integrity contract and policy
+(listing, gc, export), while the actual byte transport is a pluggable
+:class:`~repro.store.backends.StoreBackend`:
 
-    <root>/
-      objects/<k0k1>/<key>.npz    compressed per-trial arrays
-      objects/<k0k1>/<key>.json   sidecar: metadata + integrity checksum
-      sweeps/<sweep_id>.jsonl     append-only sweep journals (see journal.py)
+* :class:`~repro.store.backends.LocalBackend` — the sharded on-disk layout
+  (``objects/<k0k1>/<key>.npz`` + ``.json`` sidecar, ``sweeps/*.jsonl``
+  journals) described in :mod:`repro.store.backends.local`;
+* :class:`~repro.store.backends.RemoteBackend` — an HTTP client for the
+  read-only ``repro store serve`` service, with a local read-through cache
+  so every object is fetched at most once.
 
-``<key>`` is the 64-hex-digit cell key of :mod:`repro.store.keys`; objects
-are sharded by the first two hex digits to keep directory listings sane at
-scale.  The NPZ member holds the numeric per-trial data (broadcast times,
+``ResultStore(root)`` accepts either a filesystem path or an
+``http(s)://host:port`` service URL — the same two forms the
+``REPRO_STORE`` environment variable accepts.
+
+The NPZ member holds the numeric per-trial data (broadcast times,
 completion flags, message counts, ragged per-round histories in
 flat-plus-lengths form); the JSON sidecar holds everything else (protocol,
 graph name, backend, per-trial metadata and edge-traversal dicts) plus the
-SHA-256 of the NPZ bytes.
+SHA-256 and byte size of the NPZ payload.
 
-Writes are atomic (write to a temp file in the same directory, then
-``os.replace``) and ordered NPZ-before-sidecar, so the sidecar's existence
-is the commit marker: a reader never observes a half-written object, and a
-crash mid-write leaves at worst an orphaned temp/NPZ file for ``gc`` to
-sweep.  Reads verify the sidecar's checksum against the NPZ bytes and raise
-:class:`StoreCorruptionError` on any mismatch — a corrupt cache must fail
-loudly, never silently feed wrong numbers into a figure.
+Writes are atomic and ordered NPZ-before-sidecar, so the sidecar's
+existence is the commit marker: a reader never observes a half-written
+object.  Reads verify the sidecar's checksum against the NPZ bytes and
+raise :class:`StoreCorruptionError` on any mismatch — a corrupt cache must
+fail loudly, never silently feed wrong numbers into a figure.  Both
+contracts hold across every backend: the service streams the checksummed
+bytes verbatim, and the remote backend re-verifies before committing
+anything to its cache.
 """
 
 from __future__ import annotations
@@ -29,15 +37,18 @@ from __future__ import annotations
 import io
 import json
 import os
-import shutil
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.results import RunResult, TrialSet
+from ..core.results import TrialSet
 from .keys import STORE_FORMAT_VERSION
+
+if TYPE_CHECKING:  # the backends package imports this module's exceptions,
+    # so the runtime import lives inside ResultStore.__init__.
+    from .backends import StoreBackend
 
 __all__ = [
     "STORE_ENV_VAR",
@@ -47,10 +58,21 @@ __all__ = [
     "resolve_store",
 ]
 
-#: Environment variable that enables the store by default when set to a path.
+#: Environment variable that enables the store by default when set to a
+#: path or an ``http(s)://`` store-service URL.
 STORE_ENV_VAR = "REPRO_STORE"
 
-_KEY_HEX_LENGTH = 64
+#: NPZ members holding one value per trial; their leading dimensions must
+#: agree with the sidecar's per-trial records.
+_PER_TRIAL_MEMBERS = (
+    "broadcast_time",
+    "completed",
+    "rounds_executed",
+    "messages_sent",
+    "num_agents",
+    "source",
+    "num_edges",
+)
 
 
 class StoreError(RuntimeError):
@@ -59,18 +81,6 @@ class StoreError(RuntimeError):
 
 class StoreCorruptionError(StoreError):
     """An on-disk artifact failed its integrity check."""
-
-
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (same-directory temp + replace)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    try:
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # pragma: no cover - only on a failed replace
-            tmp.unlink()
 
 
 def _sha256(data: bytes) -> str:
@@ -92,52 +102,65 @@ def _unflatten_histories(flat: np.ndarray, lengths: np.ndarray) -> List[List[int
     """Invert :func:`_flatten_histories`."""
     offsets = np.zeros(lengths.size + 1, dtype=np.int64)
     np.cumsum(lengths, out=offsets[1:])
-    return [
-        [int(v) for v in flat[offsets[i]:offsets[i + 1]]] for i in range(lengths.size)
-    ]
+    return [[int(v) for v in flat[offsets[i] : offsets[i + 1]]] for i in range(lengths.size)]
 
 
 class ResultStore:
-    """A content-addressed store of trial-set artifacts rooted at a directory.
+    """A content-addressed store of trial-set artifacts behind a backend.
+
+    ``root`` may be a directory path (local store), an ``http(s)://`` URL of
+    a ``repro store serve`` service (remote store with a local read-through
+    cache at ``cache`` / ``$REPRO_STORE_CACHE`` / a per-URL default), or an
+    already-constructed :class:`~repro.store.backends.StoreBackend`.
 
     The store is safe for concurrent writers (the process-parallel cell
     scheduler persists from worker processes): writes are atomic renames and
-    two writers racing on the same key write identical bytes by construction.
-    Instances are cheap and picklable — only the root path crosses process
-    boundaries.
+    two writers racing on the same key write identical bytes by
+    construction.  Instances are cheap and picklable — only the backend
+    configuration (paths, URL) crosses process boundaries.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        root: Union[str, Path, "StoreBackend", None] = None,
+        *,
+        backend: Optional["StoreBackend"] = None,
+        cache: Union[str, Path, None] = None,
+    ) -> None:
+        from .backends import resolve_backend
+
+        if backend is None:
+            if root is None:
+                raise StoreError("ResultStore needs a root path, URL or backend")
+            backend = resolve_backend(root, cache=cache)
+        self.backend = backend
+        #: The store's designator: a ``Path`` for local stores, the service
+        #: URL string for remote ones.
+        self.root = backend.location
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
 
     # ------------------------------------------------------------------
-    # paths
+    # paths (the backend's local surface: the store root, or the
+    # read-through cache of a remote store)
     # ------------------------------------------------------------------
     @property
     def objects_dir(self) -> Path:
         """Directory holding the content-addressed objects."""
-        return self.root / "objects"
+        return self.backend.local.objects_dir
 
     @property
     def sweeps_dir(self) -> Path:
         """Directory holding the per-sweep journals."""
-        return self.root / "sweeps"
-
-    def _check_key(self, key: str) -> str:
-        key = str(key)
-        if len(key) != _KEY_HEX_LENGTH or any(c not in "0123456789abcdef" for c in key):
-            raise StoreError(f"malformed cell key {key!r}")
-        return key
+        return self.backend.local.sweeps_dir
 
     def object_paths(self, key: str) -> Tuple[Path, Path]:
         """``(npz_path, sidecar_path)`` of a key (whether or not it exists)."""
-        key = self._check_key(key)
-        shard = self.objects_dir / key[:2]
-        return shard / f"{key}.npz", shard / f"{key}.json"
+        return self.backend.object_paths(key)
 
     def __contains__(self, key: str) -> bool:
-        _npz, sidecar = self.object_paths(key)
-        return sidecar.exists()
+        return self.backend.read_sidecar_bytes(key) is not None
 
     # ------------------------------------------------------------------
     # put / get
@@ -155,9 +178,9 @@ class ResultStore:
         :func:`repro.store.keys.trial_cell_payload`); storing it alongside
         the data makes every object self-describing (``repro store info``).
         Re-putting an existing key simply overwrites it with identical
-        content — puts are idempotent.
+        content — puts are idempotent.  On a remote store the write lands in
+        the local read-through cache (the service is read-only).
         """
-        npz_path, sidecar_path = self.object_paths(key)
         payload = trial_set.to_dict()
         results = payload.pop("results")
 
@@ -173,12 +196,8 @@ class ResultStore:
                 dtype=np.int64,
             ),
             "completed": np.asarray([r["completed"] for r in results], dtype=bool),
-            "rounds_executed": np.asarray(
-                [r["rounds_executed"] for r in results], dtype=np.int64
-            ),
-            "messages_sent": np.asarray(
-                [r["messages_sent"] for r in results], dtype=np.int64
-            ),
+            "rounds_executed": np.asarray([r["rounds_executed"] for r in results], dtype=np.int64),
+            "messages_sent": np.asarray([r["messages_sent"] for r in results], dtype=np.int64),
             "num_agents": np.asarray([r["num_agents"] for r in results], dtype=np.int64),
             "source": np.asarray([r["source"] for r in results], dtype=np.int64),
             "num_edges": np.asarray([r["num_edges"] for r in results], dtype=np.int64),
@@ -206,27 +225,23 @@ class ResultStore:
             "key": key,
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
             "npz_sha256": _sha256(npz_bytes),
+            "npz_bytes": len(npz_bytes),
             "cell": cell,
             "trial_set": payload,  # protocol / graph_name / num_vertices / backend
             "results": rest,
         }
-        # NPZ first, sidecar last: the sidecar commits the object.
-        _atomic_write_bytes(npz_path, npz_bytes)
-        _atomic_write_bytes(
-            sidecar_path, json.dumps(sidecar, sort_keys=True).encode("utf-8")
+        return self.backend.write_object(
+            key, npz_bytes, json.dumps(sidecar, sort_keys=True).encode("utf-8")
         )
-        return sidecar_path
 
     def read_sidecar(self, key: str) -> Optional[Dict[str, Any]]:
         """Parsed sidecar of a key, or None if the object is absent."""
-        _npz, sidecar_path = self.object_paths(key)
-        try:
-            text = sidecar_path.read_text(encoding="utf-8")
-        except FileNotFoundError:
+        raw = self.backend.read_sidecar_bytes(key)
+        if raw is None:
             return None
         try:
-            sidecar = json.loads(text)
-        except json.JSONDecodeError as exc:
+            sidecar = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise StoreCorruptionError(
                 f"store object {key} has an unparsable sidecar: {exc}"
             ) from exc
@@ -248,18 +263,14 @@ class ResultStore:
                 f"this build reads format {STORE_FORMAT_VERSION} "
                 "(run 'repro store gc --all' to drop stale objects)"
             )
-        npz_path, sidecar_path = self.object_paths(key)
-        try:
-            npz_bytes = npz_path.read_bytes()
-        except FileNotFoundError as exc:
-            if not sidecar_path.exists():
+        npz_bytes = self.backend.read_npz_bytes(key)
+        if npz_bytes is None:
+            if self.backend.read_sidecar_bytes(key) is None:
                 # A concurrent gc deleted the whole object between our
                 # sidecar read and the NPZ read: that is a plain cache miss,
                 # not corruption.
                 return None
-            raise StoreCorruptionError(
-                f"store object {key} lost its NPZ payload ({npz_path})"
-            ) from exc
+            raise StoreCorruptionError(f"store object {key} lost its NPZ payload")
         if _sha256(npz_bytes) != sidecar.get("npz_sha256"):
             raise StoreCorruptionError(
                 f"store object {key} failed its integrity check: NPZ bytes do "
@@ -276,10 +287,7 @@ class ResultStore:
             )
             rest = sidecar["results"]
             trials = len(rest)
-            if any(arrays[name].shape[0] != trials for name in (
-                "broadcast_time", "completed", "rounds_executed",
-                "messages_sent", "num_agents", "source", "num_edges",
-            )):
+            if any(arrays[name].shape[0] != trials for name in _PER_TRIAL_MEMBERS):
                 raise KeyError("per-trial array lengths disagree with sidecar")
             results = []
             for t in range(trials):
@@ -304,81 +312,99 @@ class ResultStore:
                 )
             payload = dict(sidecar["trial_set"])
             payload["results"] = results
-            return TrialSet.from_dict(payload)
+            loaded = TrialSet.from_dict(payload)
         except StoreCorruptionError:
             raise
         except (KeyError, ValueError, TypeError, OSError) as exc:
-            raise StoreCorruptionError(
-                f"store object {key} could not be decoded: {exc}"
-            ) from exc
+            raise StoreCorruptionError(f"store object {key} could not be decoded: {exc}") from exc
+        self.backend.mark_read(key)  # feeds the gc --max-bytes LRU ordering
+        return loaded
 
     # ------------------------------------------------------------------
     # query / management
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
         """All committed object keys (sidecar present), in sorted order."""
-        if not self.objects_dir.is_dir():
-            return iter(())
-        found = sorted(
-            path.stem
-            for path in self.objects_dir.glob("??/*.json")
-            if len(path.stem) == _KEY_HEX_LENGTH
-        )
-        return iter(found)
+        return iter(self.backend.list_keys())
+
+    def _entry_row(self, key: str, sidecar: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        """One ``ls`` row from a parsed sidecar (None → corrupt placeholder)."""
+        size = self.backend.object_size(key)
+        if sidecar is None:
+            return {
+                "key": key,
+                "protocol": "<corrupt sidecar>",
+                "graph": None,
+                "n": None,
+                "trials": 0,
+                "backend": None,
+                "max_rounds": None,
+                "bytes": size or 0,
+                "created_at": None,
+            }
+        trial_set = sidecar.get("trial_set", {})
+        cell = sidecar.get("cell") or {}
+        if size is None:
+            size = sidecar.get("npz_bytes")
+        return {
+            "key": key,
+            "protocol": trial_set.get("protocol"),
+            "graph": trial_set.get("graph_name"),
+            "n": trial_set.get("num_vertices"),
+            "trials": len(sidecar.get("results", [])),
+            "backend": trial_set.get("backend"),
+            "max_rounds": cell.get("max_rounds"),
+            "bytes": size or 0,
+            "created_at": sidecar.get("created_at"),
+        }
 
     def entries(self) -> List[Dict[str, Any]]:
         """One summary row per object — the ``repro store ls`` view.
 
         An object with an unreadable sidecar is reported as a ``"corrupt"``
         row rather than raised: the inspection surface must stay usable
-        precisely when the store has a damaged object to show.
+        precisely when the store has a damaged object to show.  Against a
+        remote store the server-side rows come from one ``/ls`` call and are
+        merged with locally cached/computed objects the server lacks.
         """
+        remote_rows: Dict[str, Dict[str, Any]] = {}
+        if hasattr(self.backend, "remote_entries"):
+            rows_from_server = self.backend.remote_entries()
+            remote_rows = {row["key"]: row for row in rows_from_server if "key" in row}
+            # One /ls call covers the server side; merge the cache's keys
+            # locally rather than paying backend.list_keys()'s second /ls.
+            keys = sorted(set(remote_rows).union(self.backend.local.list_keys()))
+        else:
+            keys = self.backend.list_keys()
         rows = []
-        for key in self.keys():
-            npz_path, _ = self.object_paths(key)
-            try:
-                sidecar = self.read_sidecar(key)
-            except StoreCorruptionError:
-                rows.append(
-                    {
-                        "key": key,
-                        "protocol": "<corrupt sidecar>",
-                        "graph": None,
-                        "n": None,
-                        "trials": 0,
-                        "backend": None,
-                        "max_rounds": None,
-                        "bytes": npz_path.stat().st_size if npz_path.exists() else 0,
-                        "created_at": None,
-                    }
-                )
-                continue
-            if sidecar is None:  # pragma: no cover - raced deletion
-                continue
-            trial_set = sidecar.get("trial_set", {})
-            cell = sidecar.get("cell") or {}
-            rows.append(
-                {
-                    "key": key,
-                    "protocol": trial_set.get("protocol"),
-                    "graph": trial_set.get("graph_name"),
-                    "n": trial_set.get("num_vertices"),
-                    "trials": len(sidecar.get("results", [])),
-                    "backend": trial_set.get("backend"),
-                    "max_rounds": cell.get("max_rounds"),
-                    "bytes": npz_path.stat().st_size if npz_path.exists() else 0,
-                    "created_at": sidecar.get("created_at"),
-                }
-            )
+        for key in keys:
+            raw = self.backend.local.read_sidecar_bytes(key)
+            if raw is None:
+                if key in remote_rows:
+                    rows.append(remote_rows[key])
+                    continue
+                try:  # remote-only key the /ls races missed
+                    sidecar = self.read_sidecar(key)
+                except StoreCorruptionError:
+                    sidecar = None
+                if sidecar is None:
+                    continue  # pragma: no cover - raced deletion
+            else:
+                try:
+                    sidecar = json.loads(raw.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    sidecar = None  # corrupt: reported, not raised
+            rows.append(self._entry_row(key, sidecar))
         return rows
 
     def referenced_keys(self) -> set:
         """Keys referenced by any sweep journal under ``sweeps/``."""
         referenced = set()
-        if not self.sweeps_dir.is_dir():
-            return referenced
-        for journal in sorted(self.sweeps_dir.glob("*.jsonl")):
-            for line in journal.read_text(encoding="utf-8").splitlines():
+        for sweep in self.backend.local.list_sweeps():
+            text = self.backend.local.read_sweep_text(sweep)
+            if text is None:  # pragma: no cover - raced deletion
+                continue
+            for line in text.splitlines():
                 line = line.strip()
                 if not line:
                     continue
@@ -397,44 +423,89 @@ class ResultStore:
         keep_referenced: bool = True,
         older_than_days: float = 0.0,
         dry_run: bool = False,
+        max_bytes: Optional[int] = None,
     ) -> List[str]:
-        """Delete unreferenced objects; returns the keys removed.
+        """Delete objects from the local surface; returns the keys removed.
 
-        By default an object survives if any sweep journal references it
-        (``keep_referenced``) or if it is younger than ``older_than_days``.
-        Temp files abandoned by crashed writers are swept too, but only once
-        they are over an hour old: a young temp file may belong to a live
-        writer about to ``os.replace`` it, and unlinking it mid-flight would
-        crash that writer's sweep.  With ``keep_referenced=False`` every
-        object older than the cutoff goes — combined with
-        ``older_than_days=0`` that empties the store.
+        Two modes share the referenced-keys pin (an object referenced by any
+        sweep journal survives unless ``keep_referenced=False``):
+
+        * **unreferenced sweep** (``max_bytes=None``, the default): every
+          unreferenced object older than ``older_than_days`` goes — with
+          ``keep_referenced=False`` and the default cutoff that empties the
+          store.
+        * **LRU budget** (``max_bytes`` set): objects are evicted least
+          recently *read* first (reads bump the NPZ payload's mtime; the
+          sidecar keeps its commit time, so the default mode's age cutoff
+          is unaffected) until the objects' total on-disk size fits the
+          budget.  ``older_than_days`` is honoured as an age floor: objects
+          committed more recently than that are never evicted for the
+          budget.  Journal-referenced roots stay pinned, so the store can
+          exceed the budget when the pinned (or too-young) set alone does.
+
+        On a remote store this manages the read-through cache; the served
+        root is its operator's to gc.  Temp files abandoned by crashed
+        writers (and NPZ payloads whose sidecar never landed) are swept in
+        both modes, but only once they are over an hour old: a young temp
+        file may belong to a live writer about to ``os.replace`` it, and
+        unlinking it mid-flight would crash that writer's sweep.
         """
+        local = self.backend.local
         referenced = self.referenced_keys() if keep_referenced else set()
-        cutoff = time.time() - older_than_days * 86400.0
-        removed = []
-        for key in self.keys():
-            if key in referenced:
-                continue
-            npz_path, sidecar_path = self.object_paths(key)
-            mtime = sidecar_path.stat().st_mtime
-            if mtime > cutoff:
-                continue
-            removed.append(key)
-            if not dry_run:
-                # Sidecar first: the object is uncommitted from the moment
-                # the marker disappears.
-                sidecar_path.unlink(missing_ok=True)
-                npz_path.unlink(missing_ok=True)
-        if not dry_run and self.objects_dir.is_dir():
+        removed: List[str] = []
+        if max_bytes is None:
+            cutoff = time.time() - older_than_days * 86400.0
+            for key in local.list_keys():
+                if key in referenced:
+                    continue
+                _npz_path, sidecar_path = local.object_paths(key)
+                try:
+                    mtime = sidecar_path.stat().st_mtime
+                except FileNotFoundError:  # pragma: no cover - raced deletion
+                    continue
+                if mtime > cutoff:
+                    continue
+                removed.append(key)
+                if not dry_run:
+                    local.delete_object(key)
+        else:
+            cutoff = time.time() - older_than_days * 86400.0
+            candidates = []
+            total = 0
+            for key in local.list_keys():
+                npz_path, sidecar_path = local.object_paths(key)
+                try:
+                    size = sidecar_path.stat().st_size
+                    commit_mtime = sidecar_path.stat().st_mtime
+                    read_mtime = commit_mtime
+                    if npz_path.exists():
+                        size += npz_path.stat().st_size
+                        # Reads touch the payload, so its mtime is the
+                        # last-read time; the sidecar's is the commit time.
+                        read_mtime = max(read_mtime, npz_path.stat().st_mtime)
+                except FileNotFoundError:  # pragma: no cover - raced deletion
+                    continue
+                candidates.append((read_mtime, key, size, commit_mtime))
+                total += size
+            for _read_mtime, key, size, commit_mtime in sorted(candidates):
+                if total <= int(max_bytes):
+                    break
+                if key in referenced or commit_mtime > cutoff:
+                    continue
+                removed.append(key)
+                total -= size
+                if not dry_run:
+                    local.delete_object(key)
+        if not dry_run and local.objects_dir.is_dir():
             stale_before = time.time() - 3600.0
             # Crashed-writer debris: abandoned temp files, and NPZ payloads
             # whose sidecar (the commit marker) never landed.  Both are
             # swept only once they are over an hour old — a younger file may
             # belong to a live writer between its two writes, and unlinking
             # it mid-flight would crash that writer's sweep.
-            stale_candidates = list(self.objects_dir.glob("??/.*.tmp")) + [
+            stale_candidates = list(local.objects_dir.glob("??/.*.tmp")) + [
                 npz
-                for npz in self.objects_dir.glob("??/*.npz")
+                for npz in local.objects_dir.glob("??/*.npz")
                 if not npz.with_suffix(".json").exists()
             ]
             for debris in stale_candidates:
@@ -449,27 +520,37 @@ class ResultStore:
         """Copy objects (and journals) into another store root; returns a count.
 
         With ``keys=None`` the whole store is exported.  The destination can
-        then be used as a ``--store`` root directly — e.g. to seed a CI cache
-        or share results with a colleague.
+        then be used as a ``--store`` root directly — e.g. to seed a CI cache,
+        a store service's root, or share results with a colleague.  Exporting
+        *from* a remote store works too (objects are fetched through the
+        read-through cache); the destination must be local.
         """
         destination_store = ResultStore(destination)
+        if hasattr(destination_store.backend, "remote_entries"):
+            raise StoreError("cannot export into a remote store (the service is read-only)")
         selected = list(keys) if keys is not None else list(self.keys())
         copied = 0
         for key in selected:
-            src_npz, src_sidecar = self.object_paths(key)
-            if not src_sidecar.exists():
+            npz_bytes = self.backend.read_npz_bytes(key)
+            sidecar_bytes = self.backend.read_sidecar_bytes(key)
+            if npz_bytes is None or sidecar_bytes is None:
                 raise StoreError(f"cannot export missing key {key}")
-            dst_npz, dst_sidecar = destination_store.object_paths(key)
             # Atomic data-before-marker, as in put_trial_set: the destination
             # may be a live shared store with concurrent readers, so neither
             # file may ever be observable half-written.
-            _atomic_write_bytes(dst_npz, src_npz.read_bytes())
-            _atomic_write_bytes(dst_sidecar, src_sidecar.read_bytes())
+            destination_store.backend.write_object(key, npz_bytes, sidecar_bytes)
             copied += 1
-        if keys is None and self.sweeps_dir.is_dir():
-            destination_store.sweeps_dir.mkdir(parents=True, exist_ok=True)
-            for journal in self.sweeps_dir.glob("*.jsonl"):
-                shutil.copy2(journal, destination_store.sweeps_dir / journal.name)
+        if keys is None:
+            # The backend view (not just the local surface): a remote store
+            # exports the *server's* journals too, so the destination keeps
+            # the gc pins of the sweeps it now holds.
+            for sweep in self.backend.list_sweeps():
+                text = self.backend.read_sweep_text(sweep)
+                if text is not None:
+                    # Replace, don't append: re-exporting into the same
+                    # destination must be idempotent, not double every
+                    # journal.
+                    destination_store.backend.local.write_sweep_text(sweep, text)
         return copied
 
 
@@ -477,10 +558,11 @@ def resolve_store(store: Any) -> Optional[ResultStore]:
     """Normalize a ``store=`` argument into a :class:`ResultStore` or None.
 
     ``None`` consults the :data:`REPRO_STORE <STORE_ENV_VAR>` environment
-    variable (a non-empty value enables the store at that path — how CI runs
-    the whole suite store-backed); ``False`` disables the store
-    unconditionally; a string/path opens a store at that root; an existing
-    :class:`ResultStore` passes through.
+    variable — a non-empty value enables the store there, whether it is a
+    directory path or an ``http(s)://`` service URL (how CI runs the whole
+    suite store-backed, and how a laptop points at a warm central store);
+    ``False`` disables the store unconditionally; a string/path/URL opens a
+    store at that root; an existing :class:`ResultStore` passes through.
     """
     if store is None:
         env = os.environ.get(STORE_ENV_VAR, "").strip()

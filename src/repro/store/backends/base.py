@@ -1,0 +1,134 @@
+"""The storage-backend interface behind :class:`~repro.store.ResultStore`.
+
+A backend is the *transport* of the store: it moves opaque object bytes
+(compressed NPZ payloads and their JSON sidecars) and sweep-journal lines
+between the store facade and wherever they live — a local directory
+(:class:`~repro.store.backends.local.LocalBackend`) or a remote HTTP store
+service fronted by a local read-through cache
+(:class:`~repro.store.backends.remote.RemoteBackend`).
+
+Every backend upholds the two store-wide contracts:
+
+* **atomic commit** — :meth:`StoreBackend.write_object` lands the NPZ
+  payload before the sidecar, each with an atomic rename, so the sidecar's
+  existence is the commit marker and no reader ever observes a half-written
+  object;
+* **fail-loud integrity** — bytes are returned verbatim, never repaired or
+  re-serialized, so the SHA-256 check in
+  :meth:`~repro.store.ResultStore.get_trial_set` always runs against exactly
+  the bytes that were persisted, end to end across any transport.
+
+Backends are cheap, stateless-ish value objects: only configuration (paths,
+URLs) crosses process boundaries, so they pickle cleanly into the
+process-parallel cell scheduler's workers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["KEY_HEX_LENGTH", "StoreBackend", "check_key"]
+
+#: Length of a cell key: a SHA-256 hex digest.
+KEY_HEX_LENGTH = 64
+
+
+def check_key(key: str) -> str:
+    """Validate a cell key (64 lowercase hex digits); returns it unchanged.
+
+    Raises :class:`~repro.store.StoreError` otherwise — malformed keys must
+    be rejected before they reach a filesystem path or a URL.
+    """
+    from ..artifacts import StoreError
+
+    key = str(key)
+    if len(key) != KEY_HEX_LENGTH or any(c not in "0123456789abcdef" for c in key):
+        raise StoreError(f"malformed cell key {key!r}")
+    return key
+
+
+class StoreBackend(ABC):
+    """Abstract transport for store objects, sidecars and sweep journals.
+
+    The facade (:class:`~repro.store.ResultStore`) owns serialization,
+    checksums and policy (gc, export, entries); backends only move bytes.
+    """
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def location(self) -> object:
+        """Where this backend stores/serves from (a ``Path`` or a URL string)."""
+
+    @property
+    @abstractmethod
+    def local(self) -> "StoreBackend":
+        """The local on-disk surface of this backend.
+
+        For a local backend this is the backend itself; for a remote backend
+        it is the read-through cache.  Path-oriented operations — gc, journal
+        files, ``object_paths`` — act on this surface.
+        """
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def read_sidecar_bytes(self, key: str) -> Optional[bytes]:
+        """Raw sidecar bytes of a committed object, or None if absent."""
+
+    @abstractmethod
+    def read_npz_bytes(self, key: str) -> Optional[bytes]:
+        """Raw NPZ payload bytes of an object, or None if absent."""
+
+    @abstractmethod
+    def write_object(self, key: str, npz_bytes: bytes, sidecar_bytes: bytes) -> Path:
+        """Persist one object atomically (NPZ first, sidecar as commit marker).
+
+        Returns the local path of the committed sidecar.
+        """
+
+    @abstractmethod
+    def delete_object(self, key: str) -> None:
+        """Remove an object (sidecar first, so it uncommits immediately)."""
+
+    @abstractmethod
+    def list_keys(self) -> List[str]:
+        """All committed object keys, sorted."""
+
+    @abstractmethod
+    def object_size(self, key: str) -> Optional[int]:
+        """Size in bytes of the object's NPZ payload, or None if unknown."""
+
+    @abstractmethod
+    def mark_read(self, key: str) -> None:
+        """Record a successful read of ``key`` (feeds the gc LRU ordering)."""
+
+    # ------------------------------------------------------------------
+    # sweep journals
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def append_sweep_line(self, sweep_id: str, line: str) -> None:
+        """Append one JSONL line to a sweep journal (single write call)."""
+
+    @abstractmethod
+    def read_sweep_text(self, sweep_id: str) -> Optional[str]:
+        """Full text of a sweep journal, or None if it does not exist."""
+
+    @abstractmethod
+    def list_sweeps(self) -> List[str]:
+        """All sweep ids with a journal, sorted."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all backends
+    # ------------------------------------------------------------------
+    def object_paths(self, key: str) -> Tuple[Path, Path]:
+        """``(npz_path, sidecar_path)`` on the backend's local surface."""
+        return self.local.object_paths(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.read_sidecar_bytes(key) is not None

@@ -1,0 +1,270 @@
+"""HTTP store backend: a remote store service + a local read-through cache.
+
+``RemoteBackend("http://host:port")`` speaks the read-only API of
+``repro store serve`` (:mod:`repro.store.service`) and caches every object
+it fetches into a local :class:`~repro.store.backends.local.LocalBackend`,
+so repeated ``get_trial_set`` calls never re-fetch: the first read of a key
+costs two GETs (sidecar + NPZ payload), every later read is served from
+disk without touching the network.
+
+Integrity is verified *before* the cache commit: the fetched NPZ bytes must
+match the fetched sidecar's SHA-256, otherwise the object is discarded and
+:class:`~repro.store.StoreCorruptionError` raised — a corrupt or truncated
+transfer can never poison the cache.  The facade then re-verifies on every
+read as usual, so the checksum holds end to end across the transport.
+
+The service is read-only, so writes (computed cells, sweep journals) land
+in the local cache: a warm central store is a drop-in behind the existing
+``put_trial_set``/``get_trial_set`` interface, and anything the server does
+not hold is computed once and cached locally.  Only the URL and cache root
+cross process boundaries — each worker process opens its own connections —
+so the backend pickles cleanly into the parallel cell scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .base import StoreBackend, check_key
+from .local import LocalBackend
+
+__all__ = ["CACHE_ENV_VAR", "RemoteBackend", "default_cache_root", "is_store_url"]
+
+#: Environment variable overriding where remote backends cache objects.
+CACHE_ENV_VAR = "REPRO_STORE_CACHE"
+
+#: How many sidecars fetched without their payload to keep in memory (the
+#: facade reads sidecar-then-NPZ, so the memo saves one GET per object; the
+#: cap only matters for sidecar-only scans like ``ls`` against a huge store).
+_SIDECAR_MEMO_CAP = 256
+
+
+def is_store_url(value: Any) -> bool:
+    """True when ``value`` is an ``http(s)://`` store-service URL."""
+    return isinstance(value, str) and value.lower().startswith(("http://", "https://"))
+
+
+def default_cache_root(url: str) -> Path:
+    """Cache root for a store URL: ``$REPRO_STORE_CACHE`` or a per-URL dir.
+
+    Without the override, each URL gets its own directory under the user
+    cache dir (``$XDG_CACHE_HOME`` or ``~/.cache``), keyed by a hash of the
+    normalized URL so two services never share (or clobber) a cache.
+    """
+    override = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if override:
+        return Path(override)
+    base = Path(os.environ.get("XDG_CACHE_HOME", "") or Path.home() / ".cache")
+    digest = hashlib.sha256(url.rstrip("/").encode("utf-8")).hexdigest()[:16]
+    return base / "repro-store" / digest
+
+
+class RemoteBackend(StoreBackend):
+    """Read objects from a store service over HTTP, through a local cache."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        cache: Union[None, str, Path, LocalBackend] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if not is_store_url(url):
+            raise ValueError(f"not a store service URL: {url!r}")
+        self.url = url.rstrip("/")
+        if isinstance(cache, LocalBackend):
+            self.cache = cache
+        else:
+            self.cache = LocalBackend(cache if cache is not None else default_cache_root(self.url))
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._sidecar_memo: Dict[str, bytes] = {}
+
+    def __repr__(self) -> str:
+        return f"RemoteBackend({self.url!r}, cache={str(self.cache.root)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RemoteBackend)
+            and self.url == other.url
+            and self.cache == other.cache
+        )
+
+    def __hash__(self) -> int:
+        return hash((RemoteBackend, self.url, self.cache))
+
+    # Locks don't pickle; workers rebuild their own lock and an empty memo.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"url": self.url, "cache": self.cache, "timeout": self.timeout}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.url = state["url"]
+        self.cache = state["cache"]
+        self.timeout = state["timeout"]
+        self._lock = threading.Lock()
+        self._sidecar_memo = {}
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def location(self) -> str:
+        return self.url
+
+    @property
+    def local(self) -> LocalBackend:
+        return self.cache
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _get(self, path: str, *, query: Optional[Dict[str, str]] = None) -> Optional[bytes]:
+        """GET a service path; None on 404, StoreError on anything else."""
+        from ..artifacts import StoreError
+
+        url = self.url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise StoreError(
+                f"store service at {self.url} returned HTTP {exc.code} for {path}"
+            ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise StoreError(f"cannot reach store service at {self.url}: {exc}") from exc
+
+    def healthz(self) -> Dict[str, Any]:
+        """The service's ``/healthz`` document (raises StoreError when down)."""
+        from ..artifacts import StoreError
+
+        payload = self._get("/healthz")
+        if payload is None:
+            raise StoreError(f"store service at {self.url} has no /healthz endpoint")
+        return json.loads(payload)
+
+    def remote_entries(
+        self, *, prefix: Optional[str] = None, proto: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """The server-side ``ls`` rows (optionally filtered), without caching."""
+        query = {}
+        if prefix:
+            query["prefix"] = prefix
+        if proto:
+            query["proto"] = proto
+        payload = self._get("/ls", query=query or None)
+        if payload is None:  # pragma: no cover - /ls always exists
+            return []
+        return json.loads(payload).get("entries", [])
+
+    # ------------------------------------------------------------------
+    # objects (read-through)
+    # ------------------------------------------------------------------
+    def read_sidecar_bytes(self, key: str) -> Optional[bytes]:
+        key = check_key(key)
+        cached = self.cache.read_sidecar_bytes(key)
+        if cached is not None:
+            return cached
+        fetched = self._get(f"/cells/{key}")
+        if fetched is not None:
+            # Remember it for the NPZ fetch that typically follows; the
+            # cache itself only ever holds complete, verified objects.
+            with self._lock:
+                if len(self._sidecar_memo) >= _SIDECAR_MEMO_CAP:
+                    self._sidecar_memo.clear()
+                self._sidecar_memo[key] = fetched
+        return fetched
+
+    def read_npz_bytes(self, key: str) -> Optional[bytes]:
+        from ..artifacts import StoreCorruptionError
+
+        key = check_key(key)
+        cached = self.cache.read_npz_bytes(key)
+        if cached is not None:
+            return cached
+        with self._lock:
+            sidecar_bytes = self._sidecar_memo.pop(key, None)
+        if sidecar_bytes is None:
+            sidecar_bytes = self._get(f"/cells/{key}")
+        if sidecar_bytes is None:
+            return None
+        npz_bytes = self._get(f"/cells/{key}/object")
+        if npz_bytes is None:
+            return None
+        # Verify before the cache commit: a truncated or corrupted transfer
+        # must fail loudly here, never become a cached "valid" object.
+        try:
+            expected = json.loads(sidecar_bytes).get("npz_sha256")
+        except json.JSONDecodeError as exc:
+            raise StoreCorruptionError(
+                f"store service at {self.url} sent an unparsable sidecar for {key}"
+            ) from exc
+        if hashlib.sha256(npz_bytes).hexdigest() != expected:
+            raise StoreCorruptionError(
+                f"object {key} fetched from {self.url} failed its integrity "
+                "check: NPZ bytes do not match the sidecar checksum"
+            )
+        self.cache.write_object(key, npz_bytes, sidecar_bytes)
+        return npz_bytes
+
+    def write_object(self, key: str, npz_bytes: bytes, sidecar_bytes: bytes) -> Path:
+        # The service is read-only; computed cells land in the local cache,
+        # exactly like a read-through fill.
+        return self.cache.write_object(key, npz_bytes, sidecar_bytes)
+
+    def delete_object(self, key: str) -> None:
+        # Deletions manage the local cache only (gc of the served root is
+        # the server operator's job).
+        self.cache.delete_object(key)
+
+    def list_keys(self) -> List[str]:
+        remote = {entry["key"] for entry in self.remote_entries() if "key" in entry}
+        return sorted(remote.union(self.cache.list_keys()))
+
+    def object_size(self, key: str) -> Optional[int]:
+        return self.cache.object_size(key)
+
+    def mark_read(self, key: str) -> None:
+        self.cache.mark_read(key)
+
+    # ------------------------------------------------------------------
+    # sweep journals (written locally, readable from the service)
+    # ------------------------------------------------------------------
+    def append_sweep_line(self, sweep_id: str, line: str) -> None:
+        self.cache.append_sweep_line(sweep_id, line)
+
+    def read_sweep_text(self, sweep_id: str) -> Optional[str]:
+        """Server journal (if any) followed by the locally cached one.
+
+        A sweep can have history on both sides — journaled on the server,
+        then resumed by this client.  Concatenating server-first keeps the
+        full history: ``completed_keys``/gc pins become the union, and
+        ``last_run_statuses`` reads the most recent (local) run.  Journal
+        readers tolerate arbitrary event interleaving by construction.
+        """
+        payload = self._get(f"/sweeps/{urllib.parse.quote(sweep_id)}")
+        remote_text = None if payload is None else payload.decode("utf-8")
+        cached = self.cache.read_sweep_text(sweep_id)
+        if remote_text is None:
+            return cached
+        if cached is None:
+            return remote_text
+        return remote_text + cached
+
+    def list_sweeps(self) -> List[str]:
+        known = set(self.cache.list_sweeps())
+        payload = self._get("/sweeps")
+        if payload is not None:
+            known.update(json.loads(payload).get("sweeps", []))
+        return sorted(known)

@@ -17,6 +17,11 @@ torn tail line, which every reader tolerates.  The sweep id hashes the sweep
 description (experiment id, seed, sizes, trials, backend, dynamics), so
 re-running the same sweep — including a resume after a kill — appends to the
 same journal, and the file reads as the sweep's history.
+
+Journals go through the store's backend: on a local store they live in the
+store root, on a remote store they are written to the read-through cache
+(the service is read-only) while reads fall back to the service's
+``GET /sweeps/<id>`` for sweeps journaled on the server side.
 """
 
 from __future__ import annotations
@@ -48,12 +53,10 @@ class SweepJournal:
 
     def record(self, event: str, **fields: Any) -> None:
         """Append one event line (creates the journal on first use)."""
-        payload = {"event": event, "at": time.strftime(
-            "%Y-%m-%dT%H:%M:%S", time.gmtime()), **fields}
+        stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+        payload = {"event": event, "at": stamp, **fields}
         line = json.dumps(payload, sort_keys=True) + "\n"
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
+        self.store.backend.append_sweep_line(self.sweep_id, line)
 
     def start(self, *, cells: int) -> None:
         """Record the start of a (re)run of this sweep."""
@@ -61,9 +64,7 @@ class SweepJournal:
 
     def cell(self, *, index: int, size: int, protocol: str, key: str, status: str) -> None:
         """Record one completed cell (``status`` is ``"cached"`` / ``"computed"``)."""
-        self.record(
-            "cell", index=index, size=size, protocol=protocol, key=key, status=status
-        )
+        self.record("cell", index=index, size=size, protocol=protocol, key=key, status=status)
 
     def finish(self) -> None:
         """Record that the sweep ran to completion."""
@@ -74,9 +75,8 @@ class SweepJournal:
     # ------------------------------------------------------------------
     def events(self) -> Iterator[Dict[str, Any]]:
         """Parsed journal events, tolerating a torn tail line."""
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except FileNotFoundError:
+        text = self.store.backend.read_sweep_text(self.sweep_id)
+        if text is None:
             return
         for line in text.splitlines():
             line = line.strip()

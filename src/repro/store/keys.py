@@ -138,7 +138,7 @@ def trial_cell_payload(
     """
     if backend not in ("batched", "sequential"):
         raise ValueError(f"backend must be resolved, got {backend!r}")
-    return _json_safe({
+    payload = {
         "format": STORE_FORMAT_VERSION,
         "semantics": SEMANTICS_VERSION,
         "graph": {
@@ -158,7 +158,8 @@ def trial_cell_payload(
         "max_rounds": None if max_rounds is None else int(max_rounds),
         "record_history": bool(record_history),
         "backend": backend,
-    }, strict_floats=True)
+    }
+    return _json_safe(payload, strict_floats=True)
 
 
 def cell_key(payload: Dict[str, Any]) -> str:

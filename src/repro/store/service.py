@@ -1,0 +1,282 @@
+"""``repro store serve``: a read-only HTTP API over a local store root.
+
+The service is deliberately thin — stdlib :class:`ThreadingHTTPServer`, no
+dependencies — because the store's integrity model does all the hard work:
+objects are immutable, content-addressed and checksummed, so the server
+just streams the committed bytes verbatim and every client re-verifies the
+SHA-256 end to end (:class:`~repro.store.backends.RemoteBackend` checks
+before filling its cache, :class:`~repro.store.ResultStore` checks again on
+every read).  Serving a root that a sweep is concurrently writing into is
+safe: writes are atomic renames ordered NPZ-before-sidecar, and the server
+only serves objects whose sidecar (the commit marker) exists.
+
+API (all ``GET``, everything else is 405):
+
+``/healthz``
+    Liveness + store summary (object count, format/semantics versions).
+``/cells/<key>``
+    The object's JSON sidecar, verbatim.  404 when absent, 400 for a
+    malformed key.
+``/cells/<key>/object``
+    The object's compressed NPZ payload, verbatim.  404 when the object is
+    absent *or uncommitted* (NPZ present but no sidecar yet).
+``/sweeps``
+    JSON ``{"sweeps": [...]}`` of the journal ids the store holds.
+``/sweeps/<id>``
+    A sweep journal (JSONL), verbatim.
+``/ls?prefix=<hex>&proto=<name>``
+    JSON ``{"store", "count", "entries": [...]}`` of the ``repro store ls``
+    rows, optionally filtered by key prefix and/or protocol name.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .artifacts import ResultStore, StoreError
+from .backends import KEY_HEX_LENGTH
+from .keys import SEMANTICS_VERSION, STORE_FORMAT_VERSION
+
+__all__ = ["StoreRequestHandler", "StoreService", "serve"]
+
+_KEY_RE = re.compile(rf"^[0-9a-f]{{{KEY_HEX_LENGTH}}}$")
+#: Journal names are 16-hex sweep ids; the charset also rules out any path
+#: traversal in the URL.
+_SWEEP_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """One GET request against the served store."""
+
+    server_version = "repro-store"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = urllib.parse.urlsplit(self.path)
+        route = parts.path.rstrip("/") or "/"
+        query = urllib.parse.parse_qs(parts.query)
+        store: ResultStore = self.server.store
+        self.server.count_request(route)
+
+        if route == "/healthz":
+            payload = {
+                "status": "ok",
+                "store": str(store.root),
+                "objects": len(store.backend.list_keys()),
+                "format": STORE_FORMAT_VERSION,
+                "semantics": SEMANTICS_VERSION,
+            }
+            self._send_json(200, payload)
+            return
+
+        if route == "/ls":
+            prefix = (query.get("prefix") or [""])[0]
+            proto = (query.get("proto") or [""])[0]
+            entries = [
+                row
+                for row in store.entries()
+                if row["key"].startswith(prefix) and (not proto or row["protocol"] == proto)
+            ]
+            payload = {"store": str(store.root), "count": len(entries), "entries": entries}
+            self._send_json(200, payload)
+            return
+
+        match = re.fullmatch(r"/cells/([^/]+)(/object)?", route)
+        if match:
+            key, want_object = match.group(1), bool(match.group(2))
+            if not _KEY_RE.fullmatch(key):
+                self._error(400, f"malformed cell key {key!r}")
+                return
+            # The sidecar is the commit marker: an object without one is
+            # invisible, payload included, so a half-written cell can never
+            # be served.
+            sidecar_bytes = store.backend.local.read_sidecar_bytes(key)
+            if sidecar_bytes is None:
+                self._error(404, f"no object {key}")
+                return
+            if not want_object:
+                self._send(200, sidecar_bytes, "application/json")
+                return
+            npz_bytes = store.backend.local.read_npz_bytes(key)
+            if npz_bytes is None:
+                self._error(404, f"object {key} has no NPZ payload")
+                return
+            self._send(200, npz_bytes, "application/octet-stream")
+            return
+
+        if route == "/sweeps":
+            self._send_json(200, {"sweeps": store.backend.local.list_sweeps()})
+            return
+
+        match = re.fullmatch(r"/sweeps/([^/]+)", route)
+        if match:
+            sweep = match.group(1)
+            if not _SWEEP_RE.fullmatch(sweep):
+                self._error(400, f"malformed sweep id {sweep!r}")
+                return
+            text = store.backend.local.read_sweep_text(sweep)
+            if text is None:
+                self._error(404, f"no sweep {sweep}")
+                return
+            self._send(200, text.encode("utf-8"), "application/x-ndjson")
+            return
+
+        self._error(404, f"unknown route {route!r}")
+
+    # The store service is read-only by construction; refuse writes loudly
+    # rather than letting http.server's default 501 suggest "not yet".
+    def _read_only(self) -> None:
+        # The unread request body would desync a keep-alive connection (its
+        # bytes would parse as the next request line), so close after
+        # responding instead of draining arbitrarily large uploads.
+        self.close_connection = True
+        self._error(405, "the store service is read-only")
+
+    do_POST = do_PUT = do_DELETE = do_PATCH = _read_only
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not getattr(self.server, "quiet", True):  # pragma: no cover
+            super().log_message(format, *args)
+
+
+class _StoreHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the store and a request counter."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], store: ResultStore, *, quiet: bool) -> None:
+        super().__init__(address, StoreRequestHandler)
+        self.store = store
+        self.quiet = quiet
+        self._counter_lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+
+    def count_request(self, route: str) -> None:
+        """Tally one request per route kind (observability + test hooks).
+
+        Unknown paths share one bucket — a long-running server probed with
+        unique junk URLs must not grow a counter key per path.
+        """
+        if route.startswith("/cells/"):
+            kind = "/cells/*/object" if route.endswith("/object") else "/cells/*"
+        elif route.startswith("/sweeps/"):
+            kind = "/sweeps/*"
+        elif route in ("/healthz", "/ls", "/sweeps"):
+            kind = route
+        else:
+            kind = "<unknown>"
+        with self._counter_lock:
+            self.request_counts[kind] = self.request_counts.get(kind, 0) + 1
+
+
+class StoreService:
+    """A running (or startable) store service bound to a host/port.
+
+    Usable as a context manager in tests and long-running via
+    :meth:`serve_forever` from the CLI::
+
+        with StoreService(store_root, port=0) as service:
+            remote = ResultStore(service.url, cache=cache_dir)
+            ...
+
+    ``port=0`` binds an ephemeral port; read the resolved one from
+    :attr:`url`.  Only local store roots can be served — fronting a remote
+    store would re-proxy bytes the client could fetch directly.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, ResultStore],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        quiet: bool = True,
+    ) -> None:
+        store = root if isinstance(root, ResultStore) else ResultStore(root)
+        if store.backend.local is not store.backend:
+            raise StoreError(f"can only serve a local store root, not {store.root!r}")
+        self.store = store
+        self.server = _StoreHTTPServer((host, port), store, quiet=quiet)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the bound service (with the resolved port)."""
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        """Requests served so far, keyed by route kind."""
+        return dict(self.server.request_counts)
+
+    def start(self) -> "StoreService":
+        """Serve on a daemon thread (idempotent); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                # A tight poll interval keeps shutdown() prompt (the default
+                # 0.5s poll makes every test teardown pay half a second).
+                target=lambda: self.server.serve_forever(poll_interval=0.05),
+                name="repro-store-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the port."""
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self.server.serve_forever()
+        finally:
+            self.server.server_close()
+
+    def __enter__(self) -> "StoreService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve(
+    root: Union[str, Path],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = False,
+) -> StoreService:
+    """Construct (without starting) a service over ``root`` — CLI entry point."""
+    return StoreService(root, host=host, port=port, quiet=quiet)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.agents import AgentSystem, default_agent_count
-from repro.graphs import Graph, double_star, star
+from repro.graphs import Graph, star
 
 
 class TestDefaultAgentCount:

@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.analysis.comparison import (
-    ProtocolComparison,
     compare_trials,
     separation_exponent,
     winner_table,

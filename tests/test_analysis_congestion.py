@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.congestion import CongestionSummary, summarize_coupled_runs
+from repro.analysis.congestion import summarize_coupled_runs
 from repro.core.coupling import CoupledPushVisitExchange, CoupledRunResult
 from repro.graphs import random_regular_graph
 

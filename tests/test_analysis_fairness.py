@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.fairness import (
-    FairnessReport,
     edge_usage_from_walks,
     expected_uniform_share,
     fairness_from_counts,

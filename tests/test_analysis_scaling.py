@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.scaling import (
-    GrowthFit,
     best_growth_model,
     fit_growth,
     power_law_exponent,

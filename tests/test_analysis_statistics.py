@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.statistics import Summary, bootstrap_ci, summarize, summarize_trials
+from repro.analysis.statistics import bootstrap_ci, summarize, summarize_trials
 from repro.core.results import RunResult, TrialSet
 
 

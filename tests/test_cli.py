@@ -52,6 +52,31 @@ class TestParser:
         gc = build_parser().parse_args(["store", "gc", "--keep-days", "2", "--dry-run"])
         assert gc.keep_days == 2.0
         assert gc.dry_run
+        assert gc.max_bytes is None
+
+    def test_store_serve_and_url_flags_parse(self):
+        args = build_parser().parse_args(
+            ["store", "--store", "http://hub:8080", "serve", "--host", "0.0.0.0", "--port", "9999"]
+        )
+        assert args.store_command == "serve"
+        assert args.store_path == "http://hub:8080"
+        assert (args.host, args.port) == ("0.0.0.0", 9999)
+        gc = build_parser().parse_args(["store", "gc", "--max-bytes", "500M"])
+        assert gc.max_bytes == 500 * 1024**2
+
+    def test_parse_byte_size(self):
+        from repro.cli.main import parse_byte_size
+
+        assert parse_byte_size("1234") == 1234
+        assert parse_byte_size("4K") == 4096
+        assert parse_byte_size("1.5m") == int(1.5 * 1024**2)
+        assert parse_byte_size("2G") == 2 * 1024**3
+        with pytest.raises(Exception):
+            parse_byte_size("lots")
+        with pytest.raises(Exception):
+            parse_byte_size("-1")
+        with pytest.raises(Exception):
+            parse_byte_size("inf")  # OverflowError must not escape argparse
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
@@ -143,6 +168,27 @@ class TestCommands:
         assert "exported" in capsys.readouterr().out
         assert main(["store", "--store", destination, "gc", "--all"]) == 0
         assert "deleted" in capsys.readouterr().out
+
+    def test_store_gc_max_bytes_command(self, capsys, tmp_path):
+        store_path = str(tmp_path / "store")
+        assert main([
+            "run", "fig1a-star", "--scale", "0.1", "--trials", "1",
+            "--store", store_path,
+        ]) == 0
+        capsys.readouterr()
+        # The sweep's cells are journal-referenced, so the LRU budget keeps
+        # them pinned even at a zero-byte budget.
+        assert main(["store", "--store", store_path, "gc", "--max-bytes", "0"]) == 0
+        assert "deleted 0 object(s)" in capsys.readouterr().out
+        assert main([
+            "store", "--store", store_path, "gc", "--max-bytes", "0", "--all",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "deleted" in out and "deleted 0" not in out
+
+    def test_store_serve_rejects_url_roots(self, capsys):
+        assert main(["store", "--store", "http://127.0.0.1:1", "serve"]) == 2
+        assert "local store root" in capsys.readouterr().err
 
     def test_store_info_unknown_key_fails(self, capsys, tmp_path):
         assert main(["store", "--store", str(tmp_path / "s"), "info", "feed"]) == 1

@@ -17,7 +17,7 @@ import pytest
 from repro import simulate
 from repro.core.batch import BATCHED_PROTOCOLS, run_batch, trial_seeds
 from repro.core.observers import EdgeUsageObserver, ObserverGroup
-from repro.graphs import double_star, random_regular_graph, star
+from repro.graphs import double_star, random_regular_graph
 from repro.graphs.dynamic import (
     BernoulliEdgeFailures,
     ComposedSchedule,
@@ -30,7 +30,7 @@ from repro.graphs.dynamic import (
     edge_index_of,
     resolve_dynamics,
 )
-from repro.graphs.graph import Graph, GraphError
+from repro.graphs.graph import GraphError
 
 ALL_PROTOCOLS = sorted(BATCHED_PROTOCOLS)
 

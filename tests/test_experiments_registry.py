@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-import repro.experiments as experiments
 from repro.experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
 from repro.experiments.registry import get_experiment, list_experiment_ids, register
 from repro.graphs import star

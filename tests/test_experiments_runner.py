@@ -6,8 +6,6 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
 from repro.experiments.runner import (
-    CellResult,
-    ExperimentResult,
     run_experiment,
     run_trial_set,
 )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.graphs import GraphError, cycle_of_stars_of_cliques, double_star, heavy_binary_tree, siamese_heavy_binary_tree, star

@@ -23,7 +23,6 @@ from repro.store import (
     StoreCorruptionError,
     SweepJournal,
     canonical_json,
-    cell_key,
     graph_fingerprint,
     resolve_cell,
     resolve_store,
@@ -529,6 +528,100 @@ class TestManagement:
         run_trial_set(ProtocolSpec("push"), star_case(), trials=2, base_seed=0, store=store)
         assert store.gc(dry_run=True, keep_referenced=False)
         assert len(list(store.keys())) == 1
+
+    def test_gc_budget_evicts_least_recently_read_first(self, store):
+        import os
+        import time as time_module
+
+        for seed in (0, 1, 2):
+            run_trial_set(
+                ProtocolSpec("push"), star_case(), trials=2, base_seed=seed, store=store
+            )
+        keys = list(store.keys())
+        assert len(keys) == 3
+        # Stamp distinct last-read times, oldest first; then "read" the
+        # oldest one, which must bump it to most recently used.
+        now = time_module.time()
+        for age, key in zip((300, 200, 100), keys):
+            npz, sidecar = store.object_paths(key)
+            os.utime(npz, (now - age, now - age))
+            os.utime(sidecar, (now - age, now - age))
+        store.get_trial_set(keys[0])
+
+        sizes = {
+            key: sum(p.stat().st_size for p in store.object_paths(key))
+            for key in keys
+        }
+        budget = sizes[keys[0]] + sizes[keys[2]] + 1
+        removed = store.gc(max_bytes=budget)
+        # keys[1] was the least recently read (keys[0] was just read,
+        # keys[2] has the freshest stamp), so it alone is evicted.
+        assert removed == [keys[1]]
+        assert set(store.keys()) == {keys[0], keys[2]}
+
+    def test_gc_budget_keeps_journal_referenced_objects_pinned(self, store):
+        run_experiment(TOY_CONFIG, base_seed=4, store=store)  # journaled
+        run_trial_set(
+            ProtocolSpec("push"), star_case(), trials=2, base_seed=0, store=store
+        )  # adhoc, unreferenced
+        removed = store.gc(max_bytes=0)
+        assert len(removed) == 1  # only the unpinned object can go
+        assert len(list(store.keys())) == len(TOY_CONFIG.sizes) * len(TOY_CONFIG.protocols)
+        # ... unless references are explicitly ignored.
+        assert store.gc(max_bytes=0, keep_referenced=False)
+        assert list(store.keys()) == []
+
+    def test_gc_budget_honours_keep_days_age_floor(self, store):
+        import os
+        import time as time_module
+
+        for seed in (0, 1):
+            run_trial_set(
+                ProtocolSpec("push"), star_case(), trials=2, base_seed=seed, store=store
+            )
+        keys = list(store.keys())
+        old, fresh = keys
+        ten_days_ago = time_module.time() - 10 * 86400
+        for path in store.object_paths(old):
+            os.utime(path, (ten_days_ago, ten_days_ago))
+        # Only the object older than the floor may be evicted for the budget.
+        removed = store.gc(max_bytes=0, older_than_days=7)
+        assert removed == [old]
+        assert list(store.keys()) == [fresh]
+
+    def test_gc_budget_noop_when_under_budget(self, store):
+        run_trial_set(ProtocolSpec("push"), star_case(), trials=2, base_seed=0, store=store)
+        assert store.gc(max_bytes=10**9) == []
+        assert len(list(store.keys())) == 1
+
+    def test_gc_budget_dry_run_deletes_nothing(self, store):
+        run_trial_set(ProtocolSpec("push"), star_case(), trials=2, base_seed=0, store=store)
+        assert store.gc(max_bytes=0, dry_run=True)
+        assert len(list(store.keys())) == 1
+
+    def test_reads_do_not_extend_age_based_gc(self, store):
+        import os
+        import time as time_module
+
+        run_trial_set(ProtocolSpec("push"), star_case(), trials=2, base_seed=0, store=store)
+        key = next(store.keys())
+        npz, sidecar = store.object_paths(key)
+        ten_days_ago = time_module.time() - 10 * 86400
+        os.utime(sidecar, (ten_days_ago, ten_days_ago))
+        os.utime(npz, (ten_days_ago, ten_days_ago))
+        # A read marks LRU recency (payload mtime) but must not refresh the
+        # commit age the --keep-days cutoff is defined over.
+        store.get_trial_set(key)
+        assert store.gc(keep_referenced=False, older_than_days=7) == [key]
+
+    def test_export_twice_is_idempotent(self, store, tmp_path):
+        run_experiment(TOY_CONFIG, base_seed=4, store=store)  # journaled
+        destination = ResultStore(tmp_path / "seed")
+        store.export(destination.root)
+        once = {p.name: p.read_bytes() for p in destination.sweeps_dir.glob("*.jsonl")}
+        store.export(destination.root)
+        twice = {p.name: p.read_bytes() for p in destination.sweeps_dir.glob("*.jsonl")}
+        assert once and once == twice
 
     def test_export_round_trips(self, store, tmp_path):
         computed = run_trial_set(

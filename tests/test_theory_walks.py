@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.graphs import Graph, complete_graph, cycle_graph, hypercube, star
+from repro.graphs import Graph, complete_graph, cycle_graph, star
 from repro.theory.walks import (
     expected_hitting_times,
     mixing_time_bound,
