@@ -12,8 +12,11 @@ Sub-commands
     Run a single protocol on a single graph and print the result.
 ``report``
     Regenerate the Markdown experiment report (EXPERIMENTS.md content).
-``store serve|ls|info|gc|export``
-    Serve, inspect and manage the content-addressed result store.
+``store serve|submit|status|ls|info|gc|export``
+    Serve, inspect and manage the content-addressed result store, and
+    submit/inspect leased sweeps on a hub.
+``worker``
+    Run a stateless sweep worker against a ``repro store serve`` hub.
 
 The experiment-running sub-commands accept ``--store [PATH|URL]`` (cache
 every cell in a content-addressed result store; a bare ``--store`` uses
@@ -63,11 +66,25 @@ __all__ = ["main", "build_parser"]
 #: neither a path nor ``$REPRO_STORE`` is given.
 DEFAULT_STORE_PATH = ".repro-store"
 
+#: Environment variable consulted for the hub auth token when ``--token`` is
+#: not given (``store serve --token``, ``store submit``, ``worker``).
+TOKEN_ENV_VAR = "REPRO_STORE_TOKEN"
+
 
 def _default_store_path() -> str:
     import os
 
     return os.environ.get(STORE_ENV_VAR, "").strip() or DEFAULT_STORE_PATH
+
+
+def _resolve_token(args: argparse.Namespace) -> Optional[str]:
+    """The auth token from ``--token`` or ``$REPRO_STORE_TOKEN``."""
+    import os
+
+    token = getattr(args, "token", None)
+    if token is None:
+        token = os.environ.get(TOKEN_ENV_VAR, "").strip() or None
+    return token
 
 
 def parse_byte_size(value: str) -> int:
@@ -263,8 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--from-store",
         action="store_true",
         help=(
-            "build the sweep sections purely from cached cells (no "
-            "simulation; errors if a cell is missing from the store)"
+            "build every section purely from cached cells (no simulation; "
+            "errors if a cell or document is missing from the store)"
+        ),
+    )
+    report_parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="SECTION",
+        help=(
+            "restrict the report to these sections: experiment ids from "
+            "'list', plus 'coupling' and 'fairness'"
         ),
     )
     report_parser.add_argument(
@@ -297,8 +324,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = store_subparsers.add_parser(
         "serve",
         help=(
-            "serve the store root over a read-only HTTP API "
-            "(point clients at it via REPRO_STORE=http://host:port)"
+            "serve the store root over HTTP (read-only without --token; "
+            "point clients at it via REPRO_STORE=http://host:port)"
         ),
     )
     serve_parser.add_argument(
@@ -306,6 +333,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--port", type=int, default=8080, help="bind port (default: 8080; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--token",
+        default=None,
+        help=(
+            "bearer token enabling the authenticated write API (publishes "
+            f"and the sweep farm); defaults to ${TOKEN_ENV_VAR}; without a "
+            "token the service stays read-only"
+        ),
+    )
+    serve_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds a granted sweep lease stays valid without a heartbeat "
+            "before it is re-granted to another worker (default: 60)"
+        ),
+    )
+
+    submit_parser = store_subparsers.add_parser(
+        "submit",
+        help=(
+            "submit one experiment's cell manifest to a hub as a leased "
+            "sweep (point --store at the hub URL); idempotent"
+        ),
+    )
+    submit_parser.add_argument("experiment_id", help="experiment id (see 'list')")
+    submit_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    submit_parser.add_argument("--trials", type=int, default=None)
+    submit_parser.add_argument("--scale", type=float, default=1.0)
+    submit_parser.add_argument(
+        "--backend", choices=["auto", "batched", "sequential"], default="auto"
+    )
+    submit_parser.add_argument(
+        "--token", default=None, help=f"hub auth token (default: ${TOKEN_ENV_VAR})"
+    )
+    _add_dynamics_option(submit_parser)
+
+    status_parser = store_subparsers.add_parser(
+        "status", help="show a leased sweep's progress on a hub (JSON)"
+    )
+    status_parser.add_argument("sweep_id", help="sweep id printed by 'store submit'")
+    status_parser.add_argument(
+        "--token", default=None, help=f"hub auth token (default: ${TOKEN_ENV_VAR})"
     )
 
     store_subparsers.add_parser("ls", help="list cached cells")
@@ -351,6 +423,46 @@ def build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument("destination", help="destination store root")
     export_parser.add_argument(
         "--keys", nargs="+", default=None, help="export only these cell keys"
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help=(
+            "lease sweep cells from a 'repro store serve' hub, simulate "
+            "them, publish the results, and exit when the sweep is done"
+        ),
+    )
+    worker_parser.add_argument("url", help="hub URL (http://host:port)")
+    worker_parser.add_argument("sweep_id", help="sweep id printed by 'store submit'")
+    worker_parser.add_argument(
+        "--token", default=None, help=f"hub auth token (default: ${TOKEN_ENV_VAR})"
+    )
+    worker_parser.add_argument(
+        "--name", default=None, help="worker name recorded in the sweep journal"
+    )
+    worker_parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="local read-through cache directory (default: a private temp dir)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds between lease attempts when no cell is grantable",
+    )
+    worker_parser.add_argument(
+        "--hub-patience",
+        type=float,
+        default=60.0,
+        help="seconds to keep retrying while the hub is unreachable",
+    )
+    worker_parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="exit after computing this many cells (default: run to completion)",
     )
 
     return parser
@@ -452,9 +564,28 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_report(args: argparse.Namespace) -> int:
-    from ..experiments.reporting import experiment_markdown_section_from_store
+def _report_sections(args: argparse.Namespace) -> List[str]:
+    """Validate --only and return the section ids the report should include."""
+    known = list_experiment_ids() + ["coupling", "fairness"]
+    if args.only is None:
+        return known
+    unknown = [name for name in args.only if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown report section(s) {', '.join(map(repr, unknown))}; "
+            f"choose from: {', '.join(known)}"
+        )
+    return [name for name in known if name in set(args.only)]
 
+
+def _command_report(args: argparse.Namespace) -> int:
+    from ..experiments.reporting import (
+        coupling_result_from_store,
+        experiment_markdown_section_from_store,
+        fairness_result_from_store,
+    )
+
+    wanted = _report_sections(args)
     store = _resolve_store_arg(args)
     sections: List[str] = [
         "# Experiment report",
@@ -471,16 +602,18 @@ def _command_report(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        # Pure store reads: regenerate every sweep table without running a
+        # Pure store reads: regenerate every section without running a
         # single simulation.  The store to read defaults to $REPRO_STORE.
         if store is None:
             store = ResultStore(_default_store_path())
-        for experiment_id in list_experiment_ids():
-            config = get_experiment(experiment_id)
-            sizes = (
-                scaled_sizes(config.sizes, args.scale) if args.scale != 1.0 else None
-            )
-            try:
+        try:
+            for experiment_id in wanted:
+                if experiment_id in ("coupling", "fairness"):
+                    continue
+                config = get_experiment(experiment_id)
+                sizes = (
+                    scaled_sizes(config.sizes, args.scale) if args.scale != 1.0 else None
+                )
                 sections.append(
                     experiment_markdown_section_from_store(
                         config,
@@ -492,15 +625,19 @@ def _command_report(args: argparse.Namespace) -> int:
                         dynamics=resolve_dynamics(args.dynamics),
                     )
                 )
-            except KeyError as exc:
-                print(exc.args[0], file=sys.stderr)
-                return 1
-        sections.append(
-            "*(coupling and fairness sections are not store-backed and are "
-            "omitted in --from-store mode)*\n"
-        )
+            if "coupling" in wanted:
+                coupling = coupling_result_from_store(store, base_seed=args.seed)
+                sections.append(coupling_markdown_section(coupling))
+            if "fairness" in wanted:
+                fairness = fairness_result_from_store(store, base_seed=args.seed)
+                sections.append(fairness_markdown_section(fairness))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
     else:
-        for experiment_id in list_experiment_ids():
+        for experiment_id in wanted:
+            if experiment_id in ("coupling", "fairness"):
+                continue
             result = _run_one(
                 experiment_id,
                 args.seed,
@@ -512,10 +649,16 @@ def _command_report(args: argparse.Namespace) -> int:
                 force=args.force,
             )
             sections.append(experiment_markdown_section(result))
-        coupling = run_coupling_experiment(base_seed=args.seed)
-        sections.append(coupling_markdown_section(coupling))
-        fairness = run_fairness_experiment(base_seed=args.seed)
-        sections.append(fairness_markdown_section(fairness))
+        if "coupling" in wanted:
+            coupling = run_coupling_experiment(
+                base_seed=args.seed, store=store, force=args.force
+            )
+            sections.append(coupling_markdown_section(coupling))
+        if "fairness" in wanted:
+            fairness = run_fairness_experiment(
+                base_seed=args.seed, store=store, force=args.force
+            )
+            sections.append(fairness_markdown_section(fairness))
     text = "\n".join(sections)
     if args.output == "-":
         print(text)
@@ -529,13 +672,70 @@ def _command_report(args: argparse.Namespace) -> int:
 def _command_store(args: argparse.Namespace) -> int:
     import json
 
+    if args.store_command in ("submit", "status"):
+        from ..store import StoreError
+        from ..store.worker import submit_sweep, sweep_status
+
+        url = (args.store_path or _default_store_path()).rstrip("/")
+        if not url.startswith(("http://", "https://")):
+            print(
+                f"'store {args.store_command}' talks to a hub: point --store "
+                f"(or ${STORE_ENV_VAR}) at a 'repro store serve' URL, got {url!r}",
+                file=sys.stderr,
+            )
+            return 2
+        token = _resolve_token(args)
+        try:
+            if args.store_command == "submit":
+                if token is None:
+                    print(
+                        "'store submit' needs the hub's auth token "
+                        f"(--token or ${TOKEN_ENV_VAR})",
+                        file=sys.stderr,
+                    )
+                    return 2
+                config = get_experiment(args.experiment_id)
+                sizes = (
+                    scaled_sizes(config.sizes, args.scale)
+                    if args.scale != 1.0
+                    else None
+                )
+                sweep_id, status = submit_sweep(
+                    url,
+                    config,
+                    token=token,
+                    base_seed=args.seed,
+                    sizes=sizes,
+                    trials=args.trials,
+                    backend=args.backend,
+                    dynamics=resolve_dynamics(args.dynamics),
+                )
+                print(sweep_id)
+                print(json.dumps(status, sort_keys=True), file=sys.stderr)
+            else:
+                status = sweep_status(url, args.sweep_id, token=token)
+                print(json.dumps(status, indent=2, sort_keys=True))
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+
     store = ResultStore(args.store_path or _default_store_path())
     if args.store_command == "serve":
+        import signal
+
         from ..store import StoreError
         from ..store.service import serve
 
+        token = _resolve_token(args)
         try:
-            service = serve(store.root, host=args.host, port=args.port)
+            service = serve(
+                store.root,
+                host=args.host,
+                port=args.port,
+                token=token,
+                lease_ttl=args.lease_ttl,
+            )
         except StoreError as exc:
             print(str(exc), file=sys.stderr)
             return 2
@@ -554,12 +754,37 @@ def _command_store(args: argparse.Namespace) -> int:
             client_url = f"http://{socket.gethostname()}:{port}"
         print(
             f"serving result store {store.root} at {service.url} "
-            f"(point clients at it via {STORE_ENV_VAR}={client_url})"
+            f"({'writable' if token else 'read-only'}; point clients at it "
+            f"via {STORE_ENV_VAR}={client_url})",
+            flush=True,
         )
+
+        def _graceful(signum, frame):  # pragma: no cover - signal timing
+            # Stop accepting connections; serve_forever() then drains every
+            # in-flight request before returning, so workers mid-publish get
+            # their responses instead of a reset.
+            service.request_stop()
+
+        previous = {
+            sig: signal.signal(sig, _graceful)
+            for sig in (signal.SIGINT, signal.SIGTERM)
+        }
         try:
             service.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-            print("shutting down")
+            pass
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        counters = service.request_counts
+        print(
+            "shut down cleanly; requests served: "
+            + (
+                ", ".join(f"{route}={count}" for route, count in sorted(counters.items()))
+                or "none"
+            ),
+            flush=True,
+        )
         return 0
     if args.store_command == "ls":
         rows = [
@@ -613,6 +838,48 @@ def _command_store(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown store command {args.store_command!r}")
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from ..store import StoreError
+    from ..store.worker import run_worker
+
+    token = _resolve_token(args)
+    if token is None:
+        print(
+            f"'worker' needs the hub's auth token (--token or ${TOKEN_ENV_VAR})",
+            file=sys.stderr,
+        )
+        return 2
+    cache = args.cache
+    scratch = None
+    if cache is None:
+        # Workers are stateless: without an explicit cache they use a private
+        # scratch directory so nothing leaks between runs.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-worker-")
+        cache = scratch.name
+    try:
+        summary = run_worker(
+            args.url.rstrip("/"),
+            args.sweep_id,
+            token=token,
+            name=args.name,
+            cache=cache,
+            poll_interval=args.poll_interval,
+            hub_patience=args.hub_patience,
+            max_cells=args.max_cells,
+        )
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    print(json.dumps(summary, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -629,6 +896,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_report(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "worker":
+        return _command_worker(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -108,6 +108,31 @@ class CoupledRunResult:
         """``T_push / T_visitx`` for the coupled pair."""
         return self.push_broadcast_time / max(self.visitx_broadcast_time, 1)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (the per-vertex arrays as int lists)."""
+        return {
+            "num_vertices": int(self.num_vertices),
+            "num_agents": int(self.num_agents),
+            "push_inform_round": [int(v) for v in self.push_inform_round],
+            "visitx_inform_round": [int(v) for v in self.visitx_inform_round],
+            "c_counter_at_inform": [int(v) for v in self.c_counter_at_inform],
+            "push_broadcast_time": int(self.push_broadcast_time),
+            "visitx_broadcast_time": int(self.visitx_broadcast_time),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CoupledRunResult":
+        """Invert :meth:`to_dict` exactly (all quantities are integers)."""
+        return cls(
+            num_vertices=int(payload["num_vertices"]),
+            num_agents=int(payload["num_agents"]),
+            push_inform_round=np.asarray(payload["push_inform_round"], dtype=np.int64),
+            visitx_inform_round=np.asarray(payload["visitx_inform_round"], dtype=np.int64),
+            c_counter_at_inform=np.asarray(payload["c_counter_at_inform"], dtype=np.int64),
+            push_broadcast_time=int(payload["push_broadcast_time"]),
+            visitx_broadcast_time=int(payload["visitx_broadcast_time"]),
+        )
+
 
 class CoupledPushVisitExchange:
     """Run PUSH and VISIT-EXCHANGE under the Section-5.1 coupling.

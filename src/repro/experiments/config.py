@@ -35,6 +35,32 @@ completion flags, message counts, ragged per-round histories) plus a JSON
 sidecar (protocol/graph/backend metadata, per-trial metadata dicts, the key
 payload above, and the NPZ's SHA-256 for integrity checking); see
 :mod:`repro.store.artifacts` for the layout and atomicity guarantees.
+
+Publish wire format
+-------------------
+Distributed sweeps move these same two artifacts over HTTP.  A worker
+publishing cell ``<key>`` sends ``PUT /cells/<key>`` whose body is a single
+*object frame* (:mod:`repro.store.backends.base`):
+
+* the 15-byte magic ``b"repro-object-1\\n"``;
+* two big-endian unsigned 64-bit lengths (``struct`` format ``">QQ"``):
+  the sidecar byte count, then the NPZ byte count;
+* the JSON sidecar bytes, verbatim;
+* the NPZ bytes, verbatim.
+
+The frame is self-delimiting, so a truncated or padded body is detected
+*structurally* (declared lengths vs. actual bytes) before any content
+check runs.  The server then re-verifies, before committing: that the
+sidecar's ``key`` matches the URL, that the SHA-256 of the NPZ bytes
+matches the sidecar's ``npz_sha256``, and that hashing the sidecar's
+``cell`` payload reproduces the key.  Replaying a publish is idempotent
+(bit-identical bytes are already committed); a publish whose bytes differ
+from the committed object is rejected with 409 and never overwrites.  The
+same frame travels in the other direction on ``GET /cells/<key>/object``
+reads.  All farm traffic (``POST /sweeps/submit``, ``.../lease``,
+``.../heartbeat``, ``.../complete``, ``.../fail``) is plain JSON over
+POST, authenticated — like publishes — with ``Authorization: Bearer
+<token>``.
 """
 
 from __future__ import annotations

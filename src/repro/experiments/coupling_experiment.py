@@ -13,8 +13,8 @@ proof of Theorem 10 relies on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Sequence
 
 import numpy as np
 
@@ -22,9 +22,15 @@ from ..analysis.congestion import CongestionSummary, summarize_coupled_runs
 from ..core.coupling import CoupledPushVisitExchange, CoupledRunResult
 from ..core.rng import derive_seed
 from ..graphs.regular import random_regular_graph
+from ..store import cell_key, document_cell_payload, resolve_store
 from .regular_graphs import regular_degree_for
 
-__all__ = ["CouplingExperimentResult", "run_coupling_experiment", "DEFAULT_COUPLING_SIZES"]
+__all__ = [
+    "CouplingExperimentResult",
+    "coupling_cell",
+    "run_coupling_experiment",
+    "DEFAULT_COUPLING_SIZES",
+]
 
 #: Default sweep for the coupling experiment.  The coupled simulator steps
 #: agents one at a time in Python (the coupling forces per-agent decisions), so
@@ -66,6 +72,50 @@ class CouplingExperimentResult:
             )
         return rows
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (stored as a ``"coupling"`` document cell)."""
+        return {
+            "sizes": [int(size) for size in self.sizes],
+            "summaries": {str(size): asdict(s) for size, s in self.summaries.items()},
+            "runs": {
+                str(size): [run.to_dict() for run in runs]
+                for size, runs in self.runs.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CouplingExperimentResult":
+        """Invert :meth:`to_dict`; summaries and runs round-trip exactly."""
+        result = cls()
+        result.sizes = [int(size) for size in payload["sizes"]]
+        result.summaries = {
+            int(size): CongestionSummary(**s) for size, s in payload["summaries"].items()
+        }
+        result.runs = {
+            int(size): [CoupledRunResult.from_dict(r) for r in runs]
+            for size, runs in payload["runs"].items()
+        }
+        return result
+
+
+def coupling_cell(
+    *,
+    sizes: Sequence[int] = DEFAULT_COUPLING_SIZES,
+    runs_per_size: int = 3,
+    base_seed: int = 0,
+    agent_density: float = 1.0,
+) -> Dict[str, Any]:
+    """The experiment's document-cell payload (hash with ``cell_key``)."""
+    return document_cell_payload(
+        "coupling",
+        {
+            "sizes": [int(size) for size in sizes],
+            "runs_per_size": int(runs_per_size),
+            "base_seed": int(base_seed),
+            "agent_density": float(agent_density),
+        },
+    )
+
 
 def run_coupling_experiment(
     *,
@@ -73,10 +123,35 @@ def run_coupling_experiment(
     runs_per_size: int = 3,
     base_seed: int = 0,
     agent_density: float = 1.0,
+    store=None,
+    force: bool = False,
 ) -> CouplingExperimentResult:
-    """Run the coupled processes on random regular graphs over a size sweep."""
+    """Run the coupled processes on random regular graphs over a size sweep.
+
+    ``store`` / ``force`` follow the :func:`~repro.store.resolve_store`
+    rules: with a store, the whole experiment is cached as one *document
+    cell* keyed on its full argument set, so ``report --from-store`` can
+    regenerate the coupling section with zero simulation.  The experiment is
+    a pure function of its arguments, so a cache hit round-trips to a result
+    whose tables are identical to a recompute.
+    """
     if runs_per_size < 1:
         raise ValueError("runs_per_size must be at least 1")
+    store_obj = resolve_store(store)
+    cell = None
+    key = None
+    if store_obj is not None:
+        cell = coupling_cell(
+            sizes=sizes,
+            runs_per_size=runs_per_size,
+            base_seed=base_seed,
+            agent_density=agent_density,
+        )
+        key = cell_key(cell)
+        if not force:
+            document = store_obj.get_document(key, kind="coupling")
+            if document is not None:
+                return CouplingExperimentResult.from_dict(document)
     result = CouplingExperimentResult()
     for size in sizes:
         degree = regular_degree_for(size)
@@ -90,4 +165,6 @@ def run_coupling_experiment(
         result.sizes.append(int(size))
         result.summaries[int(size)] = summarize_coupled_runs(runs)
         result.runs[int(size)] = runs
+    if store_obj is not None:
+        store_obj.put_document(key, result.to_dict(), kind="coupling", cell=cell)
     return result

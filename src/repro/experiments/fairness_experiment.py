@@ -16,8 +16,8 @@ the maximum single-edge share of the total traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -30,9 +30,15 @@ from ..graphs.double_star import double_star
 from ..graphs.graph import Graph
 from ..graphs.regular import random_regular_graph
 from ..graphs.star import star
+from ..store import cell_key, document_cell_payload, resolve_store
 from .regular_graphs import regular_degree_for
 
-__all__ = ["FairnessExperimentResult", "run_fairness_experiment", "default_fairness_graphs"]
+__all__ = [
+    "FairnessExperimentResult",
+    "fairness_cell",
+    "run_fairness_experiment",
+    "default_fairness_graphs",
+]
 
 
 def default_fairness_graphs(size: int, seed: int) -> Dict[str, Graph]:
@@ -76,6 +82,28 @@ class FairnessExperimentResult:
                 )
         return rows
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (stored as a ``"fairness"`` document cell)."""
+        return {
+            "size": int(self.size),
+            "reports": {
+                graph_label: {mechanism: asdict(r) for mechanism, r in cells.items()}
+                for graph_label, cells in self.reports.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FairnessExperimentResult":
+        """Invert :meth:`to_dict` (all reports are flat dataclasses)."""
+        result = cls(size=int(payload["size"]))
+        result.reports = {
+            graph_label: {
+                mechanism: FairnessReport(**r) for mechanism, r in cells.items()
+            }
+            for graph_label, cells in payload["reports"].items()
+        }
+        return result
+
 
 def _push_pull_edge_usage(graph: Graph, source: int, seed: int, trials: int) -> FairnessReport:
     """Aggregate sampled-exchange edge usage of push-pull over several runs."""
@@ -96,14 +124,56 @@ def _push_pull_edge_usage(graph: Graph, source: int, seed: int, trials: int) -> 
     return fairness_from_counts(graph, combined)
 
 
+def fairness_cell(
+    *,
+    size: int = 256,
+    walk_rounds: int = 200,
+    push_pull_trials: int = 5,
+    base_seed: int = 0,
+) -> Dict[str, Any]:
+    """The experiment's document-cell payload (hash with ``cell_key``)."""
+    return document_cell_payload(
+        "fairness",
+        {
+            "size": int(size),
+            "walk_rounds": int(walk_rounds),
+            "push_pull_trials": int(push_pull_trials),
+            "base_seed": int(base_seed),
+        },
+    )
+
+
 def run_fairness_experiment(
     *,
     size: int = 256,
     walk_rounds: int = 200,
     push_pull_trials: int = 5,
     base_seed: int = 0,
+    store=None,
+    force: bool = False,
 ) -> FairnessExperimentResult:
-    """Measure edge-usage fairness of agents vs push-pull on three graphs."""
+    """Measure edge-usage fairness of agents vs push-pull on three graphs.
+
+    ``store`` / ``force`` follow the :func:`~repro.store.resolve_store`
+    rules: with a store, the whole experiment is cached as one *document
+    cell* keyed on its full argument set, so ``report --from-store`` can
+    regenerate the fairness section with zero simulation.
+    """
+    store_obj = resolve_store(store)
+    cell = None
+    key = None
+    if store_obj is not None:
+        cell = fairness_cell(
+            size=size,
+            walk_rounds=walk_rounds,
+            push_pull_trials=push_pull_trials,
+            base_seed=base_seed,
+        )
+        key = cell_key(cell)
+        if not force:
+            document = store_obj.get_document(key, kind="fairness")
+            if document is not None:
+                return FairnessExperimentResult.from_dict(document)
     graphs = default_fairness_graphs(size, derive_seed(base_seed, "fairness-graphs", size))
     result = FairnessExperimentResult(size=size)
     for label, graph in graphs.items():
@@ -123,4 +193,6 @@ def run_fairness_experiment(
             "agents (all traversals)": agent_report,
             "push-pull (sampled edges)": ppull_report,
         }
+    if store_obj is not None:
+        store_obj.put_document(key, result.to_dict(), kind="fairness", cell=cell)
     return result

@@ -13,11 +13,11 @@ from typing import List, Optional, Sequence
 from ..analysis.statistics import summarize_trials
 from ..analysis.tables import format_float, format_markdown_table, format_table
 from ..core.rng import derive_seed
-from ..store import resolve_cell, resolve_store
+from ..store import cell_key, resolve_cell, resolve_store
 from ..theory.predictions import PAPER_PREDICTIONS, Prediction
 from .config import ExperimentConfig
-from .coupling_experiment import CouplingExperimentResult
-from .fairness_experiment import FairnessExperimentResult
+from .coupling_experiment import CouplingExperimentResult, coupling_cell
+from .fairness_experiment import FairnessExperimentResult, fairness_cell
 from .runner import CellResult, ExperimentResult
 
 __all__ = [
@@ -28,6 +28,8 @@ __all__ = [
     "claims_for_experiment",
     "result_from_store",
     "experiment_markdown_section_from_store",
+    "coupling_result_from_store",
+    "fairness_result_from_store",
 ]
 
 
@@ -190,6 +192,50 @@ def experiment_markdown_section_from_store(
 ) -> str:
     """Markdown section for one experiment, read straight from the store."""
     return experiment_markdown_section(result_from_store(config, store, **kwargs))
+
+
+def coupling_result_from_store(
+    store, *, base_seed: int = 0, **cell_kwargs
+) -> CouplingExperimentResult:
+    """Load the coupling experiment's cached document cell — zero simulation.
+
+    Raises ``KeyError`` naming the absent document when the store has no
+    cached run for these parameters (mirroring :func:`result_from_store`).
+    """
+    store_obj = resolve_store(store)
+    if store_obj is None:
+        raise ValueError("coupling_result_from_store needs an enabled result store")
+    cell = coupling_cell(base_seed=base_seed, **cell_kwargs)
+    key = cell_key(cell)
+    document = store_obj.get_document(key, kind="coupling")
+    if document is None:
+        raise KeyError(
+            "result store is missing the coupling document cell; run "
+            f"`repro coupling --store` first:\n  coupling key={key[:16]}"
+        )
+    return CouplingExperimentResult.from_dict(document)
+
+
+def fairness_result_from_store(
+    store, *, base_seed: int = 0, **cell_kwargs
+) -> FairnessExperimentResult:
+    """Load the fairness experiment's cached document cell — zero simulation.
+
+    Raises ``KeyError`` naming the absent document when the store has no
+    cached run for these parameters (mirroring :func:`result_from_store`).
+    """
+    store_obj = resolve_store(store)
+    if store_obj is None:
+        raise ValueError("fairness_result_from_store needs an enabled result store")
+    cell = fairness_cell(base_seed=base_seed, **cell_kwargs)
+    key = cell_key(cell)
+    document = store_obj.get_document(key, kind="fairness")
+    if document is None:
+        raise KeyError(
+            "result store is missing the fairness document cell; run "
+            f"`repro fairness --store` first:\n  fairness key={key[:16]}"
+        )
+    return FairnessExperimentResult.from_dict(document)
 
 
 def coupling_markdown_section(result: CouplingExperimentResult) -> str:

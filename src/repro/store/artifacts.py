@@ -53,8 +53,10 @@ if TYPE_CHECKING:  # the backends package imports this module's exceptions,
 __all__ = [
     "STORE_ENV_VAR",
     "ResultStore",
+    "StoreConflictError",
     "StoreCorruptionError",
     "StoreError",
+    "StoreUnavailableError",
     "resolve_store",
 ]
 
@@ -81,6 +83,44 @@ class StoreError(RuntimeError):
 
 class StoreCorruptionError(StoreError):
     """An on-disk artifact failed its integrity check."""
+
+
+class StoreConflictError(StoreError):
+    """A publish clashed with an existing object holding *different* bytes.
+
+    Cells are content-addressed and pure functions of their spec, so two
+    honest computations of one key are bit-identical and publishes are
+    idempotent.  A conflicting payload therefore means something is wrong —
+    nondeterminism, a corrupted worker, mismatched code versions — and must
+    fail loudly rather than silently keep either side.
+    """
+
+
+class StoreUnavailableError(StoreError):
+    """The store service could not be reached (after the configured retries).
+
+    Carries the attempted URL and a retry summary so the operator sees
+    *where* the client was pointed and *how hard* it tried, instead of a raw
+    ``URLError`` traceback from deep inside ``urllib``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        reason: str,
+        *,
+        attempts: int = 1,
+        elapsed: float = 0.0,
+    ) -> None:
+        self.url = url
+        self.reason = reason
+        self.attempts = attempts
+        self.elapsed = elapsed
+        plural = "attempt" if attempts == 1 else "attempts"
+        super().__init__(
+            f"store service at {url} is unreachable after {attempts} {plural} "
+            f"over {elapsed:.1f}s: {reason}"
+        )
 
 
 def _sha256(data: bytes) -> str:
@@ -263,6 +303,11 @@ class ResultStore:
                 f"this build reads format {STORE_FORMAT_VERSION} "
                 "(run 'repro store gc --all' to drop stale objects)"
             )
+        if sidecar.get("kind", "trial-set") != "trial-set":
+            raise StoreError(
+                f"store object {key} holds a {sidecar.get('kind')!r} document, "
+                "not a trial set (read it with get_document)"
+            )
         npz_bytes = self.backend.read_npz_bytes(key)
         if npz_bytes is None:
             if self.backend.read_sidecar_bytes(key) is None:
@@ -321,6 +366,81 @@ class ResultStore:
         return loaded
 
     # ------------------------------------------------------------------
+    # document cells (non-trial-set results cached under cell keys)
+    # ------------------------------------------------------------------
+    def put_document(
+        self,
+        key: str,
+        document: Dict[str, Any],
+        *,
+        kind: str,
+        cell: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist an arbitrary JSON document under ``key``.
+
+        Documents reuse the object slot normally holding NPZ bytes (the
+        payload is canonical JSON instead), so they inherit the whole
+        transport stack unchanged: atomic payload-before-sidecar commits,
+        SHA-256 end-to-end verification, remote read-through caching and gc.
+        ``kind`` tags what the document is (e.g. ``"coupling"``), letting
+        :meth:`get_document` and :meth:`get_trial_set` reject cross-kind
+        reads loudly instead of mis-decoding bytes.
+        """
+        from .keys import canonical_json
+
+        payload_bytes = canonical_json(document).encode("utf-8")
+        sidecar = {
+            "format": STORE_FORMAT_VERSION,
+            "key": key,
+            "kind": kind,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+            "npz_sha256": _sha256(payload_bytes),
+            "npz_bytes": len(payload_bytes),
+            "cell": cell,
+        }
+        return self.backend.write_object(
+            key, payload_bytes, json.dumps(sidecar, sort_keys=True).encode("utf-8")
+        )
+
+    def get_document(self, key: str, *, kind: str) -> Optional[Dict[str, Any]]:
+        """Load the ``kind``-tagged document under ``key`` (None if absent).
+
+        Verifies the payload bytes against the sidecar checksum exactly like
+        :meth:`get_trial_set`; a kind mismatch or undecodable payload raises
+        :class:`StoreError` / :class:`StoreCorruptionError`.
+        """
+        sidecar = self.read_sidecar(key)
+        if sidecar is None:
+            return None
+        if sidecar.get("format") != STORE_FORMAT_VERSION:
+            raise StoreCorruptionError(
+                f"store object {key} has format {sidecar.get('format')!r}; "
+                f"this build reads format {STORE_FORMAT_VERSION} "
+                "(run 'repro store gc --all' to drop stale objects)"
+            )
+        if sidecar.get("kind", "trial-set") != kind:
+            raise StoreError(
+                f"store object {key} holds a {sidecar.get('kind', 'trial-set')!r} "
+                f"object, not a {kind!r} document"
+            )
+        payload_bytes = self.backend.read_npz_bytes(key)
+        if payload_bytes is None:
+            if self.backend.read_sidecar_bytes(key) is None:
+                return None  # raced gc: a plain miss, not corruption
+            raise StoreCorruptionError(f"store object {key} lost its payload")
+        if _sha256(payload_bytes) != sidecar.get("npz_sha256"):
+            raise StoreCorruptionError(
+                f"store object {key} failed its integrity check: document bytes "
+                "do not match the sidecar checksum"
+            )
+        try:
+            document = json.loads(payload_bytes.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruptionError(f"store object {key} could not be decoded: {exc}") from exc
+        self.backend.mark_read(key)
+        return document
+
+    # ------------------------------------------------------------------
     # query / management
     # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
@@ -346,6 +466,19 @@ class ResultStore:
         cell = sidecar.get("cell") or {}
         if size is None:
             size = sidecar.get("npz_bytes")
+        if sidecar.get("kind", "trial-set") != "trial-set":
+            params = cell.get("params") or {}
+            return {
+                "key": key,
+                "protocol": f"<{sidecar['kind']} document>",
+                "graph": None,
+                "n": params.get("size") or (params.get("sizes") or [None])[-1],
+                "trials": 0,
+                "backend": None,
+                "max_rounds": None,
+                "bytes": size or 0,
+                "created_at": sidecar.get("created_at"),
+            }
         return {
             "key": key,
             "protocol": trial_set.get("protocol"),

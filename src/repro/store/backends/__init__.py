@@ -16,7 +16,14 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from .base import KEY_HEX_LENGTH, StoreBackend, check_key
+from .base import (
+    KEY_HEX_LENGTH,
+    OBJECT_FRAME_MAGIC,
+    StoreBackend,
+    check_key,
+    decode_object_frame,
+    encode_object_frame,
+)
 from .local import LocalBackend
 from .remote import CACHE_ENV_VAR, RemoteBackend, default_cache_root, is_store_url
 
@@ -24,10 +31,13 @@ __all__ = [
     "CACHE_ENV_VAR",
     "KEY_HEX_LENGTH",
     "LocalBackend",
+    "OBJECT_FRAME_MAGIC",
     "RemoteBackend",
     "StoreBackend",
     "check_key",
+    "decode_object_frame",
     "default_cache_root",
+    "encode_object_frame",
     "is_store_url",
     "resolve_backend",
 ]

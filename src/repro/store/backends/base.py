@@ -25,14 +25,66 @@ process-parallel cell scheduler's workers.
 
 from __future__ import annotations
 
+import struct
 from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import List, Optional, Tuple
 
-__all__ = ["KEY_HEX_LENGTH", "StoreBackend", "check_key"]
+__all__ = [
+    "KEY_HEX_LENGTH",
+    "OBJECT_FRAME_MAGIC",
+    "StoreBackend",
+    "check_key",
+    "decode_object_frame",
+    "encode_object_frame",
+]
 
 #: Length of a cell key: a SHA-256 hex digest.
 KEY_HEX_LENGTH = 64
+
+#: Magic prefix of the publish wire frame (``PUT /cells/<key>`` bodies).
+OBJECT_FRAME_MAGIC = b"repro-object-1\n"
+
+_FRAME_LENGTHS = struct.Struct(">QQ")
+
+
+def encode_object_frame(npz_bytes: bytes, sidecar_bytes: bytes) -> bytes:
+    """Frame one store object for the wire: magic, lengths, sidecar, payload.
+
+    The frame is ``magic || len(sidecar) || len(npz) || sidecar || npz`` with
+    both lengths as big-endian unsigned 64-bit integers.  Carrying both
+    declared lengths means a truncated transfer is detected *structurally*
+    (the body is shorter than the frame promises) before the SHA-256 check
+    even runs — two independent tripwires between a flaky network and a
+    committed object.
+    """
+    header = OBJECT_FRAME_MAGIC + _FRAME_LENGTHS.pack(len(sidecar_bytes), len(npz_bytes))
+    return header + sidecar_bytes + npz_bytes
+
+
+def decode_object_frame(body: bytes) -> Tuple[bytes, bytes]:
+    """Invert :func:`encode_object_frame`; raises ``ValueError`` when malformed.
+
+    Rejects a wrong magic, a body shorter *or longer* than the declared
+    lengths — any of which means the transfer was corrupted or truncated and
+    must not reach the store.  Returns ``(npz_bytes, sidecar_bytes)``.
+    """
+    if not body.startswith(OBJECT_FRAME_MAGIC):
+        raise ValueError("object frame does not start with the publish magic")
+    offset = len(OBJECT_FRAME_MAGIC)
+    if len(body) < offset + _FRAME_LENGTHS.size:
+        raise ValueError("object frame truncated inside its length header")
+    sidecar_length, npz_length = _FRAME_LENGTHS.unpack_from(body, offset)
+    offset += _FRAME_LENGTHS.size
+    expected = offset + sidecar_length + npz_length
+    if len(body) != expected:
+        raise ValueError(
+            f"object frame length mismatch: body has {len(body)} bytes, "
+            f"frame declares {expected}"
+        )
+    sidecar_bytes = body[offset : offset + sidecar_length]
+    npz_bytes = body[offset + sidecar_length :]
+    return npz_bytes, sidecar_bytes
 
 
 def check_key(key: str) -> str:

@@ -1,11 +1,11 @@
 """HTTP store backend: a remote store service + a local read-through cache.
 
-``RemoteBackend("http://host:port")`` speaks the read-only API of
-``repro store serve`` (:mod:`repro.store.service`) and caches every object
-it fetches into a local :class:`~repro.store.backends.local.LocalBackend`,
-so repeated ``get_trial_set`` calls never re-fetch: the first read of a key
-costs two GETs (sidecar + NPZ payload), every later read is served from
-disk without touching the network.
+``RemoteBackend("http://host:port")`` speaks the API of ``repro store
+serve`` (:mod:`repro.store.service`) and caches every object it fetches
+into a local :class:`~repro.store.backends.local.LocalBackend`, so repeated
+``get_trial_set`` calls never re-fetch: the first read of a key costs two
+GETs (sidecar + NPZ payload), every later read is served from disk without
+touching the network.
 
 Integrity is verified *before* the cache commit: the fetched NPZ bytes must
 match the fetched sidecar's SHA-256, otherwise the object is discarded and
@@ -13,27 +13,52 @@ match the fetched sidecar's SHA-256, otherwise the object is discarded and
 transfer can never poison the cache.  The facade then re-verifies on every
 read as usual, so the checksum holds end to end across the transport.
 
-The service is read-only, so writes (computed cells, sweep journals) land
-in the local cache: a warm central store is a drop-in behind the existing
-``put_trial_set``/``get_trial_set`` interface, and anything the server does
-not hold is computed once and cached locally.  Only the URL and cache root
-cross process boundaries — each worker process opens its own connections —
-so the backend pickles cleanly into the parallel cell scheduler.
+Fault tolerance, layered bottom-up:
+
+* **bounded retries** — idempotent requests (all GETs, publish PUTs, and
+  farm POSTs explicitly flagged idempotent) are retried up to ``retries``
+  times on transport errors and transient HTTP statuses (408/429/5xx),
+  with exponential backoff and jitter so a fleet of workers hammering one
+  recovering hub does not re-synchronize into thundering herds;
+* **clear failure** — when the hub stays unreachable the client raises
+  :class:`~repro.store.StoreUnavailableError` carrying the attempted URL
+  and a retry summary, never a raw ``URLError`` traceback;
+* **circuit breaker** — after an exhausted retry loop the backend marks the
+  hub down for a short cooldown and fails subsequent requests immediately,
+  so a dead hub costs one timeout per cooldown window rather than one per
+  object;
+* **graceful degradation** — with ``degrade=True`` (the read-path default
+  via :class:`~repro.store.ResultStore` is off; sweeps opt in) reads fall
+  back to the local cache when the hub is unreachable: a warm cache keeps
+  serving, a cold key is reported as a plain miss and recomputed locally.
+
+Writes land in the local cache; with ``publish=True`` (requires ``token``)
+each computed cell is *also* pushed to the hub through the authenticated
+``PUT /cells/<key>`` write path, framed with explicit lengths (see
+:func:`~repro.store.backends.base.encode_object_frame`) and re-verified
+server-side before commit.  Only configuration (URL, cache root, token,
+retry policy) crosses process boundaries — each worker process opens its
+own connections — so the backend pickles cleanly into the parallel cell
+scheduler.
 """
 
 from __future__ import annotations
 
 import hashlib
+import http.client
 import json
 import os
+import random
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
+import warnings
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from .base import StoreBackend, check_key
+from .base import StoreBackend, check_key, encode_object_frame
 from .local import LocalBackend
 
 __all__ = ["CACHE_ENV_VAR", "RemoteBackend", "default_cache_root", "is_store_url"]
@@ -45,6 +70,15 @@ CACHE_ENV_VAR = "REPRO_STORE_CACHE"
 #: facade reads sidecar-then-NPZ, so the memo saves one GET per object; the
 #: cap only matters for sidecar-only scans like ``ls`` against a huge store).
 _SIDECAR_MEMO_CAP = 256
+
+#: HTTP statuses worth retrying: the request may succeed on a healthy
+#: instant even though this attempt failed.
+_TRANSIENT_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
+
+#: How long an exhausted retry loop marks the hub down (seconds).  During
+#: the cooldown requests fail immediately instead of re-paying the full
+#: timeout-times-retries cost per call.
+_DOWN_COOLDOWN = 5.0
 
 
 def is_store_url(value: Any) -> bool:
@@ -67,8 +101,25 @@ def default_cache_root(url: str) -> Path:
     return base / "repro-store" / digest
 
 
+class _HTTPStatusError(Exception):
+    """Internal: a non-retryable HTTP error status, with the response body."""
+
+    def __init__(self, code: int, body: bytes) -> None:
+        self.code = code
+        self.body = body
+        super().__init__(f"HTTP {code}")
+
+    def detail(self) -> str:
+        """The server's ``error`` field when the body is JSON, else the code."""
+        try:
+            parsed = json.loads(self.body.decode("utf-8"))
+            return str(parsed.get("error", f"HTTP {self.code}"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return f"HTTP {self.code}"
+
+
 class RemoteBackend(StoreBackend):
-    """Read objects from a store service over HTTP, through a local cache."""
+    """Read (and optionally publish) store objects over HTTP, through a cache."""
 
     def __init__(
         self,
@@ -76,17 +127,32 @@ class RemoteBackend(StoreBackend):
         *,
         cache: Union[None, str, Path, LocalBackend] = None,
         timeout: float = 30.0,
+        token: Optional[str] = None,
+        publish: bool = False,
+        retries: int = 3,
+        backoff: float = 0.25,
+        degrade: bool = False,
     ) -> None:
         if not is_store_url(url):
             raise ValueError(f"not a store service URL: {url!r}")
+        if publish and not token:
+            raise ValueError("publish=True needs an auth token (the write path is authenticated)")
         self.url = url.rstrip("/")
         if isinstance(cache, LocalBackend):
             self.cache = cache
         else:
             self.cache = LocalBackend(cache if cache is not None else default_cache_root(self.url))
         self.timeout = float(timeout)
+        self.token = token
+        self.publish = bool(publish)
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.degrade = bool(degrade)
         self._lock = threading.Lock()
         self._sidecar_memo: Dict[str, bytes] = {}
+        self._down_until = 0.0
+        self._down_reason = ""
+        self._warned_down = False
 
     def __repr__(self) -> str:
         return f"RemoteBackend({self.url!r}, cache={str(self.cache.root)!r})"
@@ -96,21 +162,40 @@ class RemoteBackend(StoreBackend):
             isinstance(other, RemoteBackend)
             and self.url == other.url
             and self.cache == other.cache
+            and self.token == other.token
+            and self.publish == other.publish
         )
 
     def __hash__(self) -> int:
-        return hash((RemoteBackend, self.url, self.cache))
+        return hash((RemoteBackend, self.url, self.cache, self.publish))
 
-    # Locks don't pickle; workers rebuild their own lock and an empty memo.
+    # Locks don't pickle; workers rebuild their own lock, memo and breaker.
     def __getstate__(self) -> Dict[str, Any]:
-        return {"url": self.url, "cache": self.cache, "timeout": self.timeout}
+        return {
+            "url": self.url,
+            "cache": self.cache,
+            "timeout": self.timeout,
+            "token": self.token,
+            "publish": self.publish,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "degrade": self.degrade,
+        }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.url = state["url"]
         self.cache = state["cache"]
         self.timeout = state["timeout"]
+        self.token = state.get("token")
+        self.publish = state.get("publish", False)
+        self.retries = state.get("retries", 3)
+        self.backoff = state.get("backoff", 0.25)
+        self.degrade = state.get("degrade", False)
         self._lock = threading.Lock()
         self._sidecar_memo = {}
+        self._down_until = 0.0
+        self._down_reason = ""
+        self._warned_down = False
 
     # ------------------------------------------------------------------
     # identity
@@ -124,29 +209,161 @@ class RemoteBackend(StoreBackend):
         return self.cache
 
     # ------------------------------------------------------------------
-    # HTTP plumbing
+    # HTTP plumbing: retries, backoff, circuit breaker
     # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        data: Optional[bytes] = None,
+        query: Optional[Dict[str, str]] = None,
+        idempotent: bool = True,
+        content_type: Optional[str] = None,
+    ) -> Tuple[int, bytes]:
+        """One service request; returns ``(status, body)`` for 2xx and 404.
+
+        Other statuses raise :class:`_HTTPStatusError` (non-transient) or are
+        retried (transient, when ``idempotent``).  Transport failures on
+        idempotent requests retry with exponential backoff and jitter; an
+        exhausted loop raises
+        :class:`~repro.store.StoreUnavailableError` and opens the circuit
+        breaker for a short cooldown.  Non-idempotent requests are attempted
+        exactly once — re-sending one after an ambiguous failure could
+        double-apply it, so the caller owns that decision.
+        """
+        from ..artifacts import StoreUnavailableError
+
+        now = time.monotonic()
+        if now < self._down_until:
+            remaining = self._down_until - now
+            raise StoreUnavailableError(
+                self.url,
+                f"marked down for another {remaining:.1f}s after: {self._down_reason}",
+                attempts=0,
+                elapsed=0.0,
+            )
+        url = self.url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        headers = {}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if content_type:
+            headers["Content-Type"] = content_type
+        attempts = self.retries + 1 if idempotent else 1
+        started = time.monotonic()
+        last_reason = "unknown error"
+        for attempt in range(attempts):
+            if attempt:
+                delay = self.backoff * (2 ** (attempt - 1))
+                time.sleep(delay * random.uniform(0.5, 1.5))
+            request = urllib.request.Request(url, data=data, headers=headers, method=method)
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    body = response.read()
+                    declared = response.headers.get("Content-Length")
+                    if declared is not None and len(body) != int(declared):
+                        # A truncated read that urllib surfaced as a short
+                        # body rather than an exception: retryable.
+                        last_reason = (
+                            f"truncated response for {path} "
+                            f"({len(body)} of {declared} bytes)"
+                        )
+                        continue
+                    self._note_up()
+                    return response.status, body
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                if exc.code == 404:
+                    self._note_up()
+                    return 404, body
+                if exc.code in _TRANSIENT_STATUSES:
+                    last_reason = f"HTTP {exc.code} for {path}"
+                    continue
+                self._note_up()  # the hub answered; it just said no
+                raise _HTTPStatusError(exc.code, body) from exc
+            except (urllib.error.URLError, http.client.HTTPException, OSError, TimeoutError) as exc:
+                # URLError wraps refused/reset connections; HTTPException
+                # covers torn responses (IncompleteRead on a truncated body,
+                # RemoteDisconnected/BadStatusLine on a dropped connection).
+                reason = getattr(exc, "reason", None)
+                last_reason = f"{reason or exc!r} for {path}"
+                continue
+        elapsed = time.monotonic() - started
+        self._note_down(last_reason)
+        raise StoreUnavailableError(self.url, last_reason, attempts=attempts, elapsed=elapsed)
+
+    def _note_up(self) -> None:
+        if self._down_until or self._warned_down:
+            self._down_until = 0.0
+            self._warned_down = False
+
+    def _note_down(self, reason: str) -> None:
+        self._down_until = time.monotonic() + _DOWN_COOLDOWN
+        self._down_reason = reason
+
+    def _degraded(self, exc: Exception) -> bool:
+        """Whether to swallow an outage on a read path (warn once per outage)."""
+        if not self.degrade:
+            return False
+        if not self._warned_down:
+            self._warned_down = True
+            warnings.warn(
+                f"store service unreachable, degrading to the local cache: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return True
+
     def _get(self, path: str, *, query: Optional[Dict[str, str]] = None) -> Optional[bytes]:
         """GET a service path; None on 404, StoreError on anything else."""
         from ..artifacts import StoreError
 
-        url = self.url + path
-        if query:
-            url += "?" + urllib.parse.urlencode(query)
         try:
-            with urllib.request.urlopen(url, timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            if exc.code == 404:
-                return None
+            status, body = self._request("GET", path, query=query)
+        except _HTTPStatusError as exc:
             raise StoreError(
                 f"store service at {self.url} returned HTTP {exc.code} for {path}"
             ) from exc
-        except (urllib.error.URLError, OSError, TimeoutError) as exc:
-            raise StoreError(f"cannot reach store service at {self.url}: {exc}") from exc
+        return None if status == 404 else body
+
+    def post_json(
+        self,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        *,
+        idempotent: bool = False,
+    ) -> Optional[Dict[str, Any]]:
+        """POST a JSON document; returns the parsed JSON reply (None on 404).
+
+        A 409 raises :class:`~repro.store.StoreConflictError` with the
+        server's explanation; other error statuses raise
+        :class:`~repro.store.StoreError`.  Only mark a POST ``idempotent``
+        when re-sending it after an ambiguous failure is safe (heartbeats,
+        completes) — lease grants are not, and retry at the worker-loop
+        level instead.
+        """
+        from ..artifacts import StoreConflictError, StoreError
+
+        data = json.dumps(payload or {}).encode("utf-8")
+        try:
+            status, body = self._request(
+                "POST", path, data=data, idempotent=idempotent, content_type="application/json"
+            )
+        except _HTTPStatusError as exc:
+            if exc.code == 409:
+                raise StoreConflictError(exc.detail()) from exc
+            raise StoreError(
+                f"store service at {self.url} rejected POST {path}: {exc.detail()}"
+            ) from exc
+        if status == 404:
+            return None
+        return json.loads(body) if body else {}
 
     def healthz(self) -> Dict[str, Any]:
-        """The service's ``/healthz`` document (raises StoreError when down)."""
+        """The service's ``/healthz`` document (raises when down — never
+        degrades: health probes exist to detect outages, not mask them)."""
         from ..artifacts import StoreError
 
         payload = self._get("/healthz")
@@ -158,12 +375,19 @@ class RemoteBackend(StoreBackend):
         self, *, prefix: Optional[str] = None, proto: Optional[str] = None
     ) -> List[Dict[str, Any]]:
         """The server-side ``ls`` rows (optionally filtered), without caching."""
+        from ..artifacts import StoreUnavailableError
+
         query = {}
         if prefix:
             query["prefix"] = prefix
         if proto:
             query["proto"] = proto
-        payload = self._get("/ls", query=query or None)
+        try:
+            payload = self._get("/ls", query=query or None)
+        except StoreUnavailableError as exc:
+            if self._degraded(exc):
+                return []
+            raise
         if payload is None:  # pragma: no cover - /ls always exists
             return []
         return json.loads(payload).get("entries", [])
@@ -172,11 +396,18 @@ class RemoteBackend(StoreBackend):
     # objects (read-through)
     # ------------------------------------------------------------------
     def read_sidecar_bytes(self, key: str) -> Optional[bytes]:
+        from ..artifacts import StoreUnavailableError
+
         key = check_key(key)
         cached = self.cache.read_sidecar_bytes(key)
         if cached is not None:
             return cached
-        fetched = self._get(f"/cells/{key}")
+        try:
+            fetched = self._get(f"/cells/{key}")
+        except StoreUnavailableError as exc:
+            if self._degraded(exc):
+                return None  # a cold key degrades to a plain miss
+            raise
         if fetched is not None:
             # Remember it for the NPZ fetch that typically follows; the
             # cache itself only ever holds complete, verified objects.
@@ -187,7 +418,7 @@ class RemoteBackend(StoreBackend):
         return fetched
 
     def read_npz_bytes(self, key: str) -> Optional[bytes]:
-        from ..artifacts import StoreCorruptionError
+        from ..artifacts import StoreCorruptionError, StoreUnavailableError
 
         key = check_key(key)
         cached = self.cache.read_npz_bytes(key)
@@ -195,11 +426,16 @@ class RemoteBackend(StoreBackend):
             return cached
         with self._lock:
             sidecar_bytes = self._sidecar_memo.pop(key, None)
-        if sidecar_bytes is None:
-            sidecar_bytes = self._get(f"/cells/{key}")
-        if sidecar_bytes is None:
-            return None
-        npz_bytes = self._get(f"/cells/{key}/object")
+        try:
+            if sidecar_bytes is None:
+                sidecar_bytes = self._get(f"/cells/{key}")
+            if sidecar_bytes is None:
+                return None
+            npz_bytes = self._get(f"/cells/{key}/object")
+        except StoreUnavailableError as exc:
+            if self._degraded(exc):
+                return None
+            raise
         if npz_bytes is None:
             return None
         # Verify before the cache commit: a truncated or corrupted transfer
@@ -218,9 +454,40 @@ class RemoteBackend(StoreBackend):
         self.cache.write_object(key, npz_bytes, sidecar_bytes)
         return npz_bytes
 
+    def publish_object(self, key: str, npz_bytes: bytes, sidecar_bytes: bytes) -> None:
+        """Push one object to the hub through the authenticated write path.
+
+        The body is the explicit-length wire frame, so truncation is caught
+        structurally server-side before the SHA-256 re-verification even
+        runs.  Publishing is idempotent — the server accepts a bit-identical
+        duplicate silently and answers 409 for a conflicting one, which
+        surfaces here as :class:`~repro.store.StoreConflictError`.
+        """
+        from ..artifacts import StoreConflictError, StoreError
+
+        key = check_key(key)
+        frame = encode_object_frame(npz_bytes, sidecar_bytes)
+        try:
+            self._request(
+                "PUT",
+                f"/cells/{key}",
+                data=frame,
+                idempotent=True,  # content-addressed: replaying a PUT is safe
+                content_type="application/octet-stream",
+            )
+        except _HTTPStatusError as exc:
+            if exc.code == 409:
+                raise StoreConflictError(exc.detail()) from exc
+            raise StoreError(
+                f"store service at {self.url} rejected publish of {key}: {exc.detail()}"
+            ) from exc
+
     def write_object(self, key: str, npz_bytes: bytes, sidecar_bytes: bytes) -> Path:
-        # The service is read-only; computed cells land in the local cache,
-        # exactly like a read-through fill.
+        # With publish enabled the hub gets the object first (fail loudly
+        # before the local commit, so a cell never looks done locally while
+        # lost to the fleet); either way the cache keeps a local copy.
+        if self.publish:
+            self.publish_object(key, npz_bytes, sidecar_bytes)
         return self.cache.write_object(key, npz_bytes, sidecar_bytes)
 
     def delete_object(self, key: str) -> None:
@@ -253,7 +520,15 @@ class RemoteBackend(StoreBackend):
         ``last_run_statuses`` reads the most recent (local) run.  Journal
         readers tolerate arbitrary event interleaving by construction.
         """
-        payload = self._get(f"/sweeps/{urllib.parse.quote(sweep_id)}")
+        from ..artifacts import StoreUnavailableError
+
+        try:
+            payload = self._get(f"/sweeps/{urllib.parse.quote(sweep_id)}")
+        except StoreUnavailableError as exc:
+            if self._degraded(exc):
+                payload = None
+            else:
+                raise
         remote_text = None if payload is None else payload.decode("utf-8")
         cached = self.cache.read_sweep_text(sweep_id)
         if remote_text is None:
@@ -263,8 +538,16 @@ class RemoteBackend(StoreBackend):
         return remote_text + cached
 
     def list_sweeps(self) -> List[str]:
+        from ..artifacts import StoreUnavailableError
+
         known = set(self.cache.list_sweeps())
-        payload = self._get("/sweeps")
+        try:
+            payload = self._get("/sweeps")
+        except StoreUnavailableError as exc:
+            if self._degraded(exc):
+                payload = None
+            else:
+                raise
         if payload is not None:
             known.update(json.loads(payload).get("sweeps", []))
         return sorted(known)

@@ -1,0 +1,266 @@
+"""A fault-injecting HTTP proxy for hardening tests and the CI sweep farm.
+
+``FaultProxy`` sits between store clients and a ``repro store serve`` hub
+and misbehaves *on purpose*, with seeded randomness so every failure
+sequence is reproducible:
+
+* **500s** — answer with a transient server error instead of forwarding
+  (exercises the retry/backoff loop);
+* **delays** — sleep before forwarding (exercises timeouts and heartbeat
+  renewal under latency);
+* **drops** — close the connection without answering, either before the
+  request reaches the hub or after the hub already applied it (the *after*
+  case is the ambiguous-failure path that makes idempotency mandatory:
+  the client must retry a request whose first copy already succeeded);
+* **truncations** — forward the request, then send the response with its
+  full declared ``Content-Length`` but only half the body (exercises the
+  structural length checks of the wire frame and the SHA-256 tripwires).
+
+Faults apply to forwarded *requests*, so one proxied sweep sees every
+failure mode on every route — publishes, leases, object fetches.  The
+proxy is transparent otherwise: method, body and the headers that matter
+(``Authorization``, ``Content-Type``) pass through verbatim.
+
+Run standalone for CI (``python -m repro.store.faultproxy --upstream
+http://127.0.0.1:8080 --error-rate 0.1 ...``) or in-process in tests via
+the context manager, mirroring :class:`~repro.store.service.StoreService`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+__all__ = ["FaultProxy", "FaultSpec", "main"]
+
+#: Headers forwarded verbatim in each direction.
+_REQUEST_HEADERS = ("Authorization", "Content-Type")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-request fault probabilities (independent draws, seeded).
+
+    At most one fault fires per request, drawn in order error → delay →
+    drop → truncate; ``drop_after`` picks (per drop) whether the connection
+    dies before or after the request reached the hub.
+    """
+
+    error_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.05
+    drop_rate: float = 0.0
+    truncate_rate: float = 0.0
+    seed: int = 0
+
+
+class _FaultHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], upstream: str, spec: FaultSpec) -> None:
+        super().__init__(address, _FaultRequestHandler)
+        self.upstream = upstream.rstrip("/")
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._rng_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.stats = {"forwarded": 0, "errors": 0, "delays": 0, "drops": 0, "truncations": 0}
+
+    def draw(self) -> Tuple[str, bool]:
+        """Pick this request's fault: ``(kind, drop_after_forwarding)``."""
+        with self._rng_lock:
+            roll = self._rng.random
+            if roll() < self.spec.error_rate:
+                return "error", False
+            if roll() < self.spec.delay_rate:
+                return "delay", False
+            if roll() < self.spec.drop_rate:
+                return "drop", roll() < 0.5
+            if roll() < self.spec.truncate_rate:
+                return "truncate", False
+            return "none", False
+
+    def count(self, what: str) -> None:
+        with self._stats_lock:
+            self.stats[what] = self.stats.get(what, 0) + 1
+
+
+class _FaultRequestHandler(BaseHTTPRequestHandler):
+    """Forward one request to the upstream hub, possibly sabotaged."""
+
+    server_version = "repro-faultproxy"
+    protocol_version = "HTTP/1.1"
+
+    def _forward(self) -> Optional[Tuple[int, bytes, str]]:
+        """Send the request upstream; returns (status, body, content type)."""
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else None
+        headers = {
+            name: self.headers[name] for name in _REQUEST_HEADERS if self.headers.get(name)
+        }
+        request = urllib.request.Request(
+            self.server.upstream + self.path, data=body, headers=headers, method=self.command
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60.0) as response:
+                return (
+                    response.status,
+                    response.read(),
+                    response.headers.get("Content-Type", "application/octet-stream"),
+                )
+        except urllib.error.HTTPError as exc:
+            return (
+                exc.code,
+                exc.read(),
+                exc.headers.get("Content-Type", "application/json"),
+            )
+        except (urllib.error.URLError, OSError, TimeoutError):
+            return None  # upstream down: surfaces as a 502 below
+
+    def _respond(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle(self) -> None:
+        import time
+
+        fault, drop_after = self.server.draw()
+        if fault == "error":
+            # Injected *before* forwarding: the hub never sees the request,
+            # so a retried idempotent request is exactly re-sendable.
+            self.server.count("errors")
+            self.close_connection = True
+            self._respond(500, b'{"error": "injected fault"}', "application/json")
+            return
+        if fault == "delay":
+            self.server.count("delays")
+            time.sleep(self.server.spec.delay_seconds)
+        if fault == "drop" and not drop_after:
+            # Connection dies before the hub sees anything.
+            self.server.count("drops")
+            self.close_connection = True
+            return
+        forwarded = self._forward()
+        self.server.count("forwarded")
+        if fault == "drop" and drop_after:
+            # The ambiguous case: the hub already applied the request, the
+            # client never learns it.  Idempotent retries must converge.
+            self.server.count("drops")
+            self.close_connection = True
+            return
+        if forwarded is None:
+            self.close_connection = True
+            self._respond(502, b'{"error": "upstream unreachable"}', "application/json")
+            return
+        status, body, content_type = forwarded
+        if fault == "truncate" and len(body) > 1:
+            # Declared full length, half the bytes: the client's structural
+            # and checksum tripwires must both be able to catch this.
+            self.server.count("truncations")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[: len(body) // 2])
+            self.close_connection = True
+            return
+        self._respond(status, body, content_type)
+
+    do_GET = do_PUT = do_POST = do_DELETE = do_PATCH = _handle
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # the proxy is test scaffolding; stay quiet
+
+
+class FaultProxy:
+    """A startable fault-injection proxy in front of one upstream hub."""
+
+    def __init__(
+        self,
+        upstream: str,
+        *,
+        spec: FaultSpec = FaultSpec(),
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = _FaultHTTPServer((host, port), upstream, spec)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def stats(self) -> dict:
+        with self.server._stats_lock:
+            return dict(self.server.stats)
+
+    def start(self) -> "FaultProxy":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=lambda: self.server.serve_forever(poll_interval=0.05),
+                name="repro-faultproxy",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: ``python -m repro.store.faultproxy --upstream ...``."""
+    parser = argparse.ArgumentParser(description="fault-injecting store proxy")
+    parser.add_argument("--upstream", required=True, help="hub URL to forward to")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8081)
+    parser.add_argument("--error-rate", type=float, default=0.0)
+    parser.add_argument("--delay-rate", type=float, default=0.0)
+    parser.add_argument("--delay-seconds", type=float, default=0.05)
+    parser.add_argument("--drop-rate", type=float, default=0.0)
+    parser.add_argument("--truncate-rate", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    spec = FaultSpec(
+        error_rate=args.error_rate,
+        delay_rate=args.delay_rate,
+        delay_seconds=args.delay_seconds,
+        drop_rate=args.drop_rate,
+        truncate_rate=args.truncate_rate,
+        seed=args.seed,
+    )
+    proxy = FaultProxy(args.upstream, spec=spec, host=args.host, port=args.port)
+    print(f"fault proxy on {proxy.url} -> {args.upstream} ({spec})", flush=True)
+    try:
+        proxy.server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.server.server_close()
+        print(f"fault proxy stats: {proxy.stats}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

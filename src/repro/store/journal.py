@@ -62,9 +62,53 @@ class SweepJournal:
         """Record the start of a (re)run of this sweep."""
         self.record("sweep-start", cells=cells, sweep=self.sweep)
 
-    def cell(self, *, index: int, size: int, protocol: str, key: str, status: str) -> None:
-        """Record one completed cell (``status`` is ``"cached"`` / ``"computed"``)."""
-        self.record("cell", index=index, size=size, protocol=protocol, key=key, status=status)
+    def cell(
+        self,
+        *,
+        index: int,
+        size: int,
+        protocol: str,
+        key: str,
+        status: str,
+        worker: Optional[str] = None,
+    ) -> None:
+        """Record one completed cell.
+
+        ``status`` is ``"cached"`` / ``"computed"`` for local sweeps,
+        ``"farmed"`` for a cell published by a leased worker and
+        ``"recovered"`` for one the farm found already committed in the
+        store; ``worker`` names the publishing worker when known.
+        """
+        fields: Dict[str, Any] = {
+            "index": index,
+            "size": size,
+            "protocol": protocol,
+            "key": key,
+            "status": status,
+        }
+        if worker is not None:
+            fields["worker"] = worker
+        self.record("cell", **fields)
+
+    def manifest(self, *, cells: List[Dict[str, Any]]) -> None:
+        """Record the sweep's full cell manifest (the farm's durable state).
+
+        Each entry carries ``index``, ``size``, ``protocol`` and ``key``.
+        The manifest plus the committed store objects is everything a
+        restarted hub needs to rebuild the work queue: leases themselves are
+        deliberately *not* journaled — a lost lease merely expires, while a
+        committed object is ground truth forever — keeping the journal an
+        observability surface rather than a correctness dependency.
+        """
+        self.record("manifest", cells=cells, sweep=self.sweep)
+
+    def last_manifest(self) -> Optional[Dict[str, Any]]:
+        """The most recent manifest event (None if this sweep has none)."""
+        manifest = None
+        for event in self.events():
+            if event.get("event") == "manifest":
+                manifest = event
+        return manifest
 
     def finish(self) -> None:
         """Record that the sweep ran to completion."""

@@ -44,6 +44,7 @@ __all__ = [
     "SEMANTICS_VERSION",
     "canonical_json",
     "cell_key",
+    "document_cell_payload",
     "dynamics_spec",
     "graph_fingerprint",
     "trial_cell_payload",
@@ -158,6 +159,24 @@ def trial_cell_payload(
         "max_rounds": None if max_rounds is None else int(max_rounds),
         "record_history": bool(record_history),
         "backend": backend,
+    }
+    return _json_safe(payload, strict_floats=True)
+
+
+def document_cell_payload(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble the canonical description of a *document* cell.
+
+    Document cells cache whole-experiment results that are not trial sets
+    (the coupling and fairness experiments) under the same content-addressed
+    machinery: ``kind`` names the experiment family, ``params`` its complete
+    argument set.  Both version counters participate so a semantics bump
+    invalidates cached documents exactly like trial-set cells.
+    """
+    payload = {
+        "format": STORE_FORMAT_VERSION,
+        "semantics": SEMANTICS_VERSION,
+        "document": str(kind),
+        "params": dict(params),
     }
     return _json_safe(payload, strict_floats=True)
 

@@ -27,7 +27,7 @@ if TYPE_CHECKING:  # imported for annotations only — the experiments package
     # imports this module at runtime, so a runtime import would be circular.
     from ..experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
 
-__all__ = ["CellPlan", "resolve_cell", "sweep_payload"]
+__all__ = ["CellPlan", "SweepCellPlan", "resolve_cell", "resolve_sweep_plans", "sweep_payload"]
 
 
 @dataclass
@@ -131,6 +131,80 @@ def resolve_cell(
         max_rounds=max_rounds,
         record_history=record_history,
     )
+
+
+@dataclass
+class SweepCellPlan:
+    """One cell of a sweep, in sweep order: its position, spec and plan."""
+
+    index: int
+    size_parameter: int
+    protocol_label: str
+    spec: "ProtocolSpec"
+    budget: Optional[int]
+    plan: CellPlan
+
+    def manifest_entry(self) -> Dict[str, Any]:
+        """The cell's row in a sweep manifest (journal ``manifest`` event)."""
+        return {
+            "index": self.index,
+            "size": self.size_parameter,
+            "protocol": self.protocol_label,
+            "key": self.plan.key,
+        }
+
+
+def resolve_sweep_plans(
+    config: "ExperimentConfig",
+    *,
+    base_seed: int,
+    sizes: Tuple[int, ...],
+    trials: int,
+    backend: str = "auto",
+    dynamics: Any = None,
+) -> List[SweepCellPlan]:
+    """Resolve every cell of a sweep, in the exact serial execution order.
+
+    Walks sizes and protocols precisely as
+    :func:`~repro.experiments.runner.run_experiment` does — same graph seeds
+    (``derive_seed(base_seed, experiment_id, "graph", size)``), same round
+    budgets, same spec iteration — so the plan keys here are the keys that
+    sweep would compute.  This is the shared resolution step behind sweep
+    submission (building a farm manifest), worker-side plan reconstruction
+    (a leased key must re-resolve to the same plan), and any tooling that
+    asks "what would this sweep run".
+    """
+    from ..core.rng import derive_seed
+
+    plans: List[SweepCellPlan] = []
+    index = 0
+    for size_parameter in sizes:
+        case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
+        case = config.build_case(size_parameter, case_seed)
+        budget = config.round_budget(size_parameter)
+        for spec in config.protocols:
+            plan = resolve_cell(
+                spec,
+                case,
+                trials=trials,
+                base_seed=base_seed,
+                experiment_id=config.experiment_id,
+                max_rounds=budget,
+                backend=backend,
+                dynamics=dynamics,
+            )
+            plans.append(
+                SweepCellPlan(
+                    index=index,
+                    size_parameter=size_parameter,
+                    protocol_label=spec.display_label,
+                    spec=spec,
+                    budget=budget,
+                    plan=plan,
+                )
+            )
+            index += 1
+    return plans
 
 
 def sweep_payload(

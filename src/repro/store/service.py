@@ -1,4 +1,4 @@
-"""``repro store serve``: a read-only HTTP API over a local store root.
+"""``repro store serve``: an HTTP API over a local store root.
 
 The service is deliberately thin — stdlib :class:`ThreadingHTTPServer`, no
 dependencies — because the store's integrity model does all the hard work:
@@ -10,27 +10,57 @@ every read).  Serving a root that a sweep is concurrently writing into is
 safe: writes are atomic renames ordered NPZ-before-sidecar, and the server
 only serves objects whose sidecar (the commit marker) exists.
 
-API (all ``GET``, everything else is 405):
+Read API (always available):
 
-``/healthz``
-    Liveness + store summary (object count, format/semantics versions).
-``/cells/<key>``
+``GET /healthz``
+    Liveness + store summary (object count, format/semantics versions,
+    whether the write path is enabled).
+``GET /cells/<key>``
     The object's JSON sidecar, verbatim.  404 when absent, 400 for a
     malformed key.
-``/cells/<key>/object``
+``GET /cells/<key>/object``
     The object's compressed NPZ payload, verbatim.  404 when the object is
     absent *or uncommitted* (NPZ present but no sidecar yet).
-``/sweeps``
+``GET /sweeps``
     JSON ``{"sweeps": [...]}`` of the journal ids the store holds.
-``/sweeps/<id>``
+``GET /sweeps/<id>``
     A sweep journal (JSONL), verbatim.
-``/ls?prefix=<hex>&proto=<name>``
+``GET /sweeps/<id>/status``
+    Farm queue counts and lease-accounting counters of a submitted sweep.
+``GET /ls?prefix=<hex>&proto=<name>``
     JSON ``{"store", "count", "entries": [...]}`` of the ``repro store ls``
     rows, optionally filtered by key prefix and/or protocol name.
+
+Write API (enabled only when the service is started with an auth token;
+every request must carry ``Authorization: Bearer <token>``, and a service
+without a token keeps answering 405 to every write, exactly as before):
+
+``PUT /cells/<key>``
+    Publish one object.  The body is the explicit-length wire frame of
+    :func:`~repro.store.backends.base.encode_object_frame`; the server
+    re-verifies the frame structurally *and* the payload's SHA-256 against
+    the sidecar (and, when the sidecar carries its cell payload, the key
+    against the payload's hash) before committing — the client-side
+    fail-loud contract, mirrored server-side.  A bit-identical duplicate is
+    idempotent (200); a conflicting payload is 409.
+``POST /sweeps/submit``
+    Register a sweep and its cell manifest with the lease farm
+    (:class:`~repro.store.farm.SweepFarm`).
+``POST /sweeps/<id>/lease`` / ``heartbeat`` / ``complete`` / ``fail``
+    The worker protocol: grant the next missing cell, renew a lease,
+    record a published cell done, release a lease early.
+
+Graceful shutdown: :meth:`StoreService.request_stop` stops accepting new
+connections while in-flight requests run to completion
+(:meth:`StoreService.drain`), so CI teardown and operators never observe
+half-logged state — the CLI wires SIGTERM/SIGINT to exactly that sequence
+and flushes the request counters on the way out.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import re
 import threading
@@ -40,8 +70,9 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from .artifacts import ResultStore, StoreError
-from .backends import KEY_HEX_LENGTH
-from .keys import SEMANTICS_VERSION, STORE_FORMAT_VERSION
+from .backends import KEY_HEX_LENGTH, decode_object_frame
+from .farm import FarmError, SweepFarm, UnknownLeaseError, UnknownSweepError
+from .keys import SEMANTICS_VERSION, STORE_FORMAT_VERSION, cell_key
 
 __all__ = ["StoreRequestHandler", "StoreService", "serve"]
 
@@ -50,9 +81,14 @@ _KEY_RE = re.compile(rf"^[0-9a-f]{{{KEY_HEX_LENGTH}}}$")
 #: traversal in the URL.
 _SWEEP_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
+#: Upper bound on accepted request bodies (a publish of one cell object; the
+#: largest registry cells are a few MB, so this is generous headroom while
+#: still bounding what an unauthenticated request can make the server read).
+_MAX_BODY_BYTES = 256 * 1024 * 1024
+
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
-    """One GET request against the served store."""
+    """One request against the served store."""
 
     server_version = "repro-store"
     protocol_version = "HTTP/1.1"
@@ -75,9 +111,51 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self._send_json(status, {"error": message})
 
     # ------------------------------------------------------------------
-    # routes
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _authorized(self) -> bool:
+        """Check the bearer token (constant-time comparison)."""
+        token = self.server.token
+        if token is None:
+            return False
+        supplied = self.headers.get("Authorization", "")
+        expected = f"Bearer {token}"
+        return hmac.compare_digest(supplied.encode("utf-8"), expected.encode("utf-8"))
+
+    def _read_body(self) -> Optional[bytes]:
+        """The request body, honouring Content-Length; None on a bad length.
+
+        A short read (the peer died or the proxy truncated mid-upload) is
+        reported as None too — the caller answers 400 and the connection is
+        closed, never a half-parsed publish.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            return None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = self.rfile.read(length)
+        if len(body) != length:
+            self.close_connection = True
+            return None
+        return body
+
+    def _guarded(self, dispatch) -> None:
+        """Run one route dispatch inside the in-flight request window."""
+        self.server.begin_request()
+        try:
+            dispatch()
+        finally:
+            self.server.end_request()
+
+    # ------------------------------------------------------------------
+    # GET routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._guarded(self._do_get)
+
+    def _do_get(self) -> None:
         parts = urllib.parse.urlsplit(self.path)
         route = parts.path.rstrip("/") or "/"
         query = urllib.parse.parse_qs(parts.query)
@@ -91,6 +169,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 "objects": len(store.backend.list_keys()),
                 "format": STORE_FORMAT_VERSION,
                 "semantics": SEMANTICS_VERSION,
+                "writable": self.server.token is not None,
             }
             self._send_json(200, payload)
             return
@@ -134,6 +213,18 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"sweeps": store.backend.local.list_sweeps()})
             return
 
+        match = re.fullmatch(r"/sweeps/([^/]+)/status", route)
+        if match:
+            sweep = match.group(1)
+            if not _SWEEP_RE.fullmatch(sweep):
+                self._error(400, f"malformed sweep id {sweep!r}")
+                return
+            try:
+                self._send_json(200, self.server.farm.status(sweep))
+            except UnknownSweepError as exc:
+                self._error(404, str(exc))
+            return
+
         match = re.fullmatch(r"/sweeps/([^/]+)", route)
         if match:
             sweep = match.group(1)
@@ -149,8 +240,172 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
         self._error(404, f"unknown route {route!r}")
 
-    # The store service is read-only by construction; refuse writes loudly
-    # rather than letting http.server's default 501 suggest "not yet".
+    # ------------------------------------------------------------------
+    # write routes (only with an auth token; read-only otherwise)
+    # ------------------------------------------------------------------
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        if self.server.token is None:
+            self._read_only()
+            return
+        self._guarded(self._do_put)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.server.token is None:
+            self._read_only()
+            return
+        self._guarded(self._do_post)
+
+    def _reject_write(self, status: int, message: str) -> None:
+        # The (possibly unread) request body would desync a keep-alive
+        # connection, so always close after refusing a write.
+        self.close_connection = True
+        self._error(status, message)
+
+    def _do_put(self) -> None:
+        route = urllib.parse.urlsplit(self.path).path.rstrip("/")
+        self.server.count_request(route, method="PUT")
+        match = re.fullmatch(r"/cells/([^/]+)", route)
+        if not match:
+            self._reject_write(404, f"unknown write route {route!r}")
+            return
+        key = match.group(1)
+        if not _KEY_RE.fullmatch(key):
+            self._reject_write(400, f"malformed cell key {key!r}")
+            return
+        if not self._authorized():
+            self._reject_write(401, "missing or invalid auth token")
+            return
+        body = self._read_body()
+        if body is None:
+            self._reject_write(400, "unreadable request body (bad or oversized length)")
+            return
+        try:
+            npz_bytes, sidecar_bytes = decode_object_frame(body)
+        except ValueError as exc:
+            self._error(400, f"rejected publish of {key}: {exc}")
+            return
+
+        # Server-side re-verification, mirroring the client's fail-loud
+        # contract: the sidecar must parse, its checksum must match the
+        # payload bytes, and a self-describing sidecar must hash back to the
+        # key it claims — a corrupted or mislabeled publish never commits.
+        try:
+            sidecar = json.loads(sidecar_bytes.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"rejected publish of {key}: unparsable sidecar ({exc})")
+            return
+        if sidecar.get("key") != key:
+            self._error(400, f"rejected publish of {key}: sidecar names key {sidecar.get('key')!r}")
+            return
+        if hashlib.sha256(npz_bytes).hexdigest() != sidecar.get("npz_sha256"):
+            self._error(
+                400,
+                f"rejected publish of {key}: payload bytes do not match the sidecar checksum",
+            )
+            return
+        if sidecar.get("cell") is not None:
+            try:
+                derived = cell_key(sidecar["cell"])
+            except (TypeError, ValueError) as exc:
+                self._error(400, f"rejected publish of {key}: uncanonical cell payload ({exc})")
+                return
+            if derived != key:
+                self._error(
+                    400,
+                    f"rejected publish of {key}: cell payload hashes to {derived}",
+                )
+                return
+
+        store: ResultStore = self.server.store
+        existing_sidecar = store.backend.local.read_sidecar_bytes(key)
+        if existing_sidecar is not None:
+            existing_npz = store.backend.local.read_npz_bytes(key)
+            if existing_sidecar == sidecar_bytes and existing_npz == npz_bytes:
+                # Publishes are idempotent: cells are content-addressed pure
+                # functions, so a bit-identical duplicate is the expected
+                # outcome of two honest workers racing one cell.
+                self._send_json(200, {"key": key, "status": "exists"})
+                return
+            self._error(
+                409,
+                f"conflicting publish of {key}: an object with different bytes "
+                "is already committed (nondeterminism or mixed code versions)",
+            )
+            return
+        store.backend.local.write_object(key, npz_bytes, sidecar_bytes)
+        self._send_json(201, {"key": key, "status": "committed"})
+
+    def _do_post(self) -> None:
+        route = urllib.parse.urlsplit(self.path).path.rstrip("/")
+        self.server.count_request(route, method="POST")
+        if not self._authorized():
+            self._reject_write(401, "missing or invalid auth token")
+            return
+        body = self._read_body()
+        if body is None:
+            self._reject_write(400, "unreadable request body (bad or oversized length)")
+            return
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"unparsable JSON body: {exc}")
+            return
+        farm: SweepFarm = self.server.farm
+
+        if route == "/sweeps/submit":
+            sweep = payload.get("sweep")
+            cells = payload.get("cells")
+            if not isinstance(sweep, dict) or not isinstance(cells, list):
+                self._error(400, "submit body needs {'sweep': {...}, 'cells': [...]}")
+                return
+            try:
+                self._send_json(200, farm.submit(sweep, cells))
+            except FarmError as exc:
+                self._error(409, str(exc))
+            return
+
+        match = re.fullmatch(r"/sweeps/([^/]+)/(lease|heartbeat|complete|fail)", route)
+        if not match:
+            self._error(404, f"unknown write route {route!r}")
+            return
+        sweep_id, action = match.group(1), match.group(2)
+        if not _SWEEP_RE.fullmatch(sweep_id):
+            self._error(400, f"malformed sweep id {sweep_id!r}")
+            return
+        try:
+            if action == "lease":
+                grant = farm.lease(sweep_id, str(payload.get("worker", "")))
+                if grant is None:
+                    self._send_json(200, {"granted": False, **farm.status(sweep_id)})
+                else:
+                    self._send_json(200, {"granted": True, **grant})
+            elif action == "heartbeat":
+                self._send_json(200, farm.heartbeat(sweep_id, str(payload.get("lease", ""))))
+            elif action == "complete":
+                result = farm.complete(
+                    sweep_id,
+                    str(payload.get("lease", "")),
+                    key=str(payload.get("key", "")),
+                    worker=str(payload.get("worker", "")),
+                )
+                self._send_json(200, result)
+            else:  # fail
+                result = farm.fail(
+                    sweep_id,
+                    str(payload.get("lease", "")),
+                    reason=str(payload.get("reason", "")),
+                )
+                self._send_json(200, result)
+        except UnknownSweepError as exc:
+            self._error(404, str(exc))
+        except UnknownLeaseError as exc:
+            self._error(409, str(exc))
+        except FarmError as exc:
+            self._error(400, str(exc))
+
+    # Without a token the store service is read-only by construction; refuse
+    # writes loudly rather than letting http.server's default 501 suggest
+    # "not yet".
     def _read_only(self) -> None:
         # The unread request body would desync a keep-alive connection (its
         # bytes would parse as the next request line), so close after
@@ -158,7 +413,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self.close_connection = True
         self._error(405, "the store service is read-only")
 
-    do_POST = do_PUT = do_DELETE = do_PATCH = _read_only
+    do_DELETE = do_PATCH = _read_only
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not getattr(self.server, "quiet", True):  # pragma: no cover
@@ -166,33 +421,74 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
 
 class _StoreHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that carries the store and a request counter."""
+    """ThreadingHTTPServer carrying the store, farm, auth and counters."""
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], store: ResultStore, *, quiet: bool) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        store: ResultStore,
+        *,
+        quiet: bool,
+        token: Optional[str] = None,
+        lease_ttl: float = 60.0,
+    ) -> None:
         super().__init__(address, StoreRequestHandler)
         self.store = store
         self.quiet = quiet
+        self.token = token
+        self.farm = SweepFarm(store, lease_ttl=lease_ttl)
         self._counter_lock = threading.Lock()
         self.request_counts: Dict[str, int] = {}
+        self._in_flight = 0
+        self._idle = threading.Condition(self._counter_lock)
 
-    def count_request(self, route: str) -> None:
+    def count_request(self, route: str, *, method: str = "GET") -> None:
         """Tally one request per route kind (observability + test hooks).
 
         Unknown paths share one bucket — a long-running server probed with
-        unique junk URLs must not grow a counter key per path.
+        unique junk URLs must not grow a counter key per path.  Write
+        methods get their own buckets (``PUT /cells/*``,
+        ``POST /sweeps/*/lease``, ...) so farm traffic is visible next to
+        the read-path counters.
         """
         if route.startswith("/cells/"):
             kind = "/cells/*/object" if route.endswith("/object") else "/cells/*"
+        elif route == "/sweeps/submit" and method == "POST":
+            kind = "/sweeps/submit"
         elif route.startswith("/sweeps/"):
-            kind = "/sweeps/*"
+            tail = route.rsplit("/", 1)[-1]
+            if tail in ("lease", "heartbeat", "complete", "fail", "status"):
+                kind = f"/sweeps/*/{tail}"
+            else:
+                kind = "/sweeps/*"
         elif route in ("/healthz", "/ls", "/sweeps"):
             kind = route
         else:
             kind = "<unknown>"
+        if method != "GET":
+            kind = f"{method} {kind}"
         with self._counter_lock:
             self.request_counts[kind] = self.request_counts.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # in-flight accounting (graceful shutdown)
+    # ------------------------------------------------------------------
+    def begin_request(self) -> None:
+        with self._idle:
+            self._in_flight += 1
+
+    def end_request(self) -> None:
+        with self._idle:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight (True) or timeout (False)."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout)
 
 
 class StoreService:
@@ -207,7 +503,9 @@ class StoreService:
 
     ``port=0`` binds an ephemeral port; read the resolved one from
     :attr:`url`.  Only local store roots can be served — fronting a remote
-    store would re-proxy bytes the client could fetch directly.
+    store would re-proxy bytes the client could fetch directly.  Passing
+    ``token`` enables the authenticated write path (publishes and the sweep
+    farm); without one the service is read-only, exactly as before.
     """
 
     def __init__(
@@ -217,12 +515,16 @@ class StoreService:
         host: str = "127.0.0.1",
         port: int = 8080,
         quiet: bool = True,
+        token: Optional[str] = None,
+        lease_ttl: float = 60.0,
     ) -> None:
         store = root if isinstance(root, ResultStore) else ResultStore(root)
         if store.backend.local is not store.backend:
             raise StoreError(f"can only serve a local store root, not {store.root!r}")
         self.store = store
-        self.server = _StoreHTTPServer((host, port), store, quiet=quiet)
+        self.server = _StoreHTTPServer(
+            (host, port), store, quiet=quiet, token=token, lease_ttl=lease_ttl
+        )
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -235,6 +537,11 @@ class StoreService:
     def request_counts(self) -> Dict[str, int]:
         """Requests served so far, keyed by route kind."""
         return dict(self.server.request_counts)
+
+    @property
+    def farm(self) -> SweepFarm:
+        """The lease work queue behind the farm endpoints."""
+        return self.server.farm
 
     def start(self) -> "StoreService":
         """Serve on a daemon thread (idempotent); returns self."""
@@ -249,9 +556,23 @@ class StoreService:
             self._thread.start()
         return self
 
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit without waiting for it.
+
+        Safe to call from a signal handler: ``shutdown()`` blocks until the
+        loop notices, which would deadlock a handler running *on* the
+        serving thread, so the blocking wait is pushed onto a helper thread.
+        """
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish; True when fully idle."""
+        return self.server.wait_idle(timeout)
+
     def stop(self) -> None:
-        """Shut the server down and release the port."""
+        """Shut the server down, drain in-flight requests, release the port."""
         self.server.shutdown()
+        self.drain(timeout=5.0)
         self.server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -262,6 +583,7 @@ class StoreService:
         try:
             self.server.serve_forever()
         finally:
+            self.drain(timeout=10.0)
             self.server.server_close()
 
     def __enter__(self) -> "StoreService":
@@ -277,6 +599,8 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = False,
+    token: Optional[str] = None,
+    lease_ttl: float = 60.0,
 ) -> StoreService:
     """Construct (without starting) a service over ``root`` — CLI entry point."""
-    return StoreService(root, host=host, port=port, quiet=quiet)
+    return StoreService(root, host=host, port=port, quiet=quiet, token=token, lease_ttl=lease_ttl)

@@ -1,0 +1,342 @@
+"""``repro worker``: a stateless lease-and-publish loop against a farm hub.
+
+A worker owns no sweep state.  Everything it needs arrives from the hub:
+the sweep's journal manifest names the cells (and the sweep payload names
+the experiment), the lease endpoint hands out one missing cell at a time,
+and the content-addressed store absorbs the results.  Killing a worker at
+*any* instruction loses at most one lease, which expires and is re-granted;
+restarting the hub loses at most the in-memory lease table, which the farm
+rebuilds from the journal manifest plus the committed objects.  The loop:
+
+1. ``POST /sweeps/<id>/lease`` — receive ``(index, size, protocol, key)``;
+2. re-resolve the cell's :class:`~repro.store.orchestrator.CellPlan` from
+   the sweep payload (same resolution the submitting client ran) and check
+   the plan's key equals the leased key — a mismatch means the worker runs
+   different code than the submitter and must not compute anything;
+3. simulate through the ordinary :func:`~repro.experiments.runner.run_trial_set`
+   path with a publishing :class:`~repro.store.backends.RemoteBackend`, so
+   the computed object lands on the hub through the authenticated,
+   server-verified ``PUT /cells/<key>`` write path (bit-identical to what a
+   local run would store, because it *is* the local path);
+4. ``POST /sweeps/<id>/complete`` — idempotent, so retrying after an
+   ambiguous network failure is safe.
+
+A heartbeat thread renews the lease at a third of its TTL while the
+simulation runs; if the hub reports the lease lost (expired during a long
+stall, or re-granted after a partition) the worker abandons the cell —
+never publishes a *conflicting* object, since cells are pure functions, but
+avoids wasted work.  Hub outages (restart, crash, network partition) are
+retried with capped sleeps for up to ``hub_patience`` seconds, because the
+farm is designed for hubs that come back.
+
+The module lives in :mod:`repro.store` but executes experiments, so the
+experiment-layer imports (registry, runner) happen lazily inside functions,
+keeping the package import graph one-way (``experiments -> store``) at
+module load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .artifacts import ResultStore, StoreError, StoreUnavailableError
+from .backends.remote import RemoteBackend
+from .journal import sweep_id as compute_sweep_id
+from .orchestrator import SweepCellPlan, resolve_sweep_plans
+
+__all__ = ["run_worker", "submit_sweep", "sweep_status", "STALL_ENV_VAR"]
+
+#: Test/fault-injection hook: a worker sleeps this many seconds between
+#: taking a lease and starting the simulation, giving kill-mid-cell tests a
+#: deterministic window where the lease is held but nothing is published.
+STALL_ENV_VAR = "REPRO_WORKER_STALL_SECONDS"
+
+#: ``experiment_id -> ExperimentConfig`` resolver; defaults to the registry.
+ConfigResolver = Callable[[str], Any]
+
+
+def _registry_resolver(experiment_id: str):
+    from ..experiments.registry import get_experiment
+
+    return get_experiment(experiment_id)
+
+
+def _resolve_plans(
+    payload: Dict[str, Any], config_resolver: Optional[ConfigResolver]
+) -> List[SweepCellPlan]:
+    """Re-run the submitter's sweep resolution from a sweep payload."""
+    resolver = config_resolver or _registry_resolver
+    config = resolver(payload["experiment_id"])
+    labels = [spec.display_label for spec in config.protocols]
+    if labels != list(payload.get("protocols", labels)):
+        raise StoreError(
+            f"experiment {payload['experiment_id']!r} resolves to protocols {labels}, "
+            f"but the sweep was submitted with {payload.get('protocols')} "
+            "(mixed code versions between submitter and worker)"
+        )
+    return resolve_sweep_plans(
+        config,
+        base_seed=int(payload["base_seed"]),
+        sizes=tuple(int(s) for s in payload["sizes"]),
+        trials=int(payload["trials"]),
+        backend=payload.get("backend", "auto"),
+        dynamics=payload.get("dynamics"),
+    )
+
+
+def _last_manifest(backend: RemoteBackend, sid: str) -> Dict[str, Any]:
+    """The sweep's latest journal ``manifest`` event, fetched from the hub."""
+    text = backend.read_sweep_text(sid)
+    if text is None:
+        raise StoreError(f"hub has no journal for sweep {sid} (was it submitted?)")
+    manifest = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "manifest":
+            manifest = event
+    if manifest is None:
+        raise StoreError(f"sweep {sid} has a journal but no manifest (not submitted to the farm)")
+    return manifest
+
+
+def submit_sweep(
+    url: str,
+    config: Any,
+    *,
+    token: str,
+    base_seed: int = 0,
+    sizes: Optional[Tuple[int, ...]] = None,
+    trials: Optional[int] = None,
+    backend: str = "auto",
+    dynamics: Any = None,
+    cache: Any = None,
+) -> Tuple[str, Dict[str, Any]]:
+    """Resolve a sweep's cell manifest and register it with the hub's farm.
+
+    Returns ``(sweep_id, farm status)``.  Submission is idempotent — the
+    sweep id hashes the payload, and the hub conflicts loudly if the same
+    payload ever maps to different cell keys.
+    """
+    from .orchestrator import sweep_payload
+
+    sweep = tuple(sizes) if sizes is not None else config.sizes
+    num_trials = int(trials) if trials is not None else config.trials
+    payload = sweep_payload(
+        config,
+        base_seed=base_seed,
+        sizes=sweep,
+        trials=num_trials,
+        backend=backend,
+        dynamics=dynamics,
+    )
+    plans = resolve_sweep_plans(
+        config,
+        base_seed=base_seed,
+        sizes=sweep,
+        trials=num_trials,
+        backend=backend,
+        dynamics=dynamics,
+    )
+    remote = RemoteBackend(url, token=token, publish=True, cache=cache)
+    status = remote.post_json(
+        "/sweeps/submit",
+        {"sweep": payload, "cells": [p.manifest_entry() for p in plans]},
+        idempotent=True,  # same payload, same manifest: replaying is a no-op
+    )
+    if status is None:  # pragma: no cover - submit route always exists
+        raise StoreError(f"hub at {url} has no farm endpoints")
+    return compute_sweep_id(payload), status
+
+
+def sweep_status(url: str, sid: str, *, token: str, cache: Any = None) -> Dict[str, Any]:
+    """The hub's farm status document for one sweep."""
+    remote = RemoteBackend(url, token=token, cache=cache)
+    payload = remote._get(f"/sweeps/{sid}/status")
+    if payload is None:
+        raise StoreError(f"hub at {url} knows no sweep {sid}")
+    return json.loads(payload)
+
+
+class _Heartbeat:
+    """Background lease renewal; flags the lease lost instead of raising."""
+
+    def __init__(self, backend: RemoteBackend, sid: str, token: str, interval: float) -> None:
+        self._backend = backend
+        self._sid = sid
+        self._token = token
+        self._interval = max(interval, 0.05)
+        self._stop = threading.Event()
+        self.lost = False
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        from .artifacts import StoreConflictError
+
+        while not self._stop.wait(self._interval):
+            try:
+                self._backend.post_json(
+                    f"/sweeps/{self._sid}/heartbeat",
+                    {"lease": self._token},
+                    idempotent=True,
+                )
+            except StoreConflictError:
+                # 409: the lease expired (and may be re-granted).  The cell
+                # is a pure function, so a racing double-compute publishes
+                # identical bytes; abandoning just avoids the wasted work.
+                self.lost = True
+                return
+            except (StoreError, StoreUnavailableError):
+                # Hub unreachable or restarting: keep trying until the main
+                # loop finishes or the lease genuinely expires.
+                continue
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def run_worker(
+    url: str,
+    sid: str,
+    *,
+    token: str,
+    name: Optional[str] = None,
+    cache: Any = None,
+    poll_interval: float = 0.2,
+    hub_patience: float = 60.0,
+    config_resolver: Optional[ConfigResolver] = None,
+    max_cells: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Lease, simulate and publish cells of sweep ``sid`` until it is done.
+
+    Returns a summary ``{"worker", "computed", "abandoned", "status"}``.
+    The loop survives hub restarts: any :class:`StoreUnavailableError` from
+    the farm endpoints is retried with capped sleeps until the hub has been
+    unreachable for ``hub_patience`` seconds straight, and every step that
+    could have half-applied (publish, complete) is idempotent by
+    construction.  ``max_cells`` bounds how many cells this worker computes
+    (None = until the sweep is done) — test and example hooks, mostly.
+    """
+    from ..experiments.runner import run_trial_set
+
+    worker_name = name or f"worker-{os.getpid()}"
+    backend = RemoteBackend(url, token=token, publish=True, cache=cache)
+    store = ResultStore(backend=backend)
+
+    manifest = _last_manifest(backend, sid)
+    plans = _resolve_plans(manifest.get("sweep", {}), config_resolver)
+    by_key: Dict[str, SweepCellPlan] = {p.plan.key: p for p in plans}
+    for row in manifest.get("cells", []):
+        if row.get("key") not in by_key:
+            raise StoreError(
+                f"sweep {sid} cell {row.get('key')} does not re-resolve on this worker "
+                "(mixed code versions between submitter and worker)"
+            )
+
+    stall = float(os.environ.get(STALL_ENV_VAR, "0") or 0)
+    computed = 0
+    abandoned = 0
+    status: Dict[str, Any] = {}
+    hub_down_since: Optional[float] = None
+
+    while True:
+        if max_cells is not None and computed >= max_cells:
+            break
+        try:
+            grant = backend.post_json(f"/sweeps/{sid}/lease", {"worker": worker_name})
+        except StoreUnavailableError:
+            now = time.monotonic()
+            hub_down_since = hub_down_since or now
+            if now - hub_down_since > hub_patience:
+                raise
+            time.sleep(min(poll_interval * 4, 2.0))
+            continue
+        hub_down_since = None
+        if grant is None:
+            raise StoreError(f"hub at {url} knows no sweep {sid}")
+        if not grant.get("granted"):
+            status = grant
+            if grant.get("pending", 0) == 0 and grant.get("leased", 0) == 0:
+                break  # every cell is done
+            time.sleep(poll_interval)  # peers hold the remaining leases
+            continue
+
+        key = grant["key"]
+        lease_token = grant["lease"]
+        ttl = float(grant.get("ttl", 60.0))
+        cell = by_key[key]
+        if stall > 0:
+            time.sleep(stall)  # fault-injection window (kill -9 tests)
+        with _Heartbeat(backend, sid, lease_token, interval=ttl / 3.0) as heartbeat:
+            case = _case_for(cell)
+            trial_set = run_trial_set(
+                cell.spec,
+                case,
+                trials=len(cell.plan.seeds),
+                base_seed=int(manifest["sweep"]["base_seed"]),
+                experiment_id=str(manifest["sweep"]["experiment_id"]),
+                max_rounds=cell.budget,
+                backend=cell.plan.backend,
+                dynamics=cell.plan.dynamics,
+                store=store,
+            )
+            run_status, run_key = getattr(trial_set, "_store_status", ("computed", key))
+            if run_key != key:  # pragma: no cover - guarded by manifest check
+                raise StoreError(f"cell re-resolved to {run_key}, leased {key}")
+            if run_status == "cached":
+                # The hub lost (or never had) the object but our read-through
+                # cache holds it: push the cached bytes through the verified
+                # write path.  publish_object is idempotent, so this is safe
+                # even when racing another worker.
+                npz = backend.local.read_npz_bytes(key)
+                sidecar = backend.local.read_sidecar_bytes(key)
+                if npz is None or sidecar is None:  # pragma: no cover - raced gc
+                    raise StoreError(f"cell {key} vanished from the local cache mid-publish")
+                backend.publish_object(key, npz, sidecar)
+            if heartbeat.lost:
+                abandoned += 1
+                continue
+        try:
+            status = backend.post_json(
+                f"/sweeps/{sid}/complete",
+                {"lease": lease_token, "key": key, "worker": worker_name},
+                idempotent=True,  # completes are idempotent server-side
+            ) or {}
+        except StoreUnavailableError:
+            # The publish landed (or was cached); the lease will expire and
+            # the farm will recover the committed object.  Count the work,
+            # keep looping — the next lease call retries the hub anyway.
+            status = {}
+        computed += 1
+
+    return {
+        "worker": worker_name,
+        "computed": computed,
+        "abandoned": abandoned,
+        "status": status,
+    }
+
+
+def _case_for(cell: SweepCellPlan):
+    """Rebuild the GraphCase a cell plan was resolved from."""
+    from ..experiments.config import GraphCase
+
+    return GraphCase(
+        graph=cell.plan.graph,
+        source=cell.plan.source,
+        size_parameter=cell.size_parameter,
+    )

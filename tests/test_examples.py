@@ -25,6 +25,7 @@ ALL_EXAMPLES = [
     "fault_tolerant_agents.py",
     "robustness_sweep.py",
     "cached_sweep.py",
+    "distributed_sweep.py",
 ]
 
 
@@ -83,3 +84,13 @@ class TestCheapExamplesRun:
         output = capsys.readouterr().out
         assert "warm results bit-identical to cold: True" in output
         assert "reproduces the table: True" in output
+
+    def test_distributed_sweep_runs_at_reduced_size(self, capsys, monkeypatch):
+        # A failed request through the fault proxy must not bench a worker
+        # for the full production cooldown inside a smoke test.
+        monkeypatch.setattr("repro.store.backends.remote._DOWN_COOLDOWN", 0.2)
+        module = load_example("distributed_sweep.py")
+        module.main(sizes=(16, 32), trials=2, workers=2)
+        output = capsys.readouterr().out
+        assert "cells done on the hub: 4/4" in output
+        assert "hub results bit-identical to the serial run: True" in output
