@@ -149,13 +149,16 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     """Trial-execution options shared by the experiment-running sub-commands."""
     parser.add_argument(
         "--backend",
-        choices=["auto", "batched", "sequential"],
+        choices=["auto", "compiled", "batched", "sequential"],
         default="auto",
         help=(
             "trial-execution backend: 'batched' advances all trials of a cell "
-            "at once on the vectorized kernels, 'sequential' runs one engine "
-            "pass per trial, 'auto' (default) picks batched whenever possible; "
-            "the choice is recorded in the result metadata"
+            "at once on the vectorized kernels, 'compiled' runs per-trial "
+            "numba-jitted loops (falls back to a slow pure-Python reference "
+            "without the [accel] extra), 'sequential' runs one engine pass "
+            "per trial, 'auto' (default) picks compiled for large graphs "
+            "when available and batched otherwise; the resolved choice is "
+            "recorded in the result metadata"
         ),
     )
     parser.add_argument(
@@ -296,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument(
         "--backend",
-        choices=["auto", "batched", "sequential"],
+        choices=["auto", "compiled", "batched", "sequential"],
         default="auto",
         help=(
             "trial-execution backend; with --from-store this must match the "
@@ -365,7 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--trials", type=int, default=None)
     submit_parser.add_argument("--scale", type=float, default=1.0)
     submit_parser.add_argument(
-        "--backend", choices=["auto", "batched", "sequential"], default="auto"
+        "--backend",
+        choices=["auto", "compiled", "batched", "sequential"],
+        default="auto",
     )
     submit_parser.add_argument(
         "--token", default=None, help=f"hub auth token (default: ${TOKEN_ENV_VAR})"

@@ -25,27 +25,40 @@ one-call convenience wrapper.
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..graphs.graph import Graph, GraphError
+from .agents import default_agent_count
 from .engine import default_max_rounds
 from .kernels import KERNEL_REGISTRY, batch_generator, get_kernel_class
+from .kernels import compiled as _compiled
 from .results import RunResult, TrialSet
 from .rng import derive_seed
 
 __all__ = [
     "BATCHED_PROTOCOLS",
     "BatchResult",
+    "compiled_auto_enabled",
+    "compiled_supported",
+    "compiled_threshold",
     "run_batch",
+    "run_compiled",
     "supports_batched",
     "trial_seeds",
 ]
 
 #: Protocols with a batched kernel — all six registry protocols.
 BATCHED_PROTOCOLS = frozenset(KERNEL_REGISTRY)
+
+#: Default vertex count above which ``backend="auto"`` prefers the compiled
+#: runners (when numba is installed); below it the batched numpy kernels win
+#: on jit-warmup and dispatch grounds.
+COMPILED_MIN_VERTICES = 32768
 
 
 def supports_batched(protocol: str, kwargs: Optional[Dict[str, Any]] = None) -> bool:
@@ -58,6 +71,52 @@ def supports_batched(protocol: str, kwargs: Optional[Dict[str, Any]] = None) -> 
     backwards compatibility and ignored.
     """
     return protocol in BATCHED_PROTOCOLS
+
+
+def compiled_threshold() -> int:
+    """Vertex count at which ``backend="auto"`` prefers the compiled runners.
+
+    Overridable via ``REPRO_COMPILED_MIN_N`` (see
+    :mod:`repro.experiments.config` for the knob catalogue).
+    """
+    raw = os.environ.get("REPRO_COMPILED_MIN_N", "")
+    try:
+        return int(raw) if raw else COMPILED_MIN_VERTICES
+    except ValueError:
+        return COMPILED_MIN_VERTICES
+
+
+def compiled_auto_enabled() -> bool:
+    """Whether ``backend="auto"`` may select the compiled runners at all.
+
+    True only when numba is importable (the pure-Python fallback is for
+    equivalence testing, not for being auto-picked as a *fast* path) and
+    ``REPRO_COMPILED`` is not ``"0"``.  An explicit ``backend="compiled"``
+    bypasses this gate and runs with whatever execution mode is available.
+    """
+    return _compiled.HAVE_NUMBA and os.environ.get("REPRO_COMPILED", "") != "0"
+
+
+def compiled_supported(
+    protocol: str,
+    kwargs: Optional[Dict[str, Any]] = None,
+    *,
+    dynamics: Any = None,
+) -> bool:
+    """Can this cell run on the compiled backend?
+
+    The compiled runners cover all six protocols (including history
+    recording) but none of the instrumentation surfaces: no dynamics
+    schedules, no observer hooks, no ``track_*`` observer modes.
+    """
+    if protocol not in _compiled.COMPILED_PROTOCOLS:
+        return False
+    if dynamics is not None:
+        return False
+    kwargs = kwargs or {}
+    if kwargs.get("track_all_exchanges") or kwargs.get("track_edge_traversals"):
+        return False
+    return True
 
 
 def trial_seeds(base_seed: int, *components, trials: int) -> List[int]:
@@ -97,6 +156,9 @@ class BatchResult:
     metadata: List[Dict[str, Any]] = field(default_factory=list)
     vertex_histories: Optional[List[List[int]]] = None
     agent_histories: Optional[List[List[int]]] = None
+    #: Which state representation actually ran: "sparse" or "dense".  Purely
+    #: informational — the two are bit-identical (see ``run_batch``).
+    frontier_resolved: str = "dense"
 
     @property
     def num_trials(self) -> int:
@@ -160,6 +222,7 @@ def run_batch(
     record_history: bool = False,
     observers: Optional[Sequence] = None,
     dynamics=None,
+    frontier: str = "auto",
     **protocol_kwargs,
 ) -> BatchResult:
     """Run ``len(seeds)`` independent trials of ``protocol`` simultaneously.
@@ -196,6 +259,16 @@ def run_batch(
         batch; interactions over inactive edges or with inactive vertices do
         not happen.  Masking consumes no randomness, so an all-active schedule
         reproduces the undynamic per-trial results bit for bit.
+    frontier:
+        ``"auto"`` (default), ``"dense"`` or ``"sparse"``: which state
+        representation the kernels use.  Sparse and dense produce
+        bit-identical results (the sparse tier reads the same draw streams at
+        only the frontier positions), so this is purely a performance knob —
+        it never enters result identity or store keys.  ``"auto"`` engages
+        the sparse tier above :func:`~repro.core.kernels.base.sparse_threshold`
+        vertices; dynamics schedules and observers force the dense fallback
+        either way.  The engaged representation is available as
+        ``kernel.frontier_resolved`` (``"sparse"``/``"dense"``) for tests.
     protocol_kwargs:
         Forwarded to the kernel (``agent_density``, ``num_agents``, ``lazy``,
         ``one_agent_per_vertex``, ``track_all_exchanges``,
@@ -216,6 +289,9 @@ def run_batch(
     gens = [batch_generator(seed) for seed in seeds]
     num_trials = len(gens)
     kernel = kernel_class(**protocol_kwargs)
+    if frontier not in ("auto", "dense", "sparse"):
+        raise ValueError(f"unknown frontier mode {frontier!r}")
+    kernel.frontier_mode = frontier
     if dynamics is not None:
         kernel.dynamics = dynamics
     if observers is not None:
@@ -311,6 +387,185 @@ def run_batch(
         num_agents=kernel.num_agents(),
         messages_sent=kernel.messages_by_trial(),
         metadata=[kernel.trial_metadata(t) for t in range(num_trials)],
+        vertex_histories=vertex_histories,
+        agent_histories=agent_histories,
+        frontier_resolved=kernel.frontier_resolved,
+    )
+
+
+_warned_no_numba = False
+
+
+def _warn_no_numba() -> None:
+    global _warned_no_numba
+    if not _warned_no_numba:
+        _warned_no_numba = True
+        warnings.warn(
+            "numba is not installed; backend='compiled' is running the "
+            "pure-Python reference runners (semantically identical, slow). "
+            "Install the [accel] extra for the jitted execution.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def run_compiled(
+    protocol: str,
+    graph: Graph,
+    source: int = 0,
+    *,
+    seeds: Sequence,
+    max_rounds: Optional[int] = None,
+    record_history: bool = False,
+    dynamics=None,
+    **protocol_kwargs,
+) -> BatchResult:
+    """Run ``len(seeds)`` trials on the compiled per-trial runners.
+
+    The compiled family (see :mod:`repro.core.kernels.compiled`) executes one
+    tight scalar loop per trial over only the active boundary, jitted by
+    numba when the ``[accel]`` extra is installed and interpreted otherwise
+    (same semantics, with a one-time warning).  Its draw streams are
+    frontier-shaped, so results match the other backends statistically —
+    CI overlap, not bit-identity — which is why ``"compiled"`` is a distinct
+    resolved backend in store cell keys.
+
+    Restrictions: no dynamics schedules and no observer instrumentation
+    (``compiled_supported`` is the authoritative predicate); seeds must be
+    int-likes or ``SeedSequence`` s, not live generators.
+    """
+    if protocol not in _compiled.COMPILED_PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}")
+    if dynamics is not None:
+        raise ValueError(
+            "backend='compiled' does not support dynamics schedules; "
+            "use the batched or sequential backend"
+        )
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one trial seed")
+    for seed in seeds:
+        if isinstance(seed, np.random.Generator):
+            raise ValueError(
+                "backend='compiled' needs int or SeedSequence trial seeds"
+            )
+    if not (0 <= source < graph.num_vertices):
+        raise GraphError(f"source vertex {source} out of range")
+    if not graph.is_connected():
+        raise GraphError("the paper's protocols are defined on connected graphs")
+    budget = max_rounds if max_rounds is not None else default_max_rounds(graph)
+    if budget < 0:
+        raise ValueError("max_rounds must be non-negative")
+    if not _compiled.HAVE_NUMBA:
+        _warn_no_numba()
+
+    kwargs = dict(protocol_kwargs)
+    if kwargs.pop("track_all_exchanges", False) or kwargs.pop(
+        "track_edge_traversals", False
+    ):
+        raise ValueError("backend='compiled' does not support observer tracking modes")
+    agent_based = protocol in ("visit-exchange", "meet-exchange", "hybrid-ppull-visitx")
+    num_agents = 0
+    one_per_vertex = False
+    lazy = False
+    meta_common: Dict[str, Any] = {}
+    if agent_based:
+        agent_density = float(kwargs.pop("agent_density", 1.0))
+        explicit_agents = kwargs.pop("num_agents", None)
+        lazy_kwarg = kwargs.pop("lazy", None if protocol == "meet-exchange" else False)
+        one_per_vertex = bool(kwargs.pop("one_agent_per_vertex", False)) and (
+            protocol != "hybrid-ppull-visitx"
+        )
+        if protocol == "meet-exchange":
+            # lazy=None auto-enables lazy walks on bipartite graphs, matching
+            # the kernel's convention from Section 3 of the paper.
+            lazy = bool(lazy_kwarg) if lazy_kwarg is not None else graph.is_bipartite()
+        else:
+            lazy = bool(lazy_kwarg)
+        if one_per_vertex:
+            num_agents = graph.num_vertices
+        elif explicit_agents is not None:
+            num_agents = int(explicit_agents)
+        else:
+            num_agents = default_agent_count(graph, agent_density)
+        if num_agents < 1:
+            raise ValueError("need at least one agent")
+        meta_common = {"agent_density": agent_density, "lazy": lazy}
+        if protocol != "hybrid-ppull-visitx":
+            meta_common["one_agent_per_vertex"] = one_per_vertex
+    if kwargs:
+        raise ValueError(
+            f"protocol options not supported by backend='compiled': {sorted(kwargs)}"
+        )
+
+    runner = _compiled.RUNNERS[protocol]
+    indptr = graph.indptr
+    indices = graph.indices
+    slot_sources = graph.slot_sources() if agent_based else np.empty(0, dtype=np.int64)
+    num_trials = len(seeds)
+    broadcast_times = np.full(num_trials, -1, dtype=np.int64)
+    rounds_executed = np.zeros(num_trials, dtype=np.int64)
+    messages_sent = np.zeros(num_trials, dtype=np.int64)
+    metadata: List[Dict[str, Any]] = []
+    vertex_histories: Optional[List[List[int]]] = [] if record_history else None
+    agent_histories: Optional[List[List[int]]] = [] if record_history else None
+    hist_len = budget + 1 if record_history else 0
+    empty_hist = np.empty(0, dtype=np.int64)
+
+    # The pure-Python execution wraps uint64 scalars by design; numpy's
+    # overflow warnings for those are noise, not signal.
+    with np.errstate(over="ignore"):
+        for trial, seed in enumerate(seeds):
+            state = _compiled.trial_state(seed)
+            vhist = np.zeros(hist_len, dtype=np.int64) if record_history else empty_hist
+            ahist = np.zeros(hist_len, dtype=np.int64) if record_history else empty_hist
+            trial_meta = dict(meta_common)
+            if protocol == "visit-exchange":
+                bt, rounds, messages = runner(
+                    indptr, indices, int(source), budget, state,
+                    slot_sources, num_agents, one_per_vertex, lazy, vhist, ahist,
+                )
+            elif protocol == "meet-exchange":
+                bt, rounds, messages, still = runner(
+                    indptr, indices, int(source), budget, state,
+                    slot_sources, num_agents, one_per_vertex, lazy, ahist,
+                )
+                trial_meta["source_still_informs"] = bool(still)
+                if record_history:
+                    # Vertices do not store the rumor in meet-exchange; the
+                    # source counts as the single informed vertex throughout.
+                    vhist[: rounds + 1] = 1
+            elif protocol == "hybrid-ppull-visitx":
+                bt, rounds, messages = runner(
+                    indptr, indices, int(source), budget, state,
+                    slot_sources, num_agents, lazy, vhist, ahist,
+                )
+            else:
+                bt, rounds, messages = runner(
+                    indptr, indices, int(source), budget, state, vhist,
+                )
+            broadcast_times[trial] = bt
+            rounds_executed[trial] = rounds
+            messages_sent[trial] = messages
+            metadata.append(trial_meta)
+            if record_history:
+                vertex_histories.append([int(c) for c in vhist[: rounds + 1]])
+                agent_histories.append(
+                    [int(c) for c in ahist[: rounds + 1]] if agent_based else []
+                )
+
+    return BatchResult(
+        protocol=protocol,
+        graph_name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        source=int(source),
+        broadcast_times=broadcast_times,
+        completed=broadcast_times >= 0,
+        rounds_executed=rounds_executed,
+        num_agents=num_agents,
+        messages_sent=messages_sent,
+        metadata=metadata,
         vertex_histories=vertex_histories,
         agent_histories=agent_histories,
     )

@@ -10,6 +10,13 @@ derived from these kernels:
   :mod:`repro.core.protocols` are thin adapters that drive a kernel with
   ``trials=1`` under the round-based :class:`~repro.core.engine.Engine`.
 
+Above :func:`~repro.core.kernels.base.sparse_threshold` vertices the kernels
+transparently switch to a sparse-frontier state representation (packed
+informed bitsets from :mod:`~repro.core.kernels.packed`, per-trial frontier
+lists) that is bit-identical to the dense layout; and
+:mod:`~repro.core.kernels.compiled` houses the separate numba-jittable
+per-trial runner family behind ``backend="compiled"``.
+
 ``KERNEL_REGISTRY`` maps every protocol name of
 :data:`repro.core.protocols.PROTOCOL_REGISTRY` to its kernel class; the two
 registries cover exactly the same six protocols.
@@ -17,9 +24,10 @@ registries cover exactly the same six protocols.
 
 from __future__ import annotations
 
-from .base import BatchKernel, NeighborSampler, batch_generator
+from .base import BatchKernel, NeighborSampler, batch_generator, sparse_threshold
 from .hybrid import HybridKernel
 from .meet_exchange import MeetExchangeKernel
+from .packed import PackedBits, popcount
 from .pull import PullKernel
 from .push import PushKernel
 from .push_pull import PushPullKernel
@@ -28,7 +36,10 @@ from .visit_exchange import VisitExchangeKernel
 __all__ = [
     "BatchKernel",
     "NeighborSampler",
+    "PackedBits",
     "batch_generator",
+    "popcount",
+    "sparse_threshold",
     "KERNEL_REGISTRY",
     "get_kernel_class",
     "PushKernel",

@@ -41,6 +41,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -48,7 +49,31 @@ import numpy as np
 from ...graphs.dynamic import DynamicsRuntime, resolve_dynamics
 from ...graphs.graph import Graph
 
-__all__ = ["BatchKernel", "NeighborSampler", "batch_generator"]
+__all__ = [
+    "BatchKernel",
+    "NeighborSampler",
+    "batch_generator",
+    "sparse_threshold",
+]
+
+#: Default vertex count above which ``frontier="auto"`` switches the vertex
+#: kernels to the sparse tier.  Below it, dense whole-row numpy algebra wins
+#: on constant factors; above it, frontier-sized gathers win on asymptotics.
+SPARSE_MIN_VERTICES = 32768
+
+
+def sparse_threshold() -> int:
+    """Vertex count at which ``frontier="auto"`` engages the sparse tier.
+
+    Overridable via the ``REPRO_SPARSE_MIN_N`` environment variable (see
+    :mod:`repro.experiments.config` for the knob catalogue); read per call so
+    tests can flip it without reimporting.
+    """
+    raw = os.environ.get("REPRO_SPARSE_MIN_N", "")
+    try:
+        return int(raw) if raw else SPARSE_MIN_VERTICES
+    except ValueError:
+        return SPARSE_MIN_VERTICES
 
 
 def batch_generator(seed) -> np.random.Generator:
@@ -90,6 +115,17 @@ class BatchKernel:
     #: trial of the batch.
     dynamics = None
 
+    #: Requested frontier mode: ``"auto"`` (sparse iff the graph clears
+    #: :func:`sparse_threshold` and nothing forces dense), ``"dense"``, or
+    #: ``"sparse"``.  Set by the driver *before* :meth:`initialize`.  Sparse
+    #: and dense are bit-identical — same draw streams, same results — so the
+    #: mode never enters store keys; kernels record what actually engaged in
+    #: :attr:`frontier_resolved`.
+    frontier_mode = "auto"
+
+    #: ``"sparse"`` or ``"dense"``: what :meth:`initialize` actually engaged.
+    frontier_resolved = "dense"
+
     # ------------------------------------------------------------------
     # interface implemented by the protocol kernels
     # ------------------------------------------------------------------
@@ -129,8 +165,15 @@ class BatchKernel:
         self.graph = graph
         self.num_trials = len(gens)
         self.trial_ids = np.arange(self.num_trials, dtype=np.int64)
+        # Inverse permutation of trial_ids: _trial_to_row[trial] is the row
+        # currently holding that trial.  Maintained by swap_rows so _row_of is
+        # O(1) instead of a flatnonzero scan over all trials.
+        self._trial_to_row = np.arange(self.num_trials, dtype=np.int64)
         self._gens = list(gens)
         self._row_arrays: List[np.ndarray] = [self.trial_ids]
+        #: Ragged per-trial state (Python lists of per-row arrays — the sparse
+        #: tier's frontiers); swapped alongside the row arrays.
+        self._row_lists: List[list] = []
         self._row_base = (
             np.arange(self.num_trials, dtype=np.int64) * graph.num_vertices
         )[:, None]
@@ -148,6 +191,36 @@ class BatchKernel:
     def _observer_for_row(self, row: int):
         """ObserverGroup of the trial currently held by ``row`` (may be falsy)."""
         return self.trial_observers[int(self.trial_ids[row])]
+
+    def _resolve_frontier(self, *, supported: bool = True) -> str:
+        """Decide (and record) whether the sparse tier engages for this run.
+
+        Call after :meth:`_setup_common` (the decision reads the resolved
+        dynamics and observers).  Dynamics schedules and observers force the
+        dense fallback even when sparse is requested: activity masks are
+        materialized per *slot* and the edge-reporting slow path scans dense
+        rows, so both are defined on — and only exercised by — the dense
+        representation.  ``REPRO_FRONTIER`` overrides an ``"auto"`` request
+        (an explicit ``"dense"``/``"sparse"`` from the driver wins over the
+        environment).
+        """
+        mode = self.frontier_mode
+        if mode not in ("auto", "dense", "sparse"):
+            raise ValueError(f"unknown frontier mode {mode!r}")
+        if mode == "auto":
+            env = os.environ.get("REPRO_FRONTIER", "")
+            if env in ("dense", "sparse"):
+                mode = env
+        blocked = not supported or self._dyn is not None or self._any_observers
+        if blocked:
+            self.frontier_resolved = "dense"
+        elif mode == "sparse":
+            self.frontier_resolved = "sparse"
+        elif mode == "auto" and self.graph.num_vertices >= sparse_threshold():
+            self.frontier_resolved = "sparse"
+        else:
+            self.frontier_resolved = "dense"
+        return self.frontier_resolved
 
     #: Rounds of uniforms drawn per generator call (see :meth:`_raw_stream`).
     _DRAW_BLOCK = 4
@@ -176,7 +249,11 @@ class BatchKernel:
                 array[j] = tmp
             else:
                 array[i], array[j] = array[j], array[i]
+        for row_list in self._row_lists:
+            row_list[i], row_list[j] = row_list[j], row_list[i]
         self._gens[i], self._gens[j] = self._gens[j], self._gens[i]
+        self._trial_to_row[self.trial_ids[i]] = i
+        self._trial_to_row[self.trial_ids[j]] = j
 
     def _materialized_row_base(self, width: int) -> np.ndarray:
         """(T, width) array of flat-index row offsets, shifted past the slot-0
@@ -188,7 +265,11 @@ class BatchKernel:
 
     def _row_of(self, trial: int) -> int:
         """Row currently holding ``trial`` (rows are a permutation of trials)."""
-        return int(np.flatnonzero(self.trial_ids == trial)[0])
+        return int(self._trial_to_row[trial])
+
+    def _register_row_list(self, row_list: list) -> None:
+        """A Python list with one (ragged) entry per trial, kept compact by swaps."""
+        self._row_lists.append(row_list)
 
     def _raw_stream(self, width: int, bits: int) -> Dict[str, Any]:
         """Allocate and register a block-drawn raw-bit stream.
@@ -231,6 +312,25 @@ class BatchKernel:
                 words[row] = self._gens[row].bit_generator.random_raw(num_words)
         start = self._draw_phase * stream["stride"]
         return stream["values"][:k, start : start + stream["width"]]
+
+    def _raw_round_start(self, k: int, stream: Dict[str, Any]) -> int:
+        """Refill a raw stream's block if due and return this round's offset.
+
+        The sparse tier's entry point to the same streams :meth:`_raw_values`
+        serves: the block refill (and therefore every trial's generator
+        consumption) is identical, but instead of a dense ``(k, width)`` view
+        the caller gets the round's start offset into ``stream["values"]``
+        rows and gathers only the frontier positions it needs —
+        ``values[row, start + position]`` is exactly the fixed-point value the
+        dense path would have seen at that position.  That gather-not-slice
+        discipline is what makes sparse results bit-identical to dense.
+        """
+        if self._draw_phase == 0:
+            words = stream["words"]
+            num_words = words.shape[1]
+            for row in range(k):
+                words[row] = self._gens[row].bit_generator.random_raw(num_words)
+        return self._draw_phase * stream["stride"]
 
 
 class NeighborSampler:

@@ -1,0 +1,566 @@
+"""Compiled per-trial protocol runners (the ``backend="compiled"`` family).
+
+The batched numpy kernels amortize Python dispatch across trials but still
+execute O(1) *array operations* of width n (or agents) per round.  At the
+million-node tier a different shape wins: one tight scalar loop per trial
+over only the active boundary — the informed frontier, the uninformed list,
+the agent population — compiled by numba when it is installed
+(``pip install repro[accel]``).
+
+Everything here is written in the numba-compatible subset of Python/numpy and
+works identically *without* numba: :func:`maybe_jit` is the identity when the
+import fails, leaving a slow but exact pure-Python reference.  That is what
+makes the backend testable in environments without the extra, and it pins the
+semantics — the ``accel`` CI job asserts the jitted functions are
+bit-identical to their ``.py_func`` originals.
+
+Stream family
+-------------
+The runners draw from a splitmix64 stream seeded per trial through
+``np.random.SeedSequence`` (see :func:`trial_state`), and consume one draw
+per *active* position per round — draws are frontier-shaped, unlike the
+batched kernels' fixed per-vertex streams.  Results therefore match the
+other backends statistically (CI overlap), not sample-for-sample, exactly
+like the batched/sequential relationship; a compiled cell is a distinct
+point in the result store's key space because the resolved backend is part
+of the cell payload.
+
+All 64-bit arithmetic is kept in ``np.uint64`` with explicit-width shift
+constants so the jitted and pure-Python executions wrap identically; the
+pure-Python driver runs under ``np.errstate(over="ignore")`` since numpy
+warns on (intended, modular) scalar overflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "NUMBA_VERSION",
+    "maybe_jit",
+    "trial_state",
+    "COMPILED_PROTOCOLS",
+]
+
+try:  # pragma: no cover - exercised only when the [accel] extra is installed
+    import numba
+
+    HAVE_NUMBA = True
+    NUMBA_VERSION = numba.__version__
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+    NUMBA_VERSION = None
+
+
+def maybe_jit(func):
+    """``numba.njit(cache=True)`` when numba is available, identity otherwise.
+
+    The original Python function stays reachable as ``.py_func`` on the
+    jitted dispatcher (numba's own attribute), which the equivalence tests
+    use to compare compiled against interpreted execution.
+    """
+    if HAVE_NUMBA:
+        return numba.njit(cache=True, nogil=True)(func)
+    return func
+
+
+#: Protocols with a compiled runner — the full registry.
+COMPILED_PROTOCOLS = frozenset(
+    {
+        "push",
+        "pull",
+        "push-pull",
+        "visit-exchange",
+        "meet-exchange",
+        "hybrid-ppull-visitx",
+    }
+)
+
+
+def trial_state(seed) -> np.ndarray:
+    """Length-1 ``uint64`` splitmix64 state for one trial.
+
+    Accepts an int-like or a ``SeedSequence`` (generators carry hidden state
+    and are rejected by the driver); the state word comes from the
+    SeedSequence expansion so nearby integer seeds still yield decorrelated
+    streams.
+    """
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(int(seed))
+    return seed.generate_state(1, np.uint64).copy()
+
+
+# Explicitly typed constants: numba freezes them as uint64, and the
+# pure-Python path stays in uint64 scalar arithmetic (NEP 50), so both
+# executions wrap modulo 2**64 identically.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_S27 = np.uint64(27)
+_S30 = np.uint64(30)
+_S31 = np.uint64(31)
+_S32 = np.uint64(32)
+_S63 = np.uint64(63)
+
+
+@maybe_jit
+def _next_u64(state):
+    """One splitmix64 output; advances ``state`` (length-1 uint64 array)."""
+    state[0] = state[0] + _GOLDEN
+    z = state[0]
+    z = (z ^ (z >> _S30)) * _MIX1
+    z = (z ^ (z >> _S27)) * _MIX2
+    return z ^ (z >> _S31)
+
+
+@maybe_jit
+def _pick(state, bound):
+    """Uniform offset in ``[0, bound)`` by 32-bit fixed-point multiply-shift.
+
+    Same truncation scheme as the batched samplers (top 32 bits times the
+    bound, shifted), so the bias bound — ``bound * 2**-32`` — matches the
+    batched 32-bit precision tier.
+    """
+    hi = np.int64(_next_u64(state) >> _S32)
+    return (hi * bound) >> 32
+
+
+@maybe_jit
+def _place_agents(state, slot_sources, num_agents, one_per_vertex, n):
+    """Initial agent positions: stationary via directed-slot sampling."""
+    pos = np.empty(num_agents, np.int64)
+    if one_per_vertex:
+        for a in range(num_agents):
+            pos[a] = a
+    else:
+        num_slots = slot_sources.shape[0]
+        for a in range(num_agents):
+            pos[a] = slot_sources[_pick(state, num_slots)]
+    return pos
+
+
+@maybe_jit
+def _walk_step(state, indptr, indices, pos, num_agents, lazy):
+    """Advance every agent one step (lazy: extra coin, stay on heads)."""
+    for a in range(num_agents):
+        u = pos[a]
+        v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+        if lazy:
+            if (_next_u64(state) >> _S63) == np.uint64(1):
+                v = u
+        pos[a] = v
+
+
+@maybe_jit
+def _run_push(indptr, indices, source, max_rounds, state, vhist):
+    n = indptr.shape[0] - 1
+    informed = np.zeros(n, np.bool_)
+    uninf_nbr = np.empty(n, np.int64)
+    for v in range(n):
+        uninf_nbr[v] = indptr[v + 1] - indptr[v]
+    informed[source] = True
+    for j in range(indptr[source], indptr[source + 1]):
+        uninf_nbr[indices[j]] -= 1
+    frontier = np.empty(n, np.int64)
+    newly = np.empty(n, np.int64)
+    fsize = 0
+    if uninf_nbr[source] > 0:
+        frontier[0] = source
+        fsize = 1
+    count = 1
+    messages = 0
+    t = 0
+    rec = vhist.shape[0] > 0
+    if rec:
+        vhist[0] = count
+    while count < n and t < max_rounds:
+        t += 1
+        messages += count
+        nn = 0
+        for i in range(fsize):
+            u = frontier[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            if not informed[v]:
+                informed[v] = True
+                count += 1
+                newly[nn] = v
+                nn += 1
+        for i in range(nn):
+            v = newly[i]
+            for j in range(indptr[v], indptr[v + 1]):
+                uninf_nbr[indices[j]] -= 1
+        live = 0
+        for i in range(fsize):
+            if uninf_nbr[frontier[i]] > 0:
+                frontier[live] = frontier[i]
+                live += 1
+        for i in range(nn):
+            if uninf_nbr[newly[i]] > 0:
+                frontier[live] = newly[i]
+                live += 1
+        fsize = live
+        if rec:
+            vhist[t] = count
+    return (t if count >= n else -1), t, messages
+
+
+@maybe_jit
+def _run_pull(indptr, indices, source, max_rounds, state, vhist):
+    n = indptr.shape[0] - 1
+    informed = np.zeros(n, np.bool_)
+    informed[source] = True
+    uninformed = np.empty(n, np.int64)
+    usize = 0
+    for v in range(n):
+        if v != source:
+            uninformed[usize] = v
+            usize += 1
+    got = np.empty(n, np.bool_)
+    count = 1
+    messages = 0
+    t = 0
+    rec = vhist.shape[0] > 0
+    if rec:
+        vhist[0] = count
+    while count < n and t < max_rounds:
+        t += 1
+        messages += usize
+        # Two passes keep the informed test on the pre-round state: decide
+        # for every puller first, apply afterwards.
+        for i in range(usize):
+            u = uninformed[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            got[i] = informed[v]
+        live = 0
+        for i in range(usize):
+            if got[i]:
+                informed[uninformed[i]] = True
+                count += 1
+            else:
+                uninformed[live] = uninformed[i]
+                live += 1
+        usize = live
+        if rec:
+            vhist[t] = count
+    return (t if count >= n else -1), t, messages
+
+
+@maybe_jit
+def _run_push_pull(indptr, indices, source, max_rounds, state, vhist):
+    n = indptr.shape[0] - 1
+    informed = np.zeros(n, np.bool_)
+    informed[source] = True
+    uninf_nbr = np.empty(n, np.int64)
+    for v in range(n):
+        uninf_nbr[v] = indptr[v + 1] - indptr[v]
+    for j in range(indptr[source], indptr[source + 1]):
+        uninf_nbr[indices[j]] -= 1
+    frontier = np.empty(n, np.int64)
+    newly = np.empty(n, np.int64)
+    candidates = np.empty(2 * n, np.int64)
+    fsize = 0
+    if uninf_nbr[source] > 0:
+        frontier[0] = source
+        fsize = 1
+    uninformed = np.empty(n, np.int64)
+    usize = 0
+    for v in range(n):
+        if v != source:
+            uninformed[usize] = v
+            usize += 1
+    count = 1
+    messages = 0
+    t = 0
+    rec = vhist.shape[0] > 0
+    if rec:
+        vhist[0] = count
+    while count < n and t < max_rounds:
+        t += 1
+        messages += n
+        # Collect both directions against the pre-round state (push draws
+        # first, then pull draws — the stream order is part of the backend's
+        # semantics), then apply with the informed flag deduplicating.
+        nc = 0
+        for i in range(fsize):
+            u = frontier[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            if not informed[v]:
+                candidates[nc] = v
+                nc += 1
+        for i in range(usize):
+            u = uninformed[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            if informed[v]:
+                candidates[nc] = u
+                nc += 1
+        nn = 0
+        for i in range(nc):
+            v = candidates[i]
+            if not informed[v]:
+                informed[v] = True
+                count += 1
+                newly[nn] = v
+                nn += 1
+        for i in range(nn):
+            v = newly[i]
+            for j in range(indptr[v], indptr[v + 1]):
+                uninf_nbr[indices[j]] -= 1
+        live = 0
+        for i in range(usize):
+            if not informed[uninformed[i]]:
+                uninformed[live] = uninformed[i]
+                live += 1
+        usize = live
+        live = 0
+        for i in range(fsize):
+            if uninf_nbr[frontier[i]] > 0:
+                frontier[live] = frontier[i]
+                live += 1
+        for i in range(nn):
+            if uninf_nbr[newly[i]] > 0:
+                frontier[live] = newly[i]
+                live += 1
+        fsize = live
+        if rec:
+            vhist[t] = count
+    return (t if count >= n else -1), t, messages
+
+
+@maybe_jit
+def _run_visit_exchange(
+    indptr,
+    indices,
+    source,
+    max_rounds,
+    state,
+    slot_sources,
+    num_agents,
+    one_per_vertex,
+    lazy,
+    vhist,
+    ahist,
+):
+    n = indptr.shape[0] - 1
+    pos = _place_agents(state, slot_sources, num_agents, one_per_vertex, n)
+    vertex_informed = np.zeros(n, np.bool_)
+    vertex_informed[source] = True
+    agent_informed = np.zeros(num_agents, np.bool_)
+    acount = 0
+    for a in range(num_agents):
+        if pos[a] == source:
+            agent_informed[a] = True
+            acount += 1
+    vcount = 1
+    t = 0
+    rec = vhist.shape[0] > 0
+    if rec:
+        vhist[0] = vcount
+        ahist[0] = acount
+    while vcount < n and t < max_rounds:
+        t += 1
+        _walk_step(state, indptr, indices, pos, num_agents, lazy)
+        # Carriers (informed in a previous round) inform their vertex; then
+        # uninformed agents learn from any now-informed vertex.  Agents
+        # flipped in the second loop are never re-read within the round, so
+        # in-place updates preserve the "no chaining" rule.
+        for a in range(num_agents):
+            if agent_informed[a]:
+                v = pos[a]
+                if not vertex_informed[v]:
+                    vertex_informed[v] = True
+                    vcount += 1
+        for a in range(num_agents):
+            if not agent_informed[a] and vertex_informed[pos[a]]:
+                agent_informed[a] = True
+                acount += 1
+        if rec:
+            vhist[t] = vcount
+            ahist[t] = acount
+    return (t if vcount >= n else -1), t, 0
+
+
+@maybe_jit
+def _run_meet_exchange(
+    indptr,
+    indices,
+    source,
+    max_rounds,
+    state,
+    slot_sources,
+    num_agents,
+    one_per_vertex,
+    lazy,
+    ahist,
+):
+    n = indptr.shape[0] - 1
+    pos = _place_agents(state, slot_sources, num_agents, one_per_vertex, n)
+    # inf_round[a]: round in which agent a was informed (-1 = never); an
+    # agent spreads only when inf_round < current round ("no chaining").
+    inf_round = np.full(num_agents, -1, np.int64)
+    acount = 0
+    for a in range(num_agents):
+        if pos[a] == source:
+            inf_round[a] = 0
+            acount += 1
+    source_still_informs = acount == 0
+    # Carrier-presence stamp per vertex: vmark[v] == t means a carrier is on
+    # v this round — a round-indexed reset-free meeting map.
+    vmark = np.full(n, -1, np.int64)
+    t = 0
+    rec = ahist.shape[0] > 0
+    if rec:
+        ahist[0] = acount
+    while acount < num_agents and t < max_rounds:
+        t += 1
+        _walk_step(state, indptr, indices, pos, num_agents, lazy)
+        if source_still_informs:
+            visited = False
+            for a in range(num_agents):
+                if pos[a] == source and inf_round[a] < 0:
+                    inf_round[a] = t
+                    acount += 1
+                    visited = True
+                # An already-informed agent visiting the source also
+                # retires it, matching the kernel's "first visit" rule.
+                elif pos[a] == source:
+                    visited = True
+            if visited:
+                source_still_informs = False
+        for a in range(num_agents):
+            if 0 <= inf_round[a] and inf_round[a] < t:
+                vmark[pos[a]] = t
+        for a in range(num_agents):
+            if inf_round[a] < 0 and vmark[pos[a]] == t:
+                inf_round[a] = t
+                acount += 1
+        if rec:
+            ahist[t] = acount
+    completed = acount >= num_agents
+    return (t if completed else -1), t, 0, source_still_informs
+
+
+@maybe_jit
+def _run_hybrid(
+    indptr,
+    indices,
+    source,
+    max_rounds,
+    state,
+    slot_sources,
+    num_agents,
+    lazy,
+    vhist,
+    ahist,
+):
+    n = indptr.shape[0] - 1
+    pos = _place_agents(state, slot_sources, num_agents, False, n)
+    vertex_informed = np.zeros(n, np.bool_)
+    vertex_informed[source] = True
+    agent_informed = np.zeros(num_agents, np.bool_)
+    acount = 0
+    for a in range(num_agents):
+        if pos[a] == source:
+            agent_informed[a] = True
+            acount += 1
+    uninf_nbr = np.empty(n, np.int64)
+    for v in range(n):
+        uninf_nbr[v] = indptr[v + 1] - indptr[v]
+    for j in range(indptr[source], indptr[source + 1]):
+        uninf_nbr[indices[j]] -= 1
+    frontier = np.empty(n, np.int64)
+    newly = np.empty(n, np.int64)
+    candidates = np.empty(2 * n, np.int64)
+    fsize = 0
+    if uninf_nbr[source] > 0:
+        frontier[0] = source
+        fsize = 1
+    uninformed = np.empty(n, np.int64)
+    usize = 0
+    for v in range(n):
+        if v != source:
+            uninformed[usize] = v
+            usize += 1
+    vcount = 1
+    messages = 0
+    t = 0
+    rec = vhist.shape[0] > 0
+    if rec:
+        vhist[0] = vcount
+        ahist[0] = acount
+    while vcount < n and t < max_rounds:
+        t += 1
+        messages += n
+        # Push-pull half (pre-round state, push draws then pull draws).
+        nc = 0
+        for i in range(fsize):
+            u = frontier[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            if not vertex_informed[v]:
+                candidates[nc] = v
+                nc += 1
+        for i in range(usize):
+            u = uninformed[i]
+            v = indices[indptr[u] + _pick(state, indptr[u + 1] - indptr[u])]
+            if vertex_informed[v]:
+                candidates[nc] = u
+                nc += 1
+        nn = 0
+        for i in range(nc):
+            v = candidates[i]
+            if not vertex_informed[v]:
+                vertex_informed[v] = True
+                vcount += 1
+                newly[nn] = v
+                nn += 1
+        # Visit-exchange half over the shared vertex set.
+        _walk_step(state, indptr, indices, pos, num_agents, lazy)
+        for a in range(num_agents):
+            if agent_informed[a]:
+                v = pos[a]
+                if not vertex_informed[v]:
+                    vertex_informed[v] = True
+                    vcount += 1
+                    newly[nn] = v
+                    nn += 1
+        for a in range(num_agents):
+            if not agent_informed[a] and vertex_informed[pos[a]]:
+                agent_informed[a] = True
+                acount += 1
+        # Frontier/uninformed maintenance over both halves' newly informed.
+        for i in range(nn):
+            v = newly[i]
+            for j in range(indptr[v], indptr[v + 1]):
+                uninf_nbr[indices[j]] -= 1
+        live = 0
+        for i in range(usize):
+            if not vertex_informed[uninformed[i]]:
+                uninformed[live] = uninformed[i]
+                live += 1
+        usize = live
+        live = 0
+        for i in range(fsize):
+            if uninf_nbr[frontier[i]] > 0:
+                frontier[live] = frontier[i]
+                live += 1
+        for i in range(nn):
+            if uninf_nbr[newly[i]] > 0:
+                frontier[live] = newly[i]
+                live += 1
+        fsize = live
+        if rec:
+            vhist[t] = vcount
+            ahist[t] = acount
+    return (t if vcount >= n else -1), t, messages
+
+
+#: Runner registry used by the driver (:func:`repro.core.batch.run_compiled`).
+RUNNERS = {
+    "push": _run_push,
+    "pull": _run_pull,
+    "push-pull": _run_push_pull,
+    "visit-exchange": _run_visit_exchange,
+    "meet-exchange": _run_meet_exchange,
+    "hybrid-ppull-visitx": _run_hybrid,
+}

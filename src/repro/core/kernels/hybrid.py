@@ -23,14 +23,17 @@ import numpy as np
 
 from .agent import AgentWalkKernel
 from .base import NeighborSampler
+from .vertex import SparseVertexMixin
 
 __all__ = ["HybridKernel"]
 
 
-class HybridKernel(AgentWalkKernel):
+class HybridKernel(SparseVertexMixin, AgentWalkKernel):
     """Batched hybrid: PUSH-PULL and VISIT-EXCHANGE share one informed set."""
 
     name = "hybrid-ppull-visitx"
+    _sparse_needs_frontier = True
+    _sparse_needs_uninformed = True
 
     def __init__(
         self,
@@ -44,10 +47,14 @@ class HybridKernel(AgentWalkKernel):
 
     def initialize(self, graph, source, gens):
         self._setup_common(graph, gens)
+        sparse = self._resolve_frontier() == "sparse"
         shape = (self.num_trials, graph.num_vertices)
         self.positions = self._place_agents(graph, gens)
         self.agent_informed = self.positions == source
         # Slot 0 of the flat buffer is a write sink (see VisitExchangeKernel).
+        # The boolean vertex state stays in *both* tiers: the agent half's
+        # vectorized gathers/scatters need it; the sparse tier drops only the
+        # n-wide vertex sampler and its scratch.
         self._vertex_flat = np.zeros(self.num_trials * graph.num_vertices + 1, dtype=bool)
         self.vertex_informed = self._vertex_flat[1:].reshape(shape)
         self.vertex_informed[:, source] = True
@@ -62,16 +69,76 @@ class HybridKernel(AgentWalkKernel):
         )
         # Two draw streams per round: the vertex callee stream of the
         # push-pull half and the agent walk stream of the visit-exchange half.
-        self._vertex_sampler = NeighborSampler(self, graph.num_vertices)
-        self._callee_flat = np.empty(shape, dtype=np.int64)
-        self._vertex_masked = self._vertex_sampler.offsets
-        self._vertex_gathered = np.empty(shape, dtype=bool)
-        self._pull_scratch = np.empty(shape, dtype=bool)
-        self._vertex_row_base1 = self._materialized_row_base(graph.num_vertices)
+        # The sparse tier keeps the same two streams (same widths, same
+        # refill block) and merely reads the vertex stream at frontier
+        # positions, so both tiers consume each trial's generator
+        # identically.
+        if sparse:
+            self._setup_sparse_vertex(graph, int(source))
+        else:
+            self._vertex_sampler = NeighborSampler(self, graph.num_vertices)
+            self._callee_flat = np.empty(shape, dtype=np.int64)
+            self._vertex_masked = self._vertex_sampler.offsets
+            self._vertex_gathered = np.empty(shape, dtype=bool)
+            self._pull_scratch = np.empty(shape, dtype=bool)
+            self._vertex_row_base1 = self._materialized_row_base(graph.num_vertices)
         self._setup_walk(self.lazy)
+
+    def _step_sparse(self, k):
+        """Sparse round: the push-pull half walks per-trial frontier and
+        uninformed lists against the boolean vertex state (both directions'
+        membership tests run before any write, the dense path's pre-round
+        discipline); the visit-exchange half is unchanged — its work is
+        already proportional to the agent population.  List maintenance runs
+        once at the end of the round, reconciling the writes of both halves.
+        """
+        n = self.graph.num_vertices
+        start = self._raw_round_start(k, self._sparse_stream)
+        for row in range(k):
+            self._messages[row] += n
+            informed_row = self.vertex_informed[row]
+            frontier = self._frontier_rows[row]
+            uninformed = self._uninformed_rows[row]
+            parts = []
+            if frontier.size:
+                pushed = self._sparse_callees(row, start, frontier)
+                pushed = pushed[~informed_row[pushed]]
+                if pushed.size:
+                    parts.append(pushed)
+            if uninformed.size:
+                pulled_from = self._sparse_callees(row, start, uninformed)
+                got = informed_row[pulled_from]
+                if got.any():
+                    parts.append(uninformed[got].astype(np.int64))
+            if parts:
+                informed_row[np.concatenate(parts) if len(parts) > 1 else parts[0]] = True
+
+        new_positions = self._walk_rows(k)
+        informed_agents = self.agent_informed[:k]
+        position_flat = self._position_flat[:k]
+        np.add(self._row_base1[:k], new_positions, out=position_flat)
+        agent_masked = self._masked[:k]
+        np.multiply(position_flat, informed_agents, out=agent_masked)
+        self._vertex_flat[agent_masked] = True
+        on_informed = self._gathered[:k]
+        np.take(self._vertex_flat, position_flat, out=on_informed, mode="clip")
+        informed_agents |= on_informed
+        self.positions[:k] = new_positions
+
+        for row in range(k):
+            uninformed = self._uninformed_rows[row]
+            now_informed = self.vertex_informed[row, uninformed]
+            if now_informed.any():
+                newly = uninformed[now_informed].astype(np.int64)
+                self._uninformed_rows[row] = uninformed[~now_informed]
+                self._sparse_note_informed(row, newly)
+            self.counts[row] = n - self._uninformed_rows[row].size
 
     def step(self, k):
         self._begin_round()
+        if self.frontier_resolved == "sparse":
+            self._step_sparse(k)
+            return
 
         # --- push-pull sub-round -------------------------------------------
         vertex_informed = self.vertex_informed[:k]

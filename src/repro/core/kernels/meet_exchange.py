@@ -49,9 +49,24 @@ class MeetExchangeKernel(AgentWalkKernel):
         self._register_rows(self.positions, self.informed, self.source_still_informs)
         self._setup_walk(self.effective_lazy)
         # Scratch meeting map with a slot-0 write sink (see VisitExchangeKernel).
-        self._meeting_flat = np.empty(
-            self.num_trials * graph.num_vertices + 1, dtype=bool
+        # The map is the kernel's only n-proportional per-round work (the
+        # full-width clear); the sparse tier instead un-sets exactly the
+        # slots the round wrote — O(agents) — which is a win whenever the
+        # agent population is well below n.  Reads and writes are otherwise
+        # identical, so the tiers are trivially bit-identical.
+        self._resolve_frontier()
+        self._sparse_clear = (
+            self.frontier_resolved == "sparse"
+            and self._num_agents * 2 < graph.num_vertices
         )
+        if self._sparse_clear:
+            self._meeting_flat = np.zeros(
+                self.num_trials * graph.num_vertices + 1, dtype=bool
+            )
+        else:
+            self._meeting_flat = np.empty(
+                self.num_trials * graph.num_vertices + 1, dtype=bool
+            )
 
     def step(self, k):
         self._begin_round()
@@ -77,7 +92,8 @@ class MeetExchangeKernel(AgentWalkKernel):
         # informs all agents located there.  Crashed vertices host no
         # meetings: agents stuck on one neither give nor receive the rumor.
         informed_here = self._meeting_flat[: k * self.graph.num_vertices + 1]
-        informed_here[...] = False
+        if not self._sparse_clear:
+            informed_here[...] = False
         local_flat = self._position_flat[:k]
         masked = self._masked[:k]
         np.add(self._row_base1[:k], new_positions, out=local_flat)
@@ -91,6 +107,11 @@ class MeetExchangeKernel(AgentWalkKernel):
             met &= vertex_ok
         self.informed[:k] |= met
         self.positions[:k] = new_positions
+        if self._sparse_clear:
+            # Un-set exactly the slots this round set (the same index array,
+            # including the slot-0 sink), restoring the all-False invariant
+            # without touching the other k*n untouched slots.
+            informed_here[masked] = False
 
     def complete_rows(self, k):
         return self.informed[:k].all(axis=1)

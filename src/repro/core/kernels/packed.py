@@ -1,0 +1,88 @@
+"""Packed-bitset informed state for the sparse-frontier kernel tier.
+
+At the million-node scale the per-trial boolean informed arrays of the vertex
+kernels stop being free: ``(trials, n)`` bytes of state plus several int64
+scratch arrays of the same shape dominate the memory envelope long before the
+simulation itself becomes slow.  The sparse tier therefore stores membership
+as a packed bitset — ``np.uint64`` words, 64 vertices per word — and touches
+it only with gathers/scatters over *frontier-sized* index arrays, never with
+full-width boolean algebra.  Counts come from popcounts over the words, so no
+``n``-wide reduction survives on the hot path.
+
+The bit layout is fixed (vertex ``v`` lives in word ``v >> 6`` at bit
+``v & 63``) and rows are independent, which keeps the structure compatible
+with the kernels' row-compaction completion masking: the word matrix registers
+as an ordinary per-trial row array and follows its trial through swaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PackedBits", "popcount"]
+
+_WORD_BITS = 64
+
+# np.bitwise_count arrived in numpy 2.0; the fallback is the classic
+# SWAR (SIMD-within-a-register) popcount, vectorized over the word array.
+_HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a ``uint64`` array (any shape)."""
+    if _HAVE_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    x = words.copy()
+    x -= (x >> np.uint64(1)) & np.uint64(0x5555555555555555)
+    x = (x & np.uint64(0x3333333333333333)) + (
+        (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.uint64)
+
+
+class PackedBits:
+    """A ``(trials, n)`` bit matrix stored as ``uint64`` words.
+
+    All index arguments are integer arrays of vertex ids (any integer dtype);
+    duplicate ids are allowed everywhere — sets are idempotent and tests are
+    pure gathers.
+    """
+
+    __slots__ = ("words", "num_bits")
+
+    def __init__(self, trials: int, num_bits: int) -> None:
+        self.num_bits = int(num_bits)
+        num_words = (self.num_bits + _WORD_BITS - 1) // _WORD_BITS
+        self.words = np.zeros((int(trials), num_words), dtype=np.uint64)
+
+    def set_row(self, row: int, ids: np.ndarray) -> None:
+        """Set the bits of ``ids`` in one row (duplicates are fine)."""
+        word_index = np.asarray(ids, dtype=np.int64) >> 6
+        bit = np.uint64(1) << (np.asarray(ids, dtype=np.uint64) & np.uint64(63))
+        # bitwise_or.at is unbuffered, so two ids landing in the same word
+        # both take effect; ids are frontier-sized, never n-sized, which keeps
+        # the (slow-ish) ufunc.at off the measurable path.
+        np.bitwise_or.at(self.words[row], word_index, bit)
+
+    def test_row(self, row: int, ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``ids`` have their bit set in ``row``."""
+        ids64 = np.asarray(ids, dtype=np.int64)
+        gathered = self.words[row, ids64 >> 6]
+        shift = np.asarray(ids, dtype=np.uint64) & np.uint64(63)
+        return (gathered >> shift) & np.uint64(1) != 0
+
+    def counts(self) -> np.ndarray:
+        """(trials,) popcount of every row, as ``int64``."""
+        return popcount(self.words).sum(axis=1).astype(np.int64)
+
+    def count_row(self, row: int) -> int:
+        """Popcount of one row."""
+        return int(popcount(self.words[row]).sum())
+
+    def to_bool_row(self, row: int) -> np.ndarray:
+        """Unpack one row into a length-``n`` boolean array (a copy)."""
+        bits = np.unpackbits(
+            self.words[row].view(np.uint8), bitorder="little"
+        )
+        return bits[: self.num_bits].astype(bool)

@@ -27,9 +27,32 @@ class PullKernel(VertexKernel):
     """Batched PULL: uninformed vertices pull from uniformly random neighbors."""
 
     name = "pull"
+    _sparse_needs_uninformed = True
+
+    def _step_sparse(self, k):
+        """Only the uninformed list draws (informed vertices' dense draws are
+        ignored by the dense mask anyway); a puller whose sampled callee's
+        packed bit is set learns and leaves the list."""
+        start = self._raw_round_start(k, self._sparse_stream)
+        for row in range(k):
+            uninformed = self._uninformed_rows[row]
+            # One message per uninformed puller (dense: n - counts).
+            self._messages[row] += uninformed.size
+            if uninformed.size == 0:
+                continue
+            callees = self._sparse_callees(row, start, uninformed)
+            got = self._packed.test_row(row, callees)
+            if got.any():
+                newly = uninformed[got]
+                self._packed.set_row(row, newly)
+                self.counts[row] += newly.size
+                self._uninformed_rows[row] = uninformed[~got]
 
     def step(self, k):
         self._begin_round()
+        if self.frontier_resolved == "sparse":
+            self._step_sparse(k)
+            return
         informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)
         ok = self._sampler.round_ok(k)

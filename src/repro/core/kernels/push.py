@@ -23,9 +23,36 @@ class PushKernel(VertexKernel):
     """Batched PUSH: informed vertices push to uniformly random neighbors."""
 
     name = "push"
+    _sparse_needs_frontier = True
+
+    def _step_sparse(self, k):
+        """Frontier rounds: only informed vertices that still have an
+        uninformed neighbor draw; everything else's dense draw could not have
+        changed state, so skipping it preserves bit-identity (the raw stream
+        itself advances on the dense schedule via ``_raw_round_start``)."""
+        start = self._raw_round_start(k, self._sparse_stream)
+        counts = self.counts
+        for row in range(k):
+            # Message accounting reads the pre-round informed count, exactly
+            # like the dense `_messages += counts` before the scatter.
+            self._messages[row] += counts[row]
+            frontier = self._frontier_rows[row]
+            if frontier.size == 0:
+                continue
+            callees = self._sparse_callees(row, start, frontier)
+            fresh = callees[~self._packed.test_row(row, callees)]
+            if fresh.size == 0:
+                continue
+            newly = np.unique(fresh)
+            self._packed.set_row(row, newly)
+            counts[row] += newly.size
+            self._sparse_note_informed(row, newly)
 
     def step(self, k):
         self._begin_round()
+        if self.frontier_resolved == "sparse":
+            self._step_sparse(k)
+            return
         informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)
         ok = self._sampler.round_ok(k)

@@ -28,8 +28,48 @@ class PushPullKernel(VertexKernel):
         #: the informing transmissions.
         self.track_all_exchanges = bool(track_all_exchanges)
 
+    _sparse_needs_frontier = True
+    _sparse_needs_uninformed = True
+
+    def _step_sparse(self, k):
+        """Both directions from pre-round state: the push direction walks the
+        informed frontier, the pull direction walks the uninformed list, and
+        every membership test runs against the packed bits *before* this
+        round's set — the dense path's "materialize both masks, then update"
+        discipline, expressed sparsely.  The two position sets are disjoint,
+        so each reads its own slice of the round's per-vertex draw values."""
+        start = self._raw_round_start(k, self._sparse_stream)
+        n = self.graph.num_vertices
+        for row in range(k):
+            self._messages[row] += n
+            frontier = self._frontier_rows[row]
+            uninformed = self._uninformed_rows[row]
+            parts = []
+            if frontier.size:
+                pushed = self._sparse_callees(row, start, frontier)
+                pushed = pushed[~self._packed.test_row(row, pushed)]
+                if pushed.size:
+                    parts.append(pushed)
+            if uninformed.size:
+                pulled_from = self._sparse_callees(row, start, uninformed)
+                got = self._packed.test_row(row, pulled_from)
+                if got.any():
+                    parts.append(uninformed[got].astype(np.int64))
+            if not parts:
+                continue
+            newly = np.unique(np.concatenate(parts) if len(parts) > 1 else parts[0])
+            self._packed.set_row(row, newly)
+            self.counts[row] += newly.size
+            self._uninformed_rows[row] = uninformed[
+                ~self._packed.test_row(row, uninformed)
+            ]
+            self._sparse_note_informed(row, newly)
+
     def step(self, k):
         self._begin_round()
+        if self.frontier_resolved == "sparse":
+            self._step_sparse(k)
+            return
         graph = self.graph
         caller_informed = self.informed[:k]
         callees, callee_flat = self._sample_callees(k)

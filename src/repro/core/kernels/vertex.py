@@ -5,6 +5,38 @@ vertex per trial and sample one uniformly random neighbor per vertex per
 round.  The flat informed buffer has a slot-0 write sink: scatters index it
 with ``flat_index * mask`` instead of extracting the masked indices, which is
 the single most expensive operation it replaces.
+
+Sparse-frontier tier
+--------------------
+Above :func:`~repro.core.kernels.base.sparse_threshold` vertices (or when
+``frontier="sparse"`` is forced) the kernels switch representations: informed
+membership lives in a :class:`~repro.core.kernels.packed.PackedBits` bitset,
+and each round's work is driven by explicit per-trial index arrays — the
+*frontier* (informed vertices that still have an uninformed neighbor, for the
+push direction) and the *uninformed list* (for the pull direction) — instead
+of whole ``(trials, n)`` boolean algebra.
+
+Bit-identity with the dense path is a hard invariant, achieved by splitting
+randomness from arithmetic: the raw draw streams are refilled on exactly the
+dense schedule (one fixed-width block per trial per ``_DRAW_BLOCK`` rounds,
+see :meth:`~repro.core.kernels.base.BatchKernel._raw_round_start`), and the
+sparse step merely *reads* the stream at the frontier positions it needs.
+Vertices outside the frontier would have drawn values that cannot change
+state (an informed vertex with no uninformed neighbor pushes into informed
+territory; the dense path ignores uninformed vertices' push draws
+symmetrically), so skipping the read skips no information.  The per-position
+fixed-point arithmetic is then replicated exactly (same dtypes, same
+multiply/shift), making every sampled callee — and therefore every result —
+identical bit for bit.
+
+Dynamics schedules and observers force the dense fallback: activity masks
+are materialized per CSR slot and edge reporting scans dense rows, so both
+are defined on the dense representation (see
+:meth:`~repro.core.kernels.base.BatchKernel._resolve_frontier`).
+
+:class:`SparseVertexMixin` carries the tier's shared machinery so the hybrid
+kernel (an agent kernel with a push-pull half) can reuse it against its
+boolean vertex state.
 """
 
 from __future__ import annotations
@@ -14,11 +46,123 @@ from typing import Tuple
 import numpy as np
 
 from .base import BatchKernel, NeighborSampler
+from .packed import PackedBits
 
-__all__ = ["VertexKernel"]
+__all__ = ["SparseVertexMixin", "VertexKernel"]
 
 
-class VertexKernel(BatchKernel):
+class SparseVertexMixin:
+    """Frontier bookkeeping shared by the sparse vertex and hybrid kernels.
+
+    Provides the dense-stream-compatible callee sampler and the two index
+    structures: per-trial frontiers (with uninformed-neighbor counts) and
+    per-trial uninformed lists.  Which ones a protocol needs is declared via
+    the two class flags.
+    """
+
+    #: Which sparse index structures the protocol needs: the push direction
+    #: walks an informed frontier, the pull direction walks the uninformed
+    #: list.  Subclasses override.
+    _sparse_needs_frontier = False
+    _sparse_needs_uninformed = False
+
+    def _setup_sparse_vertex(self, graph, source: int) -> None:
+        """Allocate the sparse tier's draw stream and index structures.
+
+        The draw stream mirrors the dense ``NeighborSampler``'s exactly —
+        same width (one value per vertex), same precision choice, same refill
+        block — so a trial's generator consumption is identical in both
+        tiers; only the *reads* differ.
+        """
+        trials = self.num_trials
+        n = graph.num_vertices
+        max_degree = int(graph.degrees.max())
+        self._offset_bits = 16 if max_degree <= 64 else 32
+        wide = np.int32 if self._offset_bits == 16 else np.int64
+        self._sparse_stream = self._raw_stream(n, self._offset_bits)
+        self._regular_degree = graph.regularity_degree() if graph.is_regular() else None
+        if self._regular_degree is not None:
+            self._degree_wide = wide(self._regular_degree)
+        else:
+            self._degrees_wide = graph.degrees.astype(wide)
+        # Vertex ids in the frontier structures; int32 halves the footprint
+        # and covers every realistic n.
+        id_dtype = np.int64 if n > (1 << 31) - 1 else np.int32
+        if self._sparse_needs_frontier:
+            # Uninformed-neighbor counts drive frontier membership: an
+            # informed vertex leaves the frontier for good once its count
+            # hits zero.  Initialized to the degrees, then the source's
+            # neighbors each lose one uninformed neighbor (the source).
+            self._uninf_nbr = np.repeat(
+                graph.degrees[None, :].astype(np.int32), trials, axis=0
+            )
+            source_nbrs = graph.indices[graph.indptr[source] : graph.indptr[source + 1]]
+            self._uninf_nbr[:, source_nbrs] -= 1
+            self._register_rows(self._uninf_nbr)
+            front0 = np.array([source], dtype=id_dtype)
+            front0 = front0[self._uninf_nbr[0, front0] > 0]
+            self._frontier_rows = [front0.copy() for _ in range(trials)]
+            self._register_row_list(self._frontier_rows)
+        if self._sparse_needs_uninformed:
+            uninf0 = np.delete(np.arange(n, dtype=id_dtype), source)
+            self._uninformed_rows = [uninf0.copy() for _ in range(trials)]
+            self._register_row_list(self._uninformed_rows)
+
+    def _sparse_callees(self, row: int, start: int, positions: np.ndarray) -> np.ndarray:
+        """Sampled callee of each position, bit-identical to the dense sampler.
+
+        ``start`` is the round's offset from ``_raw_round_start``;
+        ``positions`` are vertex ids.  The fixed-point chain reproduces
+        :meth:`NeighborSampler.sample_per_vertex` value for value: raw bits
+        times the (wide-typed) degree, truncated by the precision shift, into
+        the CSR row.
+        """
+        graph = self.graph
+        raw = self._sparse_stream["values"][row, start + positions]
+        if self._regular_degree is not None:
+            offsets = (raw * self._degree_wide) >> self._offset_bits
+            flat = positions.astype(np.int64) * self._regular_degree + offsets
+        else:
+            offsets = (raw * self._degrees_wide[positions]) >> self._offset_bits
+            flat = graph.indptr[positions] + offsets
+        return graph.indices[flat]
+
+    def _sparse_note_informed(self, row: int, newly: np.ndarray) -> None:
+        """Maintain uninformed-neighbor counts and the frontier after ``newly``
+        (deduplicated vertex ids) became informed in ``row``.
+
+        Each neighbor of a newly informed vertex has one fewer uninformed
+        neighbor.  The decrements are aggregated adaptively: a sort-based
+        unique when the neighbor batch is small (skewed families whose
+        frontier stays tiny — work stays proportional to the frontier), a
+        length-n bincount once the batch is a sizable fraction of n
+        (expander hot phase, where the counting sort beats the comparison
+        sort and the O(n) pass is amortized by the batch itself).
+        """
+        graph = self.graph
+        ids64 = newly.astype(np.int64)
+        if self._regular_degree is not None:
+            d = self._regular_degree
+            neighbors = graph.indices[
+                (ids64 * d)[:, None] + np.arange(d, dtype=np.int64)
+            ].ravel()
+        else:
+            neighbors = graph._frontier_neighbors(ids64)
+        if neighbors.size:
+            counts_row = self._uninf_nbr[row]
+            if neighbors.size >= counts_row.size >> 3:
+                counts_row -= np.bincount(
+                    neighbors, minlength=counts_row.size
+                ).astype(np.int32)
+            else:
+                ids, dec = np.unique(neighbors, return_counts=True)
+                counts_row[ids] -= dec.astype(np.int32)
+        front = self._frontier_rows[row]
+        candidates = np.concatenate([front, newly.astype(front.dtype)])
+        self._frontier_rows[row] = candidates[self._uninf_nbr[row, candidates] > 0]
+
+
+class VertexKernel(SparseVertexMixin, BatchKernel):
     """Base kernel for the protocols whose state is one flag per vertex."""
 
     def __init__(self) -> None:
@@ -26,6 +170,9 @@ class VertexKernel(BatchKernel):
 
     def initialize(self, graph, source, gens):
         self._setup_common(graph, gens)
+        if self._resolve_frontier() == "sparse":
+            self._initialize_sparse(graph, int(source))
+            return
         shape = (self.num_trials, graph.num_vertices)
         self._informed_flat = np.zeros(self.num_trials * graph.num_vertices + 1, dtype=bool)
         self.informed = self._informed_flat[1:].reshape(shape)
@@ -43,6 +190,22 @@ class VertexKernel(BatchKernel):
         self._gathered = np.empty(shape, dtype=bool)
         self._pull_scratch = np.empty(shape, dtype=bool)
         self._row_base1 = self._materialized_row_base(graph.num_vertices)
+
+    def _initialize_sparse(self, graph, source: int) -> None:
+        #: Dense-only view; absent in sparse mode (state is in ``_packed``).
+        self.informed = None
+        self._packed = PackedBits(self.num_trials, graph.num_vertices)
+        self._packed.words[:, source >> 6] |= np.uint64(1) << np.uint64(source & 63)
+        self.counts = np.ones(self.num_trials, dtype=np.int64)
+        self._messages = np.zeros(self.num_trials, dtype=np.int64)
+        self._register_rows(self._packed.words, self.counts, self._messages)
+        self._setup_sparse_vertex(graph, source)
+
+    def informed_row(self, row: int) -> np.ndarray:
+        """Length-n boolean informed state of one row (a copy), either tier."""
+        if self.frontier_resolved == "sparse":
+            return self._packed.to_bool_row(row)
+        return self.informed[row].copy()
 
     def _sample_callees(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """Per-vertex callee samples as ``(vertex ids, flat informed indices)``.

@@ -38,6 +38,13 @@ class VisitExchangeKernel(AgentWalkKernel):
 
     def initialize(self, graph, source, gens):
         self._setup_common(graph, gens)
+        # Visit-exchange has no sparse tier to switch to: every round's draw,
+        # scatter and gather is already proportional to the agent population
+        # (the "frontier" of an agent protocol *is* its agents), and the only
+        # n-wide op left — the informed-vertex count reduction — is a single
+        # contiguous boolean sum per trial.  The resolution is recorded as
+        # dense so TrialSet consumers see what actually ran.
+        self._resolve_frontier(supported=False)
         self.positions = self._place_agents(graph, gens)
         self.agent_informed = self.positions == source
         # Slot 0 of the flat buffer is a write sink: scatters index it with

@@ -55,6 +55,10 @@ class KernelProtocolAdapter(RoundProtocol):
 
     def initialize(self, graph, source, rng) -> None:
         kernel = self.kernel_class(**self._kernel_kwargs)
+        # The sequential accessors (``informed[0]`` etc.) read the dense
+        # per-vertex state, and a one-trial run gains nothing from frontier
+        # bookkeeping, so the adapter always drives the dense tier.
+        kernel.frontier_mode = "dense"
         if self.observers:
             # The engine delivers the run/round hooks; the kernel only needs
             # the group for its edge-reporting slow path.

@@ -36,6 +36,36 @@ sidecar (protocol/graph/backend metadata, per-trial metadata dicts, the key
 payload above, and the NPZ's SHA-256 for integrity checking); see
 :mod:`repro.store.artifacts` for the layout and atomicity guarantees.
 
+Execution-tier environment knobs
+--------------------------------
+The kernels pick their state representation and execution backend
+automatically; four environment variables tune the automatics without
+touching result identity (every knob is either bit-identical by contract or
+part of the store key):
+
+``REPRO_FRONTIER``
+    ``"sparse"`` or ``"dense"``: overrides the vertex kernels' automatic
+    sparse-frontier decision for ``frontier="auto"`` runs.  Sparse and dense
+    are bit-identical, so this never enters store keys.  An explicit
+    ``frontier=`` argument from the caller beats the environment.
+``REPRO_SPARSE_MIN_N``
+    Vertex count at which ``frontier="auto"`` engages the packed/sparse
+    representation (default 32768, see
+    :func:`repro.core.kernels.base.sparse_threshold`).  Sparse wins on
+    skewed families whose frontier stays small (stars, trees: the per-round
+    work tracks the frontier, not n); on expanders the frontier saturates
+    and dense whole-row algebra keeps a constant-factor edge.
+``REPRO_COMPILED``
+    Set to ``"0"`` to keep ``backend="auto"`` away from the compiled
+    runners entirely (kill switch).  An explicit ``backend="compiled"``
+    still runs — compiled cells are their own store addresses, so the
+    choice is always recorded.
+``REPRO_COMPILED_MIN_N``
+    Vertex count at which ``backend="auto"`` prefers the compiled per-trial
+    runners when numba is importable (default 32768, see
+    :func:`repro.core.batch.compiled_threshold`); below it the batched
+    numpy backend amortizes better than per-trial jit dispatch.
+
 Publish wire format
 -------------------
 Distributed sweeps move these same two artifacts over HTTP.  A worker

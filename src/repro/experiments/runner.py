@@ -6,22 +6,27 @@ size, and packages everything into an :class:`ExperimentResult` with
 per-(size, protocol) summaries and per-protocol series that the reporting and
 shape-checking code consumes.
 
-Trial execution dispatches between two backends (``backend`` parameter of
-:func:`run_trial_set`); both drive the same vectorized protocol kernels of
-:mod:`repro.core.kernels`, so every protocol (and every protocol option,
-including per-round histories) is available on either path:
+Trial execution dispatches between three backends (``backend`` parameter of
+:func:`run_trial_set`):
 
 * ``"batched"`` — :func:`repro.core.batch.run_batch` advances all trials of a
   cell simultaneously on 2-D numpy state.  This is roughly an order of
-  magnitude faster and is the default choice for every protocol.
+  magnitude faster than sequential and is the default choice for every
+  protocol.
 * ``"sequential"`` — one :class:`~repro.core.engine.Engine` run per trial
   (each driving its kernel with a single trial).  Kept as the reference path
   and for observer instrumentation that needs the engine's per-run hooks.
+* ``"compiled"`` — :func:`repro.core.batch.run_compiled` runs one tight
+  per-trial loop over only the active boundary, numba-jitted when the
+  ``[accel]`` extra is installed (pure-Python reference otherwise).  No
+  dynamics or observer instrumentation.
 
-``"auto"`` (the default) picks the batched backend whenever the protocol has
-a kernel — which is all of them.  Both backends derive trial ``t``'s seed the
-same way, but they consume the random stream differently, so their results
-agree statistically rather than sample-for-sample.
+``"auto"`` (the default) picks compiled when it is available, enabled and the
+cell is large enough (see :func:`repro.core.batch.compiled_auto_enabled` /
+``compiled_threshold``), and the batched backend otherwise.  All backends
+derive trial ``t``'s seed the same way, but they consume the random stream
+differently, so their results agree statistically rather than
+sample-for-sample.
 
 Multi-cell sweeps additionally shard across CPU cores: ``run_experiment``
 accepts ``workers=N`` and schedules one task per (size, protocol) cell on a
@@ -52,7 +57,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.scaling import best_growth_model, power_law_exponent
 from ..analysis.statistics import Summary, summarize_trials
-from ..core.batch import run_batch
+from ..core.batch import run_batch, run_compiled
 from ..core.engine import Engine
 from ..core.protocols import make_protocol
 from ..core.results import RunResult, TrialSet
@@ -180,11 +185,13 @@ def run_trial_set(
     """Run ``trials`` independent runs of one protocol on one graph case.
 
     ``backend`` selects the execution strategy: ``"auto"`` (default) uses the
-    batched multi-trial backend whenever the protocol has a kernel (all
-    registry protocols do), ``"batched"`` forces it (raising for unknown
-    protocol names), and ``"sequential"`` forces one engine run per trial.
-    ``record_history`` works on both backends.  The chosen backend is recorded
-    on the returned :class:`TrialSet` and in every run's metadata.
+    compiled per-trial runners when they are available, enabled and the graph
+    is large enough, and the batched multi-trial backend otherwise;
+    ``"compiled"`` / ``"batched"`` force their backend (raising when the cell
+    is unsupported or the protocol unknown), and ``"sequential"`` forces one
+    engine run per trial.  ``record_history`` works on every backend.  The
+    resolved backend is recorded on the returned :class:`TrialSet` and in
+    every run's metadata.
 
     ``dynamics`` attaches a dynamic-topology schedule (any spec accepted by
     :func:`repro.graphs.dynamic.resolve_dynamics`) to every trial; it can also
@@ -224,7 +231,19 @@ def run_trial_set(
             cached._store_status = ("cached", plan.key)
             return cached
 
-    if plan.use_batched:
+    if plan.backend == "compiled":
+        batch = run_compiled(
+            protocol_spec.name,
+            case.graph,
+            case.source,
+            seeds=list(plan.seeds),
+            max_rounds=max_rounds,
+            record_history=record_history,
+            dynamics=plan.dynamics,
+            **plan.kwargs,
+        )
+        trial_set = batch.to_trial_set()
+    elif plan.use_batched:
         batch = run_batch(
             protocol_spec.name,
             case.graph,
@@ -236,6 +255,10 @@ def run_trial_set(
             **plan.kwargs,
         )
         trial_set = batch.to_trial_set()
+        # Which state representation the kernels engaged ("sparse"/"dense");
+        # informational only — the two are bit-identical.
+        for result in trial_set.results:
+            result.metadata["frontier"] = batch.frontier_resolved
     else:
         engine = Engine(max_rounds=max_rounds, record_history=record_history)
         results: List[RunResult] = []

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from .graph import Graph, GraphError
 
 __all__ = ["cycle_of_stars_of_cliques", "CycleStarsLayout", "cycle_stars_layout"]
@@ -87,24 +89,32 @@ def cycle_of_stars_of_cliques(k: int) -> Tuple[Graph, CycleStarsLayout]:
     vertices become informed.
     """
     layout = cycle_stars_layout(k)
-    edges: List[Tuple[int, int]] = []
+    k = layout.k
+    # Id arithmetic mirrors ``cycle_stars_layout``: ring ``0..k-1``, star leaf
+    # ``(i, j)`` at ``k + i*k + j``, clique block ``(i, j)`` at
+    # ``k + k^2 + (i*k + j)*k``.  The edge set is O(k^4) (dominated by the
+    # intra-clique pairs), so it is assembled wholesale from index arrays.
+    ring = np.arange(k, dtype=np.int64)
+    leaves = np.arange(k, k + k * k, dtype=np.int64)
+    members = np.arange(k + k * k, k + k * k + k**3, dtype=np.int64)
 
     # Ring edges c_i -- c_{i+1}.
-    for i in range(k):
-        edges.append((layout.ring[i], layout.ring[(i + 1) % k]))
+    ring_edges = np.column_stack((ring, (ring + 1) % k))
+    # Star edges c_i -- l_{i,j}.
+    star_edges = np.column_stack(((leaves - k) // k, leaves))
+    # Leaf-to-clique edges l_{i,j} -- q_{i,j,*}.
+    leaf_clique_edges = np.column_stack((np.repeat(leaves, k), members))
+    # Intra-clique pairs within each Q_{i,j}: the same triangular index
+    # pattern shifted by each block's base id.
+    ti, tj = np.triu_indices(k, k=1)
+    bases = k + k * k + np.arange(k * k, dtype=np.int64)[:, None] * k
+    clique_edges = np.column_stack(
+        ((bases + ti).ravel(), (bases + tj).ravel())
+    )
 
-    for i in range(k):
-        for j in range(k):
-            leaf = layout.star_leaves[i][j]
-            # Star edge c_i -- l_{i,j}.
-            edges.append((layout.ring[i], leaf))
-            members = layout.clique_members[i][j]
-            # Clique edges within {l_{i,j}} ∪ Q_{i,j}.
-            for a_index, a in enumerate(members):
-                edges.append((leaf, a))
-                for b in members[a_index + 1 :]:
-                    edges.append((a, b))
-
+    edges = np.concatenate(
+        [ring_edges, star_edges, leaf_clique_edges, clique_edges]
+    )
     graph = Graph(
         layout.num_vertices, edges, name=f"cycle_of_stars_of_cliques(k={k})"
     )

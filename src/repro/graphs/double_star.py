@@ -15,6 +15,8 @@ agent-based protocols.
 
 from __future__ import annotations
 
+import numpy as np
+
 from .graph import Graph, GraphError
 
 __all__ = ["double_star", "CENTER_A", "CENTER_B", "leaves_of"]
@@ -39,11 +41,11 @@ def double_star(num_vertices: int) -> Graph:
     num_leaves = n - 2
     half = num_leaves // 2
 
-    edges = [(CENTER_A, CENTER_B)]
-    for leaf in range(2, 2 + half):
-        edges.append((CENTER_A, leaf))
-    for leaf in range(2 + half, n):
-        edges.append((CENTER_B, leaf))
+    edges = np.empty((num_leaves + 1, 2), dtype=np.int64)
+    edges[0] = (CENTER_A, CENTER_B)
+    edges[1:, 1] = np.arange(2, n)
+    edges[1 : 1 + half, 0] = CENTER_A
+    edges[1 + half :, 0] = CENTER_B
     return Graph(n, edges, name=f"double_star(n={n})")
 
 

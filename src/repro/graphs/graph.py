@@ -62,12 +62,25 @@ class Graph:
             raise GraphError("a graph needs at least one vertex")
         n = int(num_vertices)
 
-        edge_list = [(int(u), int(v)) for u, v in edges]
-        if edge_list:
-            pairs = np.asarray(edge_list, dtype=np.int64)
-            u_arr, v_arr = pairs[:, 0], pairs[:, 1]
+        # Builders pass a ``(m, 2)`` integer ndarray; the per-edge Python
+        # tuple path is kept for hand-written edge lists.
+        if isinstance(edges, np.ndarray):
+            if edges.size == 0:
+                u_arr = v_arr = np.empty(0, dtype=np.int64)
+            else:
+                if edges.ndim != 2 or edges.shape[1] != 2:
+                    raise GraphError("edge array must have shape (m, 2)")
+                if not np.issubdtype(edges.dtype, np.integer):
+                    raise GraphError("edge array must be integer-typed")
+                pairs = np.ascontiguousarray(edges, dtype=np.int64)
+                u_arr, v_arr = pairs[:, 0].copy(), pairs[:, 1].copy()
         else:
-            u_arr = v_arr = np.empty(0, dtype=np.int64)
+            edge_list = [(int(u), int(v)) for u, v in edges]
+            if edge_list:
+                pairs = np.asarray(edge_list, dtype=np.int64)
+                u_arr, v_arr = pairs[:, 0], pairs[:, 1]
+            else:
+                u_arr = v_arr = np.empty(0, dtype=np.int64)
 
         out_of_range = (u_arr < 0) | (u_arr >= n) | (v_arr < 0) | (v_arr >= n)
         if np.any(out_of_range):

@@ -31,23 +31,22 @@ __all__ = [
 ROOT = 0
 
 
-def complete_binary_tree_edges(num_vertices: int) -> List[tuple]:
+def complete_binary_tree_edges(num_vertices: int) -> np.ndarray:
     """Return the parent-child edges of a complete binary tree on ``n`` vertices.
 
     Vertices are numbered in heap order: the children of ``i`` are ``2i + 1``
-    and ``2i + 2``.
+    and ``2i + 2``.  Returned as an ``(n - 1, 2)`` int64 array.
     """
-    edges = []
-    for child in range(1, num_vertices):
-        parent = (child - 1) // 2
-        edges.append((parent, child))
-    return edges
+    children = np.arange(1, num_vertices, dtype=np.int64)
+    return np.column_stack(((children - 1) // 2, children))
 
 
-def _heap_leaves(num_vertices: int) -> List[int]:
+def _heap_leaves(num_vertices: int) -> np.ndarray:
     """Return the leaf ids of a complete binary tree in heap order."""
     n = int(num_vertices)
-    return [v for v in range(n) if 2 * v + 1 >= n]
+    # Heap-order leaves are exactly the vertices without a left child
+    # (``2v + 1 >= n``), i.e. the contiguous range ``n // 2 .. n - 1``.
+    return np.arange(n // 2, n, dtype=np.int64)
 
 
 def heavy_binary_tree(num_vertices: int) -> Graph:
@@ -60,12 +59,11 @@ def heavy_binary_tree(num_vertices: int) -> Graph:
     if num_vertices < 3:
         raise GraphError("a heavy binary tree needs at least 3 vertices")
     n = int(num_vertices)
-    edges = complete_binary_tree_edges(n)
+    tree = complete_binary_tree_edges(n)
     leaves = _heap_leaves(n)
-    for i, u in enumerate(leaves):
-        for v in leaves[i + 1 :]:
-            edges.append((u, v))
-    return Graph(n, edges, name=f"heavy_binary_tree(n={n})")
+    li, lj = np.triu_indices(leaves.size, k=1)
+    clique = np.column_stack((leaves[li], leaves[lj]))
+    return Graph(n, np.concatenate([tree, clique]), name=f"heavy_binary_tree(n={n})")
 
 
 def tree_leaves(graph: Graph) -> List[int]:
@@ -74,13 +72,12 @@ def tree_leaves(graph: Graph) -> List[int]:
     Works on any graph produced by :func:`heavy_binary_tree` by recomputing the
     heap-order leaf set from the vertex count.
     """
-    return _heap_leaves(graph.num_vertices)
+    return [int(v) for v in _heap_leaves(graph.num_vertices)]
 
 
 def internal_vertices(graph: Graph) -> List[int]:
     """Return the internal (non-leaf) vertices of a heavy binary tree."""
-    leaves = set(_heap_leaves(graph.num_vertices))
-    return [v for v in range(graph.num_vertices) if v not in leaves]
+    return list(range(graph.num_vertices // 2))
 
 
 def leaf_volume_fraction(graph: Graph) -> float:

@@ -36,8 +36,8 @@ def complete_graph(num_vertices: int) -> Graph:
     if num_vertices < 2:
         raise GraphError("a complete graph needs at least 2 vertices")
     n = int(num_vertices)
-    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
-    return Graph(n, edges, name=f"complete(n={n})")
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph(n, np.column_stack((iu, ju)), name=f"complete(n={n})")
 
 
 def cycle_graph(num_vertices: int) -> Graph:
@@ -45,8 +45,8 @@ def cycle_graph(num_vertices: int) -> Graph:
     if num_vertices < 3:
         raise GraphError("a cycle needs at least 3 vertices")
     n = int(num_vertices)
-    edges = [(u, (u + 1) % n) for u in range(n)]
-    return Graph(n, edges, name=f"cycle(n={n})")
+    u = np.arange(n, dtype=np.int64)
+    return Graph(n, np.column_stack((u, (u + 1) % n)), name=f"cycle(n={n})")
 
 
 def circulant_graph(num_vertices: int, offsets: List[int]) -> Graph:
@@ -83,13 +83,15 @@ def hypercube(dimension: int) -> Graph:
         raise GraphError("hypercube dimension must be at least 1")
     d = int(dimension)
     n = 1 << d
-    edges = []
-    for u in range(n):
-        for bit in range(d):
-            v = u ^ (1 << bit)
-            if u < v:
-                edges.append((u, v))
-    return Graph(n, edges, name=f"hypercube(d={d})")
+    # One edge per (vertex, clear bit): flipping a 0-bit always increases u,
+    # so taking only those directions yields each edge exactly once.
+    u = np.arange(n, dtype=np.int64)
+    parts = [
+        np.column_stack((masked, masked ^ (1 << bit)))
+        for bit in range(d)
+        for masked in (u[(u >> bit) & 1 == 0],)
+    ]
+    return Graph(n, np.concatenate(parts), name=f"hypercube(d={d})")
 
 
 def torus_grid(rows: int, cols: int) -> Graph:
@@ -141,7 +143,7 @@ def random_regular_graph(
 
 def _configuration_model_attempt(
     n: int, d: int, rng: np.random.Generator
-) -> List[Tuple[int, int]] | None:
+) -> np.ndarray | None:
     """One attempt of the pairing model; returns None if not simple."""
     stubs = np.repeat(np.arange(n, dtype=np.int64), d)
     rng.shuffle(stubs)
@@ -154,38 +156,48 @@ def _configuration_model_attempt(
     keys = lo * n + hi
     if len(np.unique(keys)) != len(keys):
         return None
-    return list(zip(lo.tolist(), hi.tolist()))
+    return np.column_stack((lo, hi))
 
 
 def _configuration_model_with_repair(
     n: int, d: int, rng: np.random.Generator, *, max_switches: int = 100000
-) -> List[Tuple[int, int]]:
-    """Pairing model followed by double-edge switches to remove defects."""
+) -> np.ndarray:
+    """Pairing model followed by double-edge switches to remove defects.
+
+    The defect scan (self loops plus duplicate pairs, keeping each key's
+    first occurrence) is vectorized per round; only the handful of switches
+    runs in Python, consuming one ``rng.integers`` draw per defect in index
+    order — the same stream consumption as the historical per-pair scan, so
+    repaired samples are reproducible across versions.
+    """
     stubs = np.repeat(np.arange(n, dtype=np.int64), d)
     rng.shuffle(stubs)
-    pairs = [(int(stubs[i]), int(stubs[i + 1])) for i in range(0, len(stubs), 2)]
+    first = stubs[0::2].copy()
+    second = stubs[1::2].copy()
+    num_pairs = first.size
 
     for _ in range(max_switches):
-        edge_set = set()
-        defects = []
-        for index, (u, v) in enumerate(pairs):
-            key = (min(u, v), max(u, v))
-            if u == v or key in edge_set:
-                defects.append(index)
-            else:
-                edge_set.add(key)
-        if not defects:
+        keys = np.minimum(first, second) * n + np.maximum(first, second)
+        loops = first == second
+        # A pair is defective if it is a loop, or a non-loop duplicate of an
+        # earlier non-loop pair with the same key (loops never claim a key).
+        keep = np.zeros(num_pairs, dtype=bool)
+        nonloop = np.flatnonzero(~loops)
+        _, first_occurrence = np.unique(keys[nonloop], return_index=True)
+        keep[nonloop[first_occurrence]] = True
+        defects = np.flatnonzero(~keep)
+        if defects.size == 0:
             break
-        for index in defects:
-            other = int(rng.integers(len(pairs)))
-            u, v = pairs[index]
-            x, y = pairs[other]
-            pairs[index] = (u, y)
-            pairs[other] = (x, v)
+        for index in defects.tolist():
+            other = int(rng.integers(num_pairs))
+            second[index], second[other] = second[other], second[index]
     else:  # pragma: no cover - pathological inputs only
         raise GraphError("failed to repair configuration-model sample")
 
-    return sorted({(min(u, v), max(u, v)) for u, v in pairs})
+    lo = np.minimum(first, second)
+    hi = np.maximum(first, second)
+    order = np.argsort(lo * n + hi)
+    return np.column_stack((lo[order], hi[order]))
 
 
 def clique_path(num_cliques: int, clique_size: int) -> Graph:
@@ -206,17 +218,18 @@ def clique_path(num_cliques: int, clique_size: int) -> Graph:
         raise GraphError("clique size must be at least 2")
     k, s = int(num_cliques), int(clique_size)
     n = k * s
-    edges = []
-    for c in range(k):
-        base = c * s
-        for i in range(s):
-            for j in range(i + 1, s):
-                edges.append((base + i, base + j))
-        if c + 1 < k:
-            nxt = (c + 1) * s
-            for i in range(s):
-                edges.append((base + i, nxt + i))
-    return Graph(n, edges, name=f"clique_path(k={k}, s={s})")
+    # Intra-clique pairs: one triangular index pattern per clique base, then
+    # the matchings between consecutive cliques.
+    ti, tj = np.triu_indices(s, k=1)
+    bases = np.arange(k, dtype=np.int64)[:, None] * s
+    clique_edges = np.column_stack(((bases + ti).ravel(), (bases + tj).ravel()))
+    left = np.arange((k - 1) * s, dtype=np.int64)
+    matching_edges = np.column_stack((left, left + s))
+    return Graph(
+        n,
+        np.concatenate([clique_edges, matching_edges]),
+        name=f"clique_path(k={k}, s={s})",
+    )
 
 
 def clique_cycle(num_cliques: int, clique_size: int) -> Graph:

@@ -11,6 +11,8 @@ leaf.  Lemma 2 of the paper shows that on this graph
 
 from __future__ import annotations
 
+import numpy as np
+
 from .graph import Graph, GraphError
 
 __all__ = ["star", "CENTER", "leaf_vertices"]
@@ -27,7 +29,9 @@ def star(num_leaves: int) -> Graph:
     """
     if num_leaves < 1:
         raise GraphError("a star needs at least one leaf")
-    edges = [(CENTER, leaf) for leaf in range(1, num_leaves + 1)]
+    edges = np.empty((num_leaves, 2), dtype=np.int64)
+    edges[:, 0] = CENTER
+    edges[:, 1] = np.arange(1, num_leaves + 1)
     return Graph(num_leaves + 1, edges, name=f"star(n={num_leaves})")
 
 

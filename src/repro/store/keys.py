@@ -20,7 +20,7 @@ The key is a SHA-256 over the canonical JSON of the full cell description:
   (``None`` when the topology is static);
 * the exact **per-trial seed list**, the trial count, the round budget and
   whether per-round histories are recorded;
-* the resolved **backend name** (batched and sequential runs agree
+* the resolved **backend name** (compiled, batched and sequential runs agree
   statistically, not sample-for-sample, so they are distinct cells) and
   :data:`SEMANTICS_VERSION`, bumped whenever a kernel's random-stream
   consumption changes so stale artifacts can never masquerade as current
@@ -135,9 +135,9 @@ def trial_cell_payload(
     in the sidecar are exactly the bytes that were hashed and a numpy-typed
     protocol kwarg can never crash the sidecar write after the simulation
     has already run.  ``backend`` must be the *resolved* backend name
-    (``"batched"`` or ``"sequential"``), never ``"auto"``.
+    (``"compiled"``, ``"batched"`` or ``"sequential"``), never ``"auto"``.
     """
-    if backend not in ("batched", "sequential"):
+    if backend not in ("compiled", "batched", "sequential"):
         raise ValueError(f"backend must be resolved, got {backend!r}")
     payload = {
         "format": STORE_FORMAT_VERSION,

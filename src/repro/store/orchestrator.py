@@ -19,7 +19,13 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..core.batch import supports_batched, trial_seeds
+from ..core.batch import (
+    compiled_auto_enabled,
+    compiled_supported,
+    compiled_threshold,
+    supports_batched,
+    trial_seeds,
+)
 from ..graphs.graph import Graph
 from .keys import cell_key, dynamics_spec, trial_cell_payload
 
@@ -37,7 +43,11 @@ class CellPlan:
     ``kwargs`` is the protocol spec's keyword arguments with the
     ``"dynamics"`` entry removed (it travels separately in ``dynamics``,
     after the spec-level value has overridden any sweep-wide default), and
-    ``backend`` is always resolved to ``"batched"`` or ``"sequential"``.
+    ``backend`` is always resolved to ``"compiled"``, ``"batched"`` or
+    ``"sequential"``.  The resolved backend is part of the cell payload:
+    compiled cells draw from a different stream family than batched ones
+    (CI-overlap equivalent, not bit-identical), so they are distinct
+    addresses in the store.
 
     ``payload`` and ``key`` are computed lazily and cached: hashing the
     graph's CSR arrays and canonicalizing a dynamics spec is cheap next to a
@@ -101,7 +111,7 @@ def resolve_cell(
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
-    if backend not in ("auto", "batched", "sequential"):
+    if backend not in ("auto", "compiled", "batched", "sequential"):
         raise ValueError(f"unknown backend {backend!r}")
 
     kwargs = dict(protocol_spec.kwargs)
@@ -109,10 +119,26 @@ def resolve_cell(
     if spec_dynamics is not None:
         dynamics = spec_dynamics
 
-    use_batched = backend == "batched" or (
-        backend == "auto" and supports_batched(protocol_spec.name, protocol_spec.kwargs)
-    )
-    resolved_backend = "batched" if use_batched else "sequential"
+    if backend == "compiled":
+        if not compiled_supported(protocol_spec.name, kwargs, dynamics=dynamics):
+            raise ValueError(
+                f"backend='compiled' does not support this cell "
+                f"(protocol={protocol_spec.name!r}, dynamics or observer "
+                f"tracking requested)"
+            )
+        resolved_backend = "compiled"
+    elif backend == "auto" and (
+        compiled_auto_enabled()
+        and case.graph.num_vertices >= compiled_threshold()
+        and compiled_supported(protocol_spec.name, kwargs, dynamics=dynamics)
+    ):
+        resolved_backend = "compiled"
+    else:
+        use_batched = backend == "batched" or (
+            backend == "auto"
+            and supports_batched(protocol_spec.name, protocol_spec.kwargs)
+        )
+        resolved_backend = "batched" if use_batched else "sequential"
     seeds = trial_seeds(
         base_seed,
         experiment_id,
