@@ -306,6 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
             "backend the cells were cached with (it is part of the cell key)"
         ),
     )
+    report_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "serve the report over HTTP from the store instead of writing a "
+            "file: GET /report/<section>[.json] renders from cached cells "
+            "only (zero simulation), with ETag/If-None-Match revalidation"
+        ),
+    )
+    report_parser.add_argument(
+        "--host", default="127.0.0.1", help="--serve bind address (default: 127.0.0.1)"
+    )
+    report_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="--serve bind port (default: 8080; 0 = ephemeral)",
+    )
     _add_dynamics_option(report_parser)
     _add_store_options(report_parser)
 
@@ -592,6 +610,20 @@ def _command_report(args: argparse.Namespace) -> int:
 
     wanted = _report_sections(args)
     store = _resolve_store_arg(args)
+    if args.serve:
+        if args.no_store:
+            print(
+                "--serve reads from a result store; it cannot be "
+                "combined with --no-store",
+                file=sys.stderr,
+            )
+            return 2
+        # The report endpoints live on the store service itself, so serving
+        # a report is just serving the store (read-only): every /report
+        # render comes from cached cells, revalidated by cell-set ETags.
+        if store is None:
+            store = ResultStore(_default_store_path())
+        return _serve_loop(store.root, host=args.host, port=args.port, token=None)
     sections: List[str] = [
         "# Experiment report",
         "",
@@ -674,6 +706,74 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_loop(
+    root, *, host: str, port: int, token: Optional[str], lease_ttl: float = 60.0
+) -> int:
+    """Bind a store service and serve until interrupted (SIGINT/SIGTERM).
+
+    Shared by ``store serve`` and ``report --serve`` — same bind/diagnostic
+    messages, same graceful drain-on-signal shutdown, same request-counter
+    summary on exit.
+    """
+    import signal
+
+    from ..store import StoreError
+    from ..store.service import serve
+
+    try:
+        service = serve(root, host=host, port=port, token=token, lease_ttl=lease_ttl)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # Most commonly EADDRINUSE: the bind happens in the constructor.
+        print(f"cannot serve on {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    client_url = service.url
+    if host == "0.0.0.0":
+        # The wildcard bind address is not routable; tell clients the
+        # machine's name instead.  (The server is IPv4-only, so "::"
+        # never binds in the first place.)
+        import socket
+
+        bound_port = service.server.server_address[1]
+        client_url = f"http://{socket.gethostname()}:{bound_port}"
+    print(
+        f"serving result store {service.store.root} at {service.url} "
+        f"({'writable' if token else 'read-only'}; point clients at it "
+        f"via {STORE_ENV_VAR}={client_url})",
+        flush=True,
+    )
+
+    def _graceful(signum, frame):  # pragma: no cover - signal timing
+        # Stop accepting connections; serve_forever() then drains every
+        # in-flight request before returning, so workers mid-publish get
+        # their responses instead of a reset.
+        service.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _graceful)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    counters = service.request_counts
+    print(
+        "shut down cleanly; requests served: "
+        + (
+            ", ".join(f"{route}={count}" for route, count in sorted(counters.items()))
+            or "none"
+        ),
+        flush=True,
+    )
+    return 0
+
+
 def _command_store(args: argparse.Namespace) -> int:
     import json
 
@@ -727,70 +827,13 @@ def _command_store(args: argparse.Namespace) -> int:
 
     store = ResultStore(args.store_path or _default_store_path())
     if args.store_command == "serve":
-        import signal
-
-        from ..store import StoreError
-        from ..store.service import serve
-
-        token = _resolve_token(args)
-        try:
-            service = serve(
-                store.root,
-                host=args.host,
-                port=args.port,
-                token=token,
-                lease_ttl=args.lease_ttl,
-            )
-        except StoreError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
-        except OSError as exc:
-            # Most commonly EADDRINUSE: the bind happens in the constructor.
-            print(f"cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
-            return 2
-        client_url = service.url
-        if args.host == "0.0.0.0":
-            # The wildcard bind address is not routable; tell clients the
-            # machine's name instead.  (The server is IPv4-only, so "::"
-            # never binds in the first place.)
-            import socket
-
-            port = service.server.server_address[1]
-            client_url = f"http://{socket.gethostname()}:{port}"
-        print(
-            f"serving result store {store.root} at {service.url} "
-            f"({'writable' if token else 'read-only'}; point clients at it "
-            f"via {STORE_ENV_VAR}={client_url})",
-            flush=True,
+        return _serve_loop(
+            store.root,
+            host=args.host,
+            port=args.port,
+            token=_resolve_token(args),
+            lease_ttl=args.lease_ttl,
         )
-
-        def _graceful(signum, frame):  # pragma: no cover - signal timing
-            # Stop accepting connections; serve_forever() then drains every
-            # in-flight request before returning, so workers mid-publish get
-            # their responses instead of a reset.
-            service.request_stop()
-
-        previous = {
-            sig: signal.signal(sig, _graceful)
-            for sig in (signal.SIGINT, signal.SIGTERM)
-        }
-        try:
-            service.serve_forever()
-        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
-            pass
-        finally:
-            for sig, handler in previous.items():
-                signal.signal(sig, handler)
-        counters = service.request_counts
-        print(
-            "shut down cleanly; requests served: "
-            + (
-                ", ".join(f"{route}={count}" for route, count in sorted(counters.items()))
-                or "none"
-            ),
-            flush=True,
-        )
-        return 0
     if args.store_command == "ls":
         rows = [
             [

@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from ..graphs.builders import with_case_spec
 from ..graphs.regular import random_regular_graph
 from ..graphs.star import star
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
@@ -31,6 +32,14 @@ __all__ = [
 ]
 
 
+@with_case_spec(
+    "random_regular_graph",
+    lambda size, seed: {
+        "num_vertices": size,
+        "degree": regular_degree_for(size),
+        "seed": seed,
+    },
+)
 def _build_random_regular_case(num_vertices: int, seed: int) -> GraphCase:
     degree = regular_degree_for(num_vertices)
     rng = np.random.default_rng(seed)
@@ -87,6 +96,7 @@ def initial_placement_experiment() -> ExperimentConfig:
     )
 
 
+@with_case_spec("star", lambda size, seed: {"num_leaves": size})
 def _build_star_case(num_leaves: int, seed: int) -> GraphCase:
     return GraphCase(graph=star(num_leaves), source=1, size_parameter=num_leaves)
 

@@ -14,10 +14,11 @@ Every (size, protocol) cell of an experiment is cached exactly by the
 content-addressed result store (:mod:`repro.store`).  The cell key is a
 SHA-256 over the canonical JSON of:
 
-* the **graph fingerprint** — a hash of the built case's CSR adjacency
-  arrays plus name and vertex/edge counts (so it captures the instance the
-  ``graph_builder`` actually produced, not how it was described) — and the
-  case's source vertex;
+* the **graph fingerprint** — a purely structural hash (domain tag
+  ``repro-graph-v2``, vertex/edge counts, CSR adjacency arrays) of the
+  instance the ``graph_builder`` actually produced.  Display names are
+  deliberately excluded: renaming a graph must not invalidate its cells.
+  The case's source vertex is hashed alongside;
 * the **protocol spec** — ``ProtocolSpec.name`` plus ``kwargs`` with dict
   keys sorted, tuples listified, numpy scalars unwrapped and ``-0.0``
   normalized to ``0.0``;
@@ -36,10 +37,28 @@ sidecar (protocol/graph/backend metadata, per-trial metadata dicts, the key
 payload above, and the NPZ's SHA-256 for integrity checking); see
 :mod:`repro.store.artifacts` for the layout and atomicity guarantees.
 
+Builder versions and manifest trust
+-----------------------------------
+The graph fingerprint is a hash of the *built* arrays, so deriving a cell
+key normally requires building the graph.  To let a fully warm sweep skip
+construction entirely, every graph builder registers a
+``(family, builder_version)`` pair with :mod:`repro.graphs.builders` (see
+:func:`repro.graphs.register_builder` and the ``with_case_spec``
+decorator).  The sweep journal's manifest records, for each cell, the
+builder spec (family + parameters + version + case revision) next to the
+fingerprint it produced.  On a warm start
+:func:`repro.store.orchestrator.resolve_sweep_plans` matches the current
+spec against the manifest and, on an exact match, trusts the recorded
+fingerprint via a :class:`~repro.store.orchestrator.GraphStub` — zero
+constructions.  Changing what a builder emits **must** come with a
+version bump in its module's ``BUILDER_VERSION`` (or ``BUILDER_VERSIONS``
+entry); the spec then no longer matches and affected cells rebuild and
+re-fingerprint honestly.
+
 Execution-tier environment knobs
 --------------------------------
 The kernels pick their state representation and execution backend
-automatically; four environment variables tune the automatics without
+automatically; five environment variables tune the automatics without
 touching result identity (every knob is either bit-identical by contract or
 part of the store key):
 
@@ -65,6 +84,14 @@ part of the store key):
     runners when numba is importable (default 32768, see
     :func:`repro.core.batch.compiled_threshold`); below it the batched
     numpy backend amortizes better than per-trial jit dispatch.
+``REPRO_VERIFY_MANIFEST``
+    Set to ``"1"`` to make warm starts paranoid: instead of trusting the
+    manifest's recorded graph fingerprints, every matched cell rebuilds
+    its graph and re-fingerprints it, raising
+    :class:`repro.store.orchestrator.ManifestMismatchError` on any
+    divergence (the tell-tale of a builder change that landed without a
+    version bump).  Off by default because it forfeits the zero-compute
+    warm path; turn it on in CI or after editing a builder.
 
 Publish wire format
 -------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+from ..graphs.builders import with_case_spec
 from ..graphs.cycle_stars_cliques import cycle_of_stars_of_cliques
 from ..graphs.double_star import double_star
 from ..graphs.heavy_binary_tree import heavy_binary_tree, tree_leaves
@@ -30,6 +31,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Figure 1(a): the star graph
 # ---------------------------------------------------------------------------
+@with_case_spec("star", lambda size, seed: {"num_leaves": size})
 def _build_star_case(num_leaves: int, seed: int) -> GraphCase:
     graph = star(num_leaves)
     # Use a leaf source: push is slow regardless, push-pull needs 2 rounds.
@@ -66,6 +68,7 @@ def fig1a_star_experiment() -> ExperimentConfig:
 # ---------------------------------------------------------------------------
 # Figure 1(b): the double star
 # ---------------------------------------------------------------------------
+@with_case_spec("double_star", lambda size, seed: {"num_vertices": size})
 def _build_double_star_case(num_vertices: int, seed: int) -> GraphCase:
     graph = double_star(num_vertices)
     # Source is a leaf of the first star, the hardest natural starting point.
@@ -103,6 +106,7 @@ def fig1b_double_star_experiment() -> ExperimentConfig:
 # ---------------------------------------------------------------------------
 # Figure 1(c): the heavy binary tree
 # ---------------------------------------------------------------------------
+@with_case_spec("heavy_binary_tree", lambda size, seed: {"num_vertices": size})
 def _build_heavy_tree_case(num_vertices: int, seed: int) -> GraphCase:
     graph = heavy_binary_tree(num_vertices)
     leaf_source = tree_leaves(graph)[0]
@@ -146,6 +150,7 @@ def fig1c_heavy_tree_experiment() -> ExperimentConfig:
 # ---------------------------------------------------------------------------
 # Figure 1(d): siamese heavy binary trees
 # ---------------------------------------------------------------------------
+@with_case_spec("siamese_heavy_binary_tree", lambda size, seed: {"tree_vertices": size})
 def _build_siamese_case(tree_vertices: int, seed: int) -> GraphCase:
     graph = siamese_heavy_binary_tree(tree_vertices)
     leaf_source = left_leaves(graph)[0]
@@ -187,6 +192,7 @@ def fig1d_siamese_experiment() -> ExperimentConfig:
 # ---------------------------------------------------------------------------
 # Figure 1(e): cycle of stars of cliques
 # ---------------------------------------------------------------------------
+@with_case_spec("cycle_of_stars_of_cliques", lambda size, seed: {"k": size})
 def _build_cycle_stars_case(k: int, seed: int) -> GraphCase:
     graph, layout = cycle_of_stars_of_cliques(k)
     source = layout.clique_members[0][0][0]

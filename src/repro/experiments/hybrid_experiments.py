@@ -16,6 +16,7 @@ In both cases the hybrid should track the faster constituent up to constants.
 from __future__ import annotations
 
 
+from ..graphs.builders import with_case_spec
 from ..graphs.double_star import double_star
 from ..graphs.heavy_binary_tree import heavy_binary_tree, tree_leaves
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
@@ -24,6 +25,7 @@ from .registry import register
 __all__ = ["hybrid_double_star_experiment", "hybrid_heavy_tree_experiment"]
 
 
+@with_case_spec("double_star", lambda size, seed: {"num_vertices": size})
 def _build_double_star_case(num_vertices: int, seed: int) -> GraphCase:
     return GraphCase(graph=double_star(num_vertices), source=2, size_parameter=num_vertices)
 
@@ -52,6 +54,7 @@ def hybrid_double_star_experiment() -> ExperimentConfig:
     )
 
 
+@with_case_spec("heavy_binary_tree", lambda size, seed: {"num_vertices": size})
 def _build_heavy_tree_case(num_vertices: int, seed: int) -> GraphCase:
     graph = heavy_binary_tree(num_vertices)
     return GraphCase(graph=graph, source=tree_leaves(graph)[0], size_parameter=num_vertices)

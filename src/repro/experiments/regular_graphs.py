@@ -19,6 +19,7 @@ import math
 
 import numpy as np
 
+from ..graphs.builders import with_case_spec
 from ..graphs.regular import clique_cycle, hypercube, random_regular_graph
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
 from .registry import register
@@ -46,6 +47,14 @@ def regular_degree_for(num_vertices: int, *, factor: float = 2.0) -> int:
     return min(degree, n - 1)
 
 
+@with_case_spec(
+    "random_regular_graph",
+    lambda size, seed: {
+        "num_vertices": size,
+        "degree": regular_degree_for(size),
+        "seed": seed,
+    },
+)
 def _build_random_regular_case(num_vertices: int, seed: int) -> GraphCase:
     degree = regular_degree_for(num_vertices)
     rng = np.random.default_rng(seed)
@@ -84,11 +93,19 @@ def thm1_random_regular_experiment() -> ExperimentConfig:
     )
 
 
-def _build_clique_cycle_case(num_cliques: int, seed: int) -> GraphCase:
+def _clique_cycle_size(num_cliques: int) -> int:
     # Clique size grows logarithmically with the total size so that the degree
     # assumption d = Omega(log n) holds along the sweep.
     total_target = num_cliques * max(8, int(2 * math.log2(max(num_cliques, 2))))
-    clique_size = max(8, int(2 * math.log2(max(total_target, 2))))
+    return max(8, int(2 * math.log2(max(total_target, 2))))
+
+
+@with_case_spec(
+    "clique_cycle",
+    lambda size, seed: {"num_cliques": size, "clique_size": _clique_cycle_size(size)},
+)
+def _build_clique_cycle_case(num_cliques: int, seed: int) -> GraphCase:
+    clique_size = _clique_cycle_size(num_cliques)
     graph = clique_cycle(num_cliques, clique_size)
     return GraphCase(
         graph=graph,
@@ -173,6 +190,7 @@ def lower_bound_experiment() -> ExperimentConfig:
     )
 
 
+@with_case_spec("hypercube", lambda size, seed: {"dimension": size})
 def _build_hypercube_case(dimension: int, seed: int) -> GraphCase:
     graph = hypercube(dimension)
     return GraphCase(

@@ -8,14 +8,21 @@ experiments contribute their dedicated tables.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import hashlib
+import html as _html
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis.statistics import summarize_trials
 from ..analysis.tables import format_float, format_markdown_table, format_table
-from ..core.rng import derive_seed
-from ..store import cell_key, resolve_cell, resolve_store
+from ..store import (
+    SweepJournal,
+    cell_key,
+    resolve_store,
+    resolve_sweep_plans,
+    sweep_payload,
+)
 from ..theory.predictions import PAPER_PREDICTIONS, Prediction
-from .config import ExperimentConfig
+from .config import ExperimentConfig, scaled_sizes
 from .coupling_experiment import CouplingExperimentResult, coupling_cell
 from .fairness_experiment import FairnessExperimentResult, fairness_cell
 from .runner import CellResult, ExperimentResult
@@ -30,7 +37,21 @@ __all__ = [
     "experiment_markdown_section_from_store",
     "coupling_result_from_store",
     "fairness_result_from_store",
+    "report_section_ids",
+    "store_report_payload",
+    "report_fingerprint",
+    "render_report_html",
 ]
+
+#: Non-sweep report sections served alongside the registry experiments.
+REPORT_EXTRA_SECTIONS = ("coupling", "fairness")
+
+
+def report_section_ids() -> List[str]:
+    """Every report section id: registry experiments plus coupling/fairness."""
+    from .registry import list_experiment_ids
+
+    return list_experiment_ids() + list(REPORT_EXTRA_SECTIONS)
 
 
 def claims_for_experiment(result: ExperimentResult) -> List[Prediction]:
@@ -141,43 +162,35 @@ def result_from_store(
     store_obj = resolve_store(store)
     if store_obj is None:
         raise ValueError("result_from_store needs an enabled result store")
-    sweep = tuple(sizes) if sizes is not None else config.sizes
-    num_trials = int(trials) if trials is not None else config.trials
     result = ExperimentResult(config=config, base_seed=base_seed)
     missing: List[str] = []
-    for size_parameter in sweep:
-        case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
-        case = config.build_case(size_parameter, case_seed)
-        budget = config.round_budget(size_parameter)
-        for spec in config.protocols:
-            plan = resolve_cell(
-                spec,
-                case,
-                trials=num_trials,
-                base_seed=base_seed,
+    for sp in _store_sweep_plans(
+        config,
+        store_obj,
+        base_seed=base_seed,
+        sizes=sizes,
+        trials=trials,
+        backend=backend,
+        dynamics=dynamics,
+    ):
+        trial_set = store_obj.get_trial_set(sp.plan.key)
+        if trial_set is None:
+            missing.append(
+                f"{config.experiment_id} size={sp.size_parameter} "
+                f"protocol={sp.protocol_label} key={sp.plan.key[:16]}"
+            )
+            continue
+        result.cells.append(
+            CellResult(
                 experiment_id=config.experiment_id,
-                max_rounds=budget,
-                backend=backend,
-                dynamics=dynamics,
+                size_parameter=sp.size_parameter,
+                num_vertices=int(sp.plan.graph.num_vertices),
+                protocol_label=sp.protocol_label,
+                protocol_name=sp.spec.name,
+                trials=trial_set,
+                summary=summarize_trials(trial_set),
             )
-            trial_set = store_obj.get_trial_set(plan.key)
-            if trial_set is None:
-                missing.append(
-                    f"{config.experiment_id} size={size_parameter} "
-                    f"protocol={spec.display_label} key={plan.key[:16]}"
-                )
-                continue
-            result.cells.append(
-                CellResult(
-                    experiment_id=config.experiment_id,
-                    size_parameter=size_parameter,
-                    num_vertices=case.num_vertices,
-                    protocol_label=spec.display_label,
-                    protocol_name=spec.name,
-                    trials=trial_set,
-                    summary=summarize_trials(trial_set),
-                )
-            )
+        )
     if missing and strict:
         raise KeyError(
             "result store is missing "
@@ -185,6 +198,48 @@ def result_from_store(
             + "\n  ".join(missing)
         )
     return result
+
+
+def _store_sweep_plans(
+    config: ExperimentConfig,
+    store_obj,
+    *,
+    base_seed: int,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    backend: str = "auto",
+    dynamics=None,
+):
+    """Resolve a sweep's cell plans against a store's journaled manifest.
+
+    The manifest of the sweep's own journal (when one exists and its builder
+    specs still match) lets the plans resolve from trusted fingerprints,
+    so a warm report derives every key without constructing a single graph.
+    """
+    sweep = tuple(sizes) if sizes is not None else config.sizes
+    num_trials = int(trials) if trials is not None else config.trials
+    journal = SweepJournal(
+        store_obj,
+        sweep_payload(
+            config,
+            base_seed=base_seed,
+            sizes=sweep,
+            trials=num_trials,
+            backend=backend,
+            dynamics=dynamics,
+        ),
+    )
+    manifest_event = journal.last_manifest()
+    manifest = manifest_event.get("cells") if manifest_event is not None else None
+    return resolve_sweep_plans(
+        config,
+        base_seed=base_seed,
+        sizes=sweep,
+        trials=num_trials,
+        backend=backend,
+        dynamics=dynamics,
+        manifest=manifest,
+    )
 
 
 def experiment_markdown_section_from_store(
@@ -260,6 +315,243 @@ def coupling_markdown_section(result: CouplingExperimentResult) -> str:
     )
     lines.append("")
     return "\n".join(lines)
+
+
+def _json_value(value: Any) -> Any:
+    """Coerce a table cell to a plain JSON scalar (numpy types included)."""
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    return int(as_float) if as_float.is_integer() else as_float
+
+
+def _report_plan_keys(
+    section: str,
+    store_obj,
+    *,
+    base_seed: int,
+    trials: Optional[int],
+    scale: float,
+    backend: str,
+    dynamics=None,
+) -> List[str]:
+    """Every store key a report section reads, derived without simulating."""
+    if section == "coupling":
+        return [cell_key(coupling_cell(base_seed=base_seed))]
+    if section == "fairness":
+        return [cell_key(fairness_cell(base_seed=base_seed))]
+    from .registry import get_experiment
+
+    config = get_experiment(section)
+    sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
+    return [
+        sp.plan.key
+        for sp in _store_sweep_plans(
+            config,
+            store_obj,
+            base_seed=base_seed,
+            sizes=sizes,
+            trials=trials,
+            backend=backend,
+            dynamics=dynamics,
+        )
+    ]
+
+
+def report_fingerprint(
+    store,
+    *,
+    sections: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    trials: Optional[int] = None,
+    scale: float = 1.0,
+    backend: str = "auto",
+    dynamics=None,
+) -> str:
+    """Fingerprint of the cell set underlying a report.
+
+    Hashes, per section, every cell key the report would read together with
+    the stored object's size (or an absence marker).  Objects are immutable
+    and content-addressed, so presence plus size pins the report's inputs
+    exactly: the fingerprint changes iff a cell the report reads appears,
+    disappears, or is replaced.  Computing it performs no simulation and —
+    on a warm manifest — no graph construction, so it is cheap enough to
+    serve as an HTTP ETag validator.
+    """
+    store_obj = resolve_store(store)
+    if store_obj is None:
+        raise ValueError("report_fingerprint needs an enabled result store")
+    wanted = list(sections) if sections is not None else report_section_ids()
+    digest = hashlib.sha256()
+    digest.update(b"repro-report-v1\0")
+    for section in wanted:
+        for key in _report_plan_keys(
+            section,
+            store_obj,
+            base_seed=base_seed,
+            trials=trials,
+            scale=scale,
+            backend=backend,
+            dynamics=dynamics,
+        ):
+            size = store_obj.backend.object_size(key)
+            marker = "absent" if size is None else str(int(size))
+            digest.update(f"{section}:{key}:{marker}\n".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def store_report_payload(
+    store,
+    *,
+    sections: Optional[Sequence[str]] = None,
+    base_seed: int = 0,
+    trials: Optional[int] = None,
+    scale: float = 1.0,
+    backend: str = "auto",
+    dynamics=None,
+) -> Dict[str, Any]:
+    """Assemble the full report as a JSON-safe payload, purely from the store.
+
+    Each requested section resolves its cell plans (manifest-trusted, so a
+    warm store needs zero graph constructions) and reads cached cells only —
+    zero simulation.  Sections whose cells are absent come back with
+    ``status: "missing"`` and the runner command that would fill them; the
+    report never fails outright because one sweep has not run yet.
+    """
+    store_obj = resolve_store(store)
+    if store_obj is None:
+        raise ValueError("store_report_payload needs an enabled result store")
+    wanted = list(sections) if sections is not None else report_section_ids()
+    from .registry import get_experiment
+
+    rendered: List[Dict[str, Any]] = []
+    for section in wanted:
+        entry: Dict[str, Any] = {"id": section}
+        try:
+            if section == "coupling":
+                coupling = coupling_result_from_store(store_obj, base_seed=base_seed)
+                entry["title"] = "Coupling / congestion (Lemmas 13/14)"
+                entry["markdown"] = coupling_markdown_section(coupling)
+                entry["rows"] = [
+                    {k: _json_value(v) for k, v in row.items()}
+                    for row in coupling.table_rows()
+                ]
+            elif section == "fairness":
+                fairness = fairness_result_from_store(store_obj, base_seed=base_seed)
+                entry["title"] = "Edge-usage fairness (Section 1)"
+                entry["markdown"] = fairness_markdown_section(fairness)
+                entry["rows"] = [
+                    {k: _json_value(v) for k, v in row.items()}
+                    for row in fairness.table_rows()
+                ]
+            else:
+                config = get_experiment(section)
+                sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
+                result = result_from_store(
+                    config,
+                    store_obj,
+                    base_seed=base_seed,
+                    sizes=sizes,
+                    trials=trials,
+                    backend=backend,
+                    dynamics=dynamics,
+                    strict=True,
+                )
+                labels = result.protocol_labels()
+                entry["title"] = config.title
+                entry["markdown"] = experiment_markdown_section(result)
+                entry["columns"] = ["size", "n"] + [f"mean T ({label})" for label in labels]
+                entry["rows"] = [
+                    [_json_value(value) for value in row] for row in _pivot_rows(result)
+                ]
+            entry["status"] = "complete"
+        except KeyError as exc:
+            entry["status"] = "missing"
+            entry["detail"] = str(exc.args[0]) if exc.args else str(exc)
+        rendered.append(entry)
+    return {
+        "report": "repro-experiment-report",
+        "params": {
+            "sections": wanted,
+            "base_seed": int(base_seed),
+            "trials": None if trials is None else int(trials),
+            "scale": float(scale),
+            "backend": backend,
+        },
+        "complete": all(entry["status"] == "complete" for entry in rendered),
+        "sections": rendered,
+        "fingerprint": report_fingerprint(
+            store_obj,
+            sections=wanted,
+            base_seed=base_seed,
+            trials=trials,
+            scale=scale,
+            backend=backend,
+            dynamics=dynamics,
+        ),
+    }
+
+
+_REPORT_CSS = (
+    "body{font-family:sans-serif;margin:2rem auto;max-width:60rem;padding:0 1rem}"
+    "pre{background:#f6f8fa;padding:0.8rem;overflow-x:auto}"
+    ".status{font-size:0.7em;padding:0.15em 0.5em;border-radius:0.5em;"
+    "vertical-align:middle}"
+    ".status-complete{background:#dcffdc}.status-missing{background:#ffe0e0}"
+    "code{word-break:break-all}"
+)
+
+
+def render_report_html(payload: Dict[str, Any]) -> str:
+    """Render a :func:`store_report_payload` dict as a standalone HTML page.
+
+    The output is a pure function of the payload — no timestamps, request
+    counters or other per-render state — so two renders of the same cell set
+    are bit-identical and conditional GETs can revalidate against the
+    payload fingerprint alone.
+    """
+    params = payload.get("params", {})
+    lines = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>repro experiment report</title>",
+        f"<style>{_REPORT_CSS}</style>",
+        "</head><body>",
+        "<h1>Experiment report</h1>",
+        "<p>Served from the result store: cached cells only, zero simulation.</p>",
+        "<p>"
+        + _html.escape(
+            f"base_seed={params.get('base_seed')} trials={params.get('trials')} "
+            f"scale={params.get('scale')} backend={params.get('backend')}"
+        )
+        + "</p>",
+    ]
+    for section in payload.get("sections", []):
+        section_id = str(section.get("id", ""))
+        status = str(section.get("status", "missing"))
+        title = str(section.get("title") or section_id)
+        lines.append(f'<section id="{_html.escape(section_id, quote=True)}">')
+        lines.append(
+            f"<h2>{_html.escape(title)} "
+            f'<span class="status status-{_html.escape(status, quote=True)}">'
+            f"{_html.escape(status)}</span></h2>"
+        )
+        markdown = section.get("markdown")
+        if markdown:
+            lines.append(f"<pre>{_html.escape(str(markdown))}</pre>")
+        detail = section.get("detail")
+        if detail:
+            lines.append(f"<pre>{_html.escape(str(detail))}</pre>")
+        lines.append("</section>")
+    fingerprint = payload.get("fingerprint", "")
+    lines.append(f"<p>cell-set fingerprint <code>{_html.escape(str(fingerprint))}</code></p>")
+    lines.append("</body></html>")
+    return "\n".join(lines) + "\n"
 
 
 def fairness_markdown_section(result: FairnessExperimentResult) -> str:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from ..graphs.builders import with_case_spec
 from ..graphs.regular import random_regular_graph
 from ..graphs.siamese_tree import left_leaves, siamese_heavy_binary_tree
 from ..graphs.star import star
@@ -65,6 +66,7 @@ def _rate_specs(protocol: str, rates=FAILURE_RATES, **kwargs) -> tuple:
     return tuple(specs)
 
 
+@with_case_spec("star", lambda size, seed: {"num_leaves": size})
 def _build_star_case(num_leaves: int, seed: int) -> GraphCase:
     return GraphCase(graph=star(num_leaves), source=1, size_parameter=num_leaves)
 
@@ -91,6 +93,7 @@ def robustness_star_experiment() -> ExperimentConfig:
     )
 
 
+@with_case_spec("siamese_heavy_binary_tree", lambda size, seed: {"tree_vertices": size})
 def _build_siamese_case(tree_vertices: int, seed: int) -> GraphCase:
     graph = siamese_heavy_binary_tree(tree_vertices)
     return GraphCase(
@@ -122,15 +125,28 @@ def robustness_siamese_experiment() -> ExperimentConfig:
     )
 
 
-def _build_regular_case(num_vertices: int, seed: int) -> GraphCase:
-    import numpy as np
-
+def _robust_degree(num_vertices: int) -> int:
     degree = max(4, int(math.ceil(2 * math.log2(max(num_vertices, 2)))))
     # Clamp for the scaled-down sweeps of tests and quick runs, keeping
     # n * d even (a d-regular graph's existence condition).
     degree = min(degree, num_vertices - 1)
     if (num_vertices * degree) % 2:
         degree = degree + 1 if degree + 1 < num_vertices else degree - 1
+    return degree
+
+
+@with_case_spec(
+    "random_regular_graph",
+    lambda size, seed: {
+        "num_vertices": size,
+        "degree": _robust_degree(size),
+        "seed": seed,
+    },
+)
+def _build_regular_case(num_vertices: int, seed: int) -> GraphCase:
+    import numpy as np
+
+    degree = _robust_degree(num_vertices)
     graph = random_regular_graph(num_vertices, degree, np.random.default_rng(seed))
     return GraphCase(graph=graph, source=0, size_parameter=num_vertices)
 

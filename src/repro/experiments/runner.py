@@ -62,7 +62,14 @@ from ..core.engine import Engine
 from ..core.protocols import make_protocol
 from ..core.results import RunResult, TrialSet
 from ..core.rng import derive_seed
-from ..store import SweepJournal, resolve_cell, resolve_store, sweep_payload
+from ..store import (
+    GraphStub,
+    SweepJournal,
+    resolve_cell,
+    resolve_store,
+    resolve_sweep_plans,
+    sweep_payload,
+)
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
 
 __all__ = ["CellResult", "ExperimentResult", "run_trial_set", "run_experiment"]
@@ -392,32 +399,193 @@ def run_experiment(
     the same sweep executes only the cells the store does not already hold —
     returning an :class:`ExperimentResult` bit-identical to an uncached,
     uninterrupted serial run.
+
+    Warm reruns are additionally **zero-construction**: the sweep journal's
+    manifest records a versioned builder spec and trusted fingerprint per
+    sweep point (see :func:`repro.store.orchestrator.resolve_sweep_plans`),
+    so cells the store already holds resolve their keys from stubs and never
+    rebuild a graph; construction happens only for cells that actually
+    simulate.
     """
     sweep = tuple(sizes) if sizes is not None else config.sizes
     num_trials = int(trials) if trials is not None else config.trials
     result = ExperimentResult(config=config, base_seed=base_seed)
 
     store_obj = resolve_store(store)
-    journal = None
-    if store_obj is not None:
-        journal = SweepJournal(
-            store_obj,
-            sweep_payload(
-                config,
-                base_seed=base_seed,
-                sizes=sweep,
-                trials=num_trials,
-                backend=backend,
-                dynamics=dynamics,
-            ),
+    if store_obj is None:
+        return _run_storeless(
+            config,
+            result,
+            base_seed=base_seed,
+            sweep=sweep,
+            num_trials=num_trials,
+            backend=backend,
+            workers=workers,
+            dynamics=dynamics,
+            force=force,
         )
 
-    pool_size = min(resolve_workers(workers), len(sweep) * len(config.protocols))
+    journal = SweepJournal(
+        store_obj,
+        sweep_payload(
+            config,
+            base_seed=base_seed,
+            sizes=sweep,
+            trials=num_trials,
+            backend=backend,
+            dynamics=dynamics,
+        ),
+    )
+    manifest_entries = None
+    if not force:
+        manifest_event = journal.last_manifest()
+        if manifest_event is not None:
+            manifest_entries = manifest_event.get("cells")
+    plans = resolve_sweep_plans(
+        config,
+        base_seed=base_seed,
+        sizes=sweep,
+        trials=num_trials,
+        backend=backend,
+        dynamics=dynamics,
+        manifest=manifest_entries,
+    )
+    journal.start(cells=len(plans))
+    new_manifest = [sp.manifest_entry() for sp in plans]
+    if manifest_entries != new_manifest:
+        # Only append a manifest when the cell set actually changed (first
+        # run, version bump, different sweep): warm reruns stay one
+        # journal line per cell instead of growing by a manifest each.
+        journal.manifest(cells=new_manifest)
+
+    cells: Dict[int, CellResult] = {}
+    pending = []
+    for sp in plans:
+        cached = None if force else store_obj.get_trial_set(sp.plan.key)
+        if cached is None:
+            pending.append(sp)
+            continue
+        cached._store_status = ("cached", sp.plan.key)
+        cells[sp.index] = CellResult(
+            experiment_id=config.experiment_id,
+            size_parameter=sp.size_parameter,
+            num_vertices=int(sp.plan.graph.num_vertices),
+            protocol_label=sp.protocol_label,
+            protocol_name=sp.spec.name,
+            trials=cached,
+            summary=summarize_trials(cached),
+        )
+
+    pool_size = min(resolve_workers(workers), max(len(pending), 1))
     # When the builder itself crosses the spawn boundary, workers build their
     # own graphs: each task payload stays a few hundred bytes instead of a
-    # full CSR graph per cell, and the parent never holds the whole sweep's
-    # graphs at once.  Unpicklable builders (lambdas, closures) fall back to
-    # shipping the built case.
+    # full CSR graph per cell.  Unpicklable builders (lambdas, closures) fall
+    # back to shipping the built case.  A pending plan resolved from a
+    # trusted manifest holds only a stub, so its graph must be (re)built —
+    # deferred to the worker when possible, in the parent otherwise.
+    defer_build = False
+    if pool_size > 1:
+        try:
+            pickle.dumps(config.graph_builder)
+            defer_build = True
+        except Exception:
+            defer_build = False
+
+    tasks = []
+    rebuilt_cases: Dict[int, GraphCase] = {}
+    for sp in pending:
+        if defer_build:
+            case_payload = ("build", (config.graph_builder, sp.size_parameter, sp.case_seed))
+        elif isinstance(sp.plan.graph, GraphStub):
+            if sp.size_parameter not in rebuilt_cases:
+                rebuilt_cases[sp.size_parameter] = config.build_case(
+                    sp.size_parameter, sp.case_seed
+                )
+            case_payload = ("case", rebuilt_cases[sp.size_parameter])
+        else:
+            case_payload = (
+                "case",
+                GraphCase(
+                    graph=sp.plan.graph,
+                    source=sp.plan.source,
+                    size_parameter=sp.size_parameter,
+                ),
+            )
+        tasks.append(
+            (
+                config.experiment_id,
+                base_seed,
+                sp.spec,
+                case_payload,
+                sp.size_parameter,
+                num_trials,
+                sp.budget,
+                backend,
+                dynamics,
+                store_obj,
+                force,
+            )
+        )
+
+    def collect(sp, cell: CellResult) -> None:
+        cells[sp.index] = cell
+        status, key = getattr(cell.trials, "_store_status", ("computed", ""))
+        journal.cell(
+            index=sp.index,
+            size=cell.size_parameter,
+            protocol=cell.protocol_label,
+            key=key,
+            status=status,
+        )
+
+    # Journal the cache hits first (index order), then the computed cells as
+    # they finish; readers key on the cell index/key, not the line order.
+    for index in sorted(cells):
+        cell = cells[index]
+        journal.cell(
+            index=index,
+            size=cell.size_parameter,
+            protocol=cell.protocol_label,
+            key=cell.trials._store_status[1],
+            status="cached",
+        )
+
+    if pool_size > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=get_context("spawn")
+        ) as pool:
+            # Submission order == serial order, so collecting in submission
+            # order reassembles the exact serial cell sequence.
+            futures = [pool.submit(_run_cell, task) for task in tasks]
+            for sp, future in zip(pending, futures):
+                collect(sp, future.result())
+    else:
+        for sp, task in zip(pending, tasks):
+            collect(sp, _run_cell(task))
+    journal.finish()
+    result.cells = [cells[index] for index in sorted(cells)]
+    return result
+
+
+def _run_storeless(
+    config: ExperimentConfig,
+    result: ExperimentResult,
+    *,
+    base_seed: int,
+    sweep: Tuple[int, ...],
+    num_trials: int,
+    backend: str,
+    workers: Optional[int],
+    dynamics,
+    force: bool,
+) -> ExperimentResult:
+    """The store-less sweep path: build, run, collect — no keys, no journal.
+
+    Kept separate from the store path so runs that never need a cell key do
+    not pay for key resolution, and so ``defer_build`` can keep the parent
+    from ever materializing the sweep's graphs when a pool is used.
+    """
+    pool_size = min(resolve_workers(workers), len(sweep) * len(config.protocols))
     defer_build = False
     if pool_size > 1:
         try:
@@ -446,24 +614,9 @@ def run_experiment(
                     budget,
                     backend,
                     dynamics,
-                    store_obj,
+                    None,
                     force,
                 )
-            )
-
-    if journal is not None:
-        journal.start(cells=len(tasks))
-
-    def collect(index: int, cell: CellResult) -> None:
-        result.cells.append(cell)
-        if journal is not None:
-            status, key = getattr(cell.trials, "_store_status", ("computed", ""))
-            journal.cell(
-                index=index,
-                size=cell.size_parameter,
-                protocol=cell.protocol_label,
-                key=key,
-                status=status,
             )
 
     if pool_size > 1:
@@ -473,11 +626,9 @@ def run_experiment(
             # Submission order == serial order, so collecting in submission
             # order reassembles the exact serial cell sequence.
             futures = [pool.submit(_run_cell, task) for task in tasks]
-            for index, future in enumerate(futures):
-                collect(index, future.result())
+            for future in futures:
+                result.cells.append(future.result())
     else:
-        for index, task in enumerate(tasks):
-            collect(index, _run_cell(task))
-    if journal is not None:
-        journal.finish()
+        for task in tasks:
+            result.cells.append(_run_cell(task))
     return result

@@ -8,6 +8,13 @@ paper's claims for it.
 """
 
 from .graph import Graph, GraphError
+from .builders import (
+    builder_spec,
+    builder_version,
+    register_builder,
+    registered_builders,
+    with_case_spec,
+)
 from .dynamic import (
     BernoulliEdgeFailures,
     ComposedSchedule,
@@ -55,6 +62,11 @@ from .validation import (
 __all__ = [
     "Graph",
     "GraphError",
+    "register_builder",
+    "builder_version",
+    "builder_spec",
+    "registered_builders",
+    "with_case_spec",
     "TopologySchedule",
     "RoundActivity",
     "StaticSchedule",

@@ -20,9 +20,21 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
-__all__ = ["cycle_of_stars_of_cliques", "CycleStarsLayout", "cycle_stars_layout"]
+__all__ = [
+    "cycle_of_stars_of_cliques",
+    "CycleStarsLayout",
+    "cycle_stars_layout",
+    "BUILDER_VERSION",
+]
+
+#: Bump when :func:`cycle_of_stars_of_cliques` changes the instance (or
+#: layout numbering) it emits for the same ``k`` (invalidates
+#: manifest-trusted warm starts, never results).
+BUILDER_VERSION = 1
+register_builder("cycle_of_stars_of_cliques", BUILDER_VERSION)
 
 
 @dataclass(frozen=True)

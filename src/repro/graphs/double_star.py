@@ -17,14 +17,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
-__all__ = ["double_star", "CENTER_A", "CENTER_B", "leaves_of"]
+__all__ = ["double_star", "CENTER_A", "CENTER_B", "leaves_of", "BUILDER_VERSION"]
 
 #: Vertex id of the first star's center.
 CENTER_A = 0
 #: Vertex id of the second star's center.
 CENTER_B = 1
+
+#: Bump when :func:`double_star` changes the instance it emits for the same
+#: parameters (invalidates manifest-trusted warm starts, never results).
+BUILDER_VERSION = 1
+register_builder("double_star", BUILDER_VERSION)
 
 
 def double_star(num_vertices: int) -> Graph:

@@ -51,6 +51,13 @@ class Graph:
         "_slot_edge_ids",
     )
 
+    #: Process-wide count of ``Graph`` constructions (class attribute; with
+    #: ``__slots__`` it cannot be shadowed per-instance).  Tests snapshot it
+    #: around warm store sweeps to assert the manifest-trusted path performs
+    #: *zero* graph constructions — a superset of builder calls, so the
+    #: assertion also catches stray ad-hoc construction.
+    construction_count = 0
+
     def __init__(
         self,
         num_vertices: int,
@@ -107,6 +114,7 @@ class Graph:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(degrees, out=indptr[1:])
 
+        Graph.construction_count += 1
         self._n = n
         self._m = int(lo.size)
         self._indptr = indptr

@@ -17,6 +17,7 @@ from typing import List
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
 __all__ = [
@@ -25,10 +26,16 @@ __all__ = [
     "tree_leaves",
     "internal_vertices",
     "complete_binary_tree_edges",
+    "BUILDER_VERSION",
 ]
 
 #: Vertex id of the root in graphs produced by :func:`heavy_binary_tree`.
 ROOT = 0
+
+#: Bump when :func:`heavy_binary_tree` changes the instance it emits for the
+#: same parameters (invalidates manifest-trusted warm starts, never results).
+BUILDER_VERSION = 1
+register_builder("heavy_binary_tree", BUILDER_VERSION)
 
 
 def complete_binary_tree_edges(num_vertices: int) -> np.ndarray:

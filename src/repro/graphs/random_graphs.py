@@ -12,9 +12,26 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
-__all__ = ["erdos_renyi", "preferential_attachment", "connected_erdos_renyi"]
+__all__ = [
+    "erdos_renyi",
+    "preferential_attachment",
+    "connected_erdos_renyi",
+    "BUILDER_VERSIONS",
+]
+
+#: Per-family builder versions; bump a family when its construction changes
+#: the instance it emits for the same parameters (invalidates
+#: manifest-trusted warm starts, never results).
+BUILDER_VERSIONS = {
+    "erdos_renyi": 1,
+    "connected_erdos_renyi": 1,
+    "preferential_attachment": 1,
+}
+for _family, _version in BUILDER_VERSIONS.items():
+    register_builder(_family, _version)
 
 
 def erdos_renyi(num_vertices: int, edge_probability: float, rng: np.random.Generator) -> Graph:

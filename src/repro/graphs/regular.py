@@ -17,6 +17,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
 __all__ = [
@@ -28,7 +29,24 @@ __all__ = [
     "clique_path",
     "clique_cycle",
     "circulant_graph",
+    "BUILDER_VERSIONS",
 ]
+
+#: Per-family builder versions; bump a family when its construction changes
+#: the instance it emits for the same parameters (invalidates
+#: manifest-trusted warm starts, never results).
+BUILDER_VERSIONS = {
+    "complete_graph": 1,
+    "cycle_graph": 1,
+    "hypercube": 1,
+    "torus_grid": 1,
+    "random_regular_graph": 1,
+    "clique_path": 1,
+    "clique_cycle": 1,
+    "circulant_graph": 1,
+}
+for _family, _version in BUILDER_VERSIONS.items():
+    register_builder(_family, _version)
 
 
 def complete_graph(num_vertices: int) -> Graph:

@@ -13,13 +13,25 @@ from __future__ import annotations
 
 from typing import List
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 from .heavy_binary_tree import complete_binary_tree_edges
 
-__all__ = ["siamese_heavy_binary_tree", "ROOT", "left_leaves", "right_leaves"]
+__all__ = [
+    "siamese_heavy_binary_tree",
+    "ROOT",
+    "left_leaves",
+    "right_leaves",
+    "BUILDER_VERSION",
+]
 
 #: Vertex id of the shared root.
 ROOT = 0
+
+#: Bump when :func:`siamese_heavy_binary_tree` changes the instance it emits
+#: for the same parameters (invalidates manifest-trusted warm starts).
+BUILDER_VERSION = 1
+register_builder("siamese_heavy_binary_tree", BUILDER_VERSION)
 
 
 def _heap_leaves(num_vertices: int) -> List[int]:

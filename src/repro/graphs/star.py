@@ -13,12 +13,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from .builders import register_builder
 from .graph import Graph, GraphError
 
-__all__ = ["star", "CENTER", "leaf_vertices"]
+__all__ = ["star", "CENTER", "leaf_vertices", "BUILDER_VERSION"]
 
 #: Vertex id of the star center in graphs produced by :func:`star`.
 CENTER = 0
+
+#: Bump when :func:`star` changes the instance it emits for the same
+#: parameters (invalidates manifest-trusted warm starts, never results).
+BUILDER_VERSION = 1
+register_builder("star", BUILDER_VERSION)
 
 
 def star(num_leaves: int) -> Graph:

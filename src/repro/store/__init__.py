@@ -60,6 +60,8 @@ from .keys import (
 )
 from .orchestrator import (
     CellPlan,
+    GraphStub,
+    ManifestMismatchError,
     SweepCellPlan,
     resolve_cell,
     resolve_sweep_plans,
@@ -72,7 +74,9 @@ __all__ = [
     "CACHE_ENV_VAR",
     "CellPlan",
     "FarmError",
+    "GraphStub",
     "LocalBackend",
+    "ManifestMismatchError",
     "RemoteBackend",
     "ResultStore",
     "SEMANTICS_VERSION",

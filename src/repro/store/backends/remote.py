@@ -7,6 +7,12 @@ into a local :class:`~repro.store.backends.local.LocalBackend`, so repeated
 GETs (sidecar + NPZ payload), every later read is served from disk without
 touching the network.
 
+Listing (``/ls``) and journal (``/sweeps/<id>``) responses — which change
+as sweeps run and therefore cannot be cached by content address — are
+revalidated with ``If-None-Match`` conditional GETs: the backend remembers
+the last ``(ETag, body)`` per URL, and an unchanged poll costs a ``304``
+with an empty body instead of a re-download.
+
 Integrity is verified *before* the cache commit: the fetched NPZ bytes must
 match the fetched sidecar's SHA-256, otherwise the object is discarded and
 :class:`~repro.store.StoreCorruptionError` raised — a corrupt or truncated
@@ -81,9 +87,25 @@ _TRANSIENT_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
 _DOWN_COOLDOWN = 5.0
 
 
+#: How many conditional-GET validators (ETag + last body) to keep per
+#: backend.  Only listing/journal paths use these — object reads are cached
+#: on disk by content address — so the memo stays tiny.
+_CONDITIONAL_MEMO_CAP = 64
+
+
 def is_store_url(value: Any) -> bool:
     """True when ``value`` is an ``http(s)://`` store-service URL."""
     return isinstance(value, str) and value.lower().startswith(("http://", "https://"))
+
+
+def _strip_etag(raw: Optional[str]) -> Optional[str]:
+    """Unquote an ``ETag`` header value (weak validators included)."""
+    if raw is None:
+        return None
+    value = raw.strip()
+    if value.startswith("W/"):
+        value = value[2:].strip()
+    return value.strip('"') or None
 
 
 def default_cache_root(url: str) -> Path:
@@ -150,6 +172,7 @@ class RemoteBackend(StoreBackend):
         self.degrade = bool(degrade)
         self._lock = threading.Lock()
         self._sidecar_memo: Dict[str, bytes] = {}
+        self._conditional_memo: Dict[str, Tuple[str, bytes]] = {}
         self._down_until = 0.0
         self._down_reason = ""
         self._warned_down = False
@@ -193,6 +216,7 @@ class RemoteBackend(StoreBackend):
         self.degrade = state.get("degrade", False)
         self._lock = threading.Lock()
         self._sidecar_memo = {}
+        self._conditional_memo = {}
         self._down_until = 0.0
         self._down_reason = ""
         self._warned_down = False
@@ -220,13 +244,16 @@ class RemoteBackend(StoreBackend):
         query: Optional[Dict[str, str]] = None,
         idempotent: bool = True,
         content_type: Optional[str] = None,
-    ) -> Tuple[int, bytes]:
-        """One service request; returns ``(status, body)`` for 2xx and 404.
+        etag: Optional[str] = None,
+    ) -> Tuple[int, bytes, Optional[str]]:
+        """One service request; ``(status, body, etag)`` for 2xx, 304 and 404.
 
-        Other statuses raise :class:`_HTTPStatusError` (non-transient) or are
-        retried (transient, when ``idempotent``).  Transport failures on
-        idempotent requests retry with exponential backoff and jitter; an
-        exhausted loop raises
+        ``etag`` (when given) rides out as ``If-None-Match``, so a server
+        holding unchanged bytes answers ``304`` with an empty body instead of
+        re-sending them.  Other statuses raise :class:`_HTTPStatusError`
+        (non-transient) or are retried (transient, when ``idempotent``).
+        Transport failures on idempotent requests retry with exponential
+        backoff and jitter; an exhausted loop raises
         :class:`~repro.store.StoreUnavailableError` and opens the circuit
         breaker for a short cooldown.  Non-idempotent requests are attempted
         exactly once — re-sending one after an ambiguous failure could
@@ -251,6 +278,8 @@ class RemoteBackend(StoreBackend):
             headers["Authorization"] = f"Bearer {self.token}"
         if content_type:
             headers["Content-Type"] = content_type
+        if etag is not None:
+            headers["If-None-Match"] = f'"{etag}"'
         attempts = self.retries + 1 if idempotent else 1
         started = time.monotonic()
         last_reason = "unknown error"
@@ -272,12 +301,16 @@ class RemoteBackend(StoreBackend):
                         )
                         continue
                     self._note_up()
-                    return response.status, body
+                    return response.status, body, _strip_etag(response.headers.get("ETag"))
             except urllib.error.HTTPError as exc:
                 body = exc.read()
+                if exc.code == 304:
+                    # Revalidated: our copy is current; no bytes travelled.
+                    self._note_up()
+                    return 304, b"", _strip_etag(exc.headers.get("ETag"))
                 if exc.code == 404:
                     self._note_up()
-                    return 404, body
+                    return 404, body, None
                 if exc.code in _TRANSIENT_STATUSES:
                     last_reason = f"HTTP {exc.code} for {path}"
                     continue
@@ -321,12 +354,48 @@ class RemoteBackend(StoreBackend):
         from ..artifacts import StoreError
 
         try:
-            status, body = self._request("GET", path, query=query)
+            status, body, _ = self._request("GET", path, query=query)
         except _HTTPStatusError as exc:
             raise StoreError(
                 f"store service at {self.url} returned HTTP {exc.code} for {path}"
             ) from exc
         return None if status == 404 else body
+
+    def _get_conditional(
+        self, path: str, *, query: Optional[Dict[str, str]] = None
+    ) -> Optional[bytes]:
+        """GET with ``If-None-Match`` revalidation against the last response.
+
+        Listing and journal bodies change as sweeps run, so they cannot be
+        cached by content address the way objects are — but they change
+        *rarely* relative to how often dashboards poll them.  Remembering
+        the last ``(ETag, body)`` per URL turns every unchanged poll into a
+        ``304`` round-trip with an empty body.  Falls back to a plain GET
+        against servers that send no ETag.
+        """
+        from ..artifacts import StoreError
+
+        memo_key = path if not query else path + "?" + urllib.parse.urlencode(sorted(query.items()))
+        with self._lock:
+            memo = self._conditional_memo.get(memo_key)
+        try:
+            status, body, etag = self._request(
+                "GET", path, query=query, etag=memo[0] if memo else None
+            )
+        except _HTTPStatusError as exc:
+            raise StoreError(
+                f"store service at {self.url} returned HTTP {exc.code} for {path}"
+            ) from exc
+        if status == 304 and memo is not None:
+            return memo[1]
+        if status == 404:
+            return None
+        if etag is not None:
+            with self._lock:
+                if len(self._conditional_memo) >= _CONDITIONAL_MEMO_CAP:
+                    self._conditional_memo.clear()
+                self._conditional_memo[memo_key] = (etag, body)
+        return body
 
     def post_json(
         self,
@@ -348,7 +417,7 @@ class RemoteBackend(StoreBackend):
 
         data = json.dumps(payload or {}).encode("utf-8")
         try:
-            status, body = self._request(
+            status, body, _ = self._request(
                 "POST", path, data=data, idempotent=idempotent, content_type="application/json"
             )
         except _HTTPStatusError as exc:
@@ -383,7 +452,7 @@ class RemoteBackend(StoreBackend):
         if proto:
             query["proto"] = proto
         try:
-            payload = self._get("/ls", query=query or None)
+            payload = self._get_conditional("/ls", query=query or None)
         except StoreUnavailableError as exc:
             if self._degraded(exc):
                 return []
@@ -523,7 +592,7 @@ class RemoteBackend(StoreBackend):
         from ..artifacts import StoreUnavailableError
 
         try:
-            payload = self._get(f"/sweeps/{urllib.parse.quote(sweep_id)}")
+            payload = self._get_conditional(f"/sweeps/{urllib.parse.quote(sweep_id)}")
         except StoreUnavailableError as exc:
             if self._degraded(exc):
                 payload = None

@@ -11,8 +11,8 @@ a cache hit is indistinguishable from a recompute.
 The key is a SHA-256 over the canonical JSON of the full cell description:
 
 * the **graph fingerprint** — a hash of the CSR arrays (``indptr`` +
-  ``indices``), the vertex/edge counts and the graph name, i.e. the exact
-  structure the kernels sample from, independent of how it was built;
+  ``indices``) and the vertex/edge counts, i.e. the exact structure the
+  kernels sample from, independent of how it was built or labelled;
 * the **protocol spec** — protocol name plus its keyword arguments with
   dict keys sorted, tuples normalized to lists, numpy scalars unwrapped and
   ``-0.0`` folded into ``0.0`` (``canonical_json``);
@@ -57,10 +57,18 @@ STORE_FORMAT_VERSION = 1
 
 #: Version of the *simulation semantics* baked into cached results: how the
 #: kernels consume their random streams, how seeds are derived, how dynamics
-#: masks are applied.  Bump on any change that alters the bits a cell
-#: produces for the same spec — every existing key then misses, which is the
-#: correct (if expensive) behaviour.
-SEMANTICS_VERSION = 1
+#: masks are applied — and what the cell payload itself hashes.  Bump on any
+#: change that alters the bits a cell produces for the same spec — every
+#: existing key then misses, which is the correct (if expensive) behaviour.
+#:
+#: Version history:
+#:
+#: * ``1`` — original payload; the graph fingerprint mixed in ``graph.name``
+#:   and the payload carried the name alongside the fingerprint.
+#: * ``2`` — the fingerprint is purely structural (CSR arrays + counts, no
+#:   name) and the payload's graph record drops the display name, honouring
+#:   the documented "same structure, same fingerprint" contract.
+SEMANTICS_VERSION = 2
 
 
 def canonical_json(value: Any) -> str:
@@ -86,14 +94,24 @@ def canonical_json(value: Any) -> str:
 def graph_fingerprint(graph: Graph) -> str:
     """SHA-256 fingerprint of a graph's exact CSR structure (hex digest).
 
-    Hashes the adjacency arrays themselves rather than the builder arguments,
-    so two differently-described constructions of the same instance share a
-    fingerprint, and any structural change — however the graph was produced —
-    yields a new one.
+    The contract is **structural identity**: the hash covers the vertex and
+    edge counts plus the CSR adjacency arrays (``indptr`` + ``indices``) and
+    nothing else, so two differently-described — or differently *named* —
+    constructions of the same instance share a fingerprint, and any
+    structural change, however the graph was produced, yields a new one.
+    The display name is metadata, not structure; it still travels in artifact
+    sidecars for ``store ls``, it just no longer perturbs addressing.
+
+    A graph-like object carrying a non-``None`` ``trusted_fingerprint``
+    attribute (see :class:`~repro.store.orchestrator.GraphStub`) short-cuts
+    the hash entirely: that is how a manifest-trusted warm start resolves
+    cell keys without ever building the CSR arrays.
     """
+    trusted = getattr(graph, "trusted_fingerprint", None)
+    if trusted is not None:
+        return str(trusted)
     digest = hashlib.sha256()
-    digest.update(b"repro-graph-v1\0")
-    digest.update(graph.name.encode("utf-8") + b"\0")
+    digest.update(b"repro-graph-v2\0")
     digest.update(np.int64(graph.num_vertices).tobytes())
     digest.update(np.int64(graph.num_edges).tobytes())
     digest.update(np.ascontiguousarray(graph.indptr, dtype=np.int64).tobytes())
@@ -144,9 +162,8 @@ def trial_cell_payload(
         "semantics": SEMANTICS_VERSION,
         "graph": {
             "fingerprint": graph_fingerprint(graph),
-            "name": graph.name,
-            "num_vertices": graph.num_vertices,
-            "num_edges": graph.num_edges,
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
         },
         "source": int(source),
         "protocol": {

@@ -9,15 +9,25 @@ runner executes plans; the reporting layer (and ``repro store`` tooling)
 only *derives* them, which is how figures and tables regenerate from the
 store without recomputing anything: same resolution, same key, same bits.
 
+Warm starts resolve keys *without building graphs*: when a caller passes a
+previous run's sweep-journal manifest, :func:`resolve_sweep_plans` checks
+each entry's recorded builder spec against the one it recomputes from the
+versioned builder registry (:mod:`repro.graphs.builders`) and, on a match,
+plans the cell around a :class:`GraphStub` carrying the manifest's trusted
+fingerprint — zero CSR arrays are materialized for cells that end up cache
+hits.  Set ``REPRO_VERIFY_MANIFEST=1`` to re-build and re-fingerprint every
+trusted entry anyway (:class:`ManifestMismatchError` on disagreement).
+
 This module deliberately does not import the runner, so the dependency flow
 stays one-way: ``experiments.runner -> store -> core/graphs``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import cached_property
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import (
     compiled_auto_enabled,
@@ -27,13 +37,53 @@ from ..core.batch import (
     trial_seeds,
 )
 from ..graphs.graph import Graph
-from .keys import cell_key, dynamics_spec, trial_cell_payload
+from .artifacts import StoreError
+from .keys import cell_key, dynamics_spec, graph_fingerprint, trial_cell_payload
 
 if TYPE_CHECKING:  # imported for annotations only — the experiments package
     # imports this module at runtime, so a runtime import would be circular.
     from ..experiments.config import ExperimentConfig, GraphCase, ProtocolSpec
 
-__all__ = ["CellPlan", "SweepCellPlan", "resolve_cell", "resolve_sweep_plans", "sweep_payload"]
+__all__ = [
+    "CellPlan",
+    "GraphStub",
+    "ManifestMismatchError",
+    "SweepCellPlan",
+    "resolve_cell",
+    "resolve_sweep_plans",
+    "sweep_payload",
+]
+
+
+class ManifestMismatchError(StoreError):
+    """A manifest-trusted graph record disagrees with an actual rebuild.
+
+    Only raised in the ``REPRO_VERIFY_MANIFEST=1`` paranoia mode: normal
+    operation never *needs* the check, because a manifest entry is only
+    trusted when its recorded builder spec (family, params, builder version,
+    case revision) matches the one recomputed today — a builder change
+    without a version bump is the one hole, and this error is how the
+    paranoia mode reports it.
+    """
+
+
+@dataclass(frozen=True)
+class GraphStub:
+    """A graph stand-in carrying everything key derivation needs — no CSR.
+
+    Rides in a :class:`~repro.experiments.config.GraphCase` for cells whose
+    fingerprint came from a trusted manifest:
+    :func:`~repro.store.keys.graph_fingerprint` short-circuits on the
+    ``trusted_fingerprint`` attribute, and the vertex count feeds the
+    ``auto`` backend's compiled-threshold decision.  Anything that tries to
+    *simulate* on a stub fails loudly (there are no adjacency arrays), which
+    is exactly the contract: stubs are for cells the store already holds.
+    """
+
+    trusted_fingerprint: str
+    name: str
+    num_vertices: int
+    num_edges: int
 
 
 @dataclass
@@ -161,7 +211,14 @@ def resolve_cell(
 
 @dataclass
 class SweepCellPlan:
-    """One cell of a sweep, in sweep order: its position, spec and plan."""
+    """One cell of a sweep, in sweep order: its position, spec and plan.
+
+    ``case_seed`` is the derived graph-construction seed of the cell's sweep
+    point and ``builder`` the canonical builder spec (see
+    :func:`repro.graphs.builders.builder_spec`) when the experiment's case
+    builder declares one — together with the graph record they make the
+    manifest entry self-certifying for warm-start trust.
+    """
 
     index: int
     size_parameter: int
@@ -169,15 +226,77 @@ class SweepCellPlan:
     spec: "ProtocolSpec"
     budget: Optional[int]
     plan: CellPlan
+    case_seed: Optional[int] = None
+    builder: Optional[Dict[str, Any]] = None
 
     def manifest_entry(self) -> Dict[str, Any]:
-        """The cell's row in a sweep manifest (journal ``manifest`` event)."""
-        return {
+        """The cell's row in a sweep manifest (journal ``manifest`` event).
+
+        Beyond the farm's queue-rebuilding fields (``index``/``size``/
+        ``protocol``/``key``) the entry records the trust triple of the
+        zero-compute warm path: the case seed, the builder spec and the
+        graph record (fingerprint, counts, name, source).  A plan resolved
+        *from* a trusted manifest round-trips to the identical entry — its
+        stub carries the same record — so re-recording a manifest never
+        degrades it.
+        """
+        graph = self.plan.graph
+        entry: Dict[str, Any] = {
             "index": self.index,
             "size": self.size_parameter,
             "protocol": self.protocol_label,
             "key": self.plan.key,
+            "graph": {
+                "fingerprint": graph_fingerprint(graph),
+                "name": str(graph.name),
+                "num_vertices": int(graph.num_vertices),
+                "num_edges": int(graph.num_edges),
+                "source": int(self.plan.source),
+            },
         }
+        if self.case_seed is not None:
+            entry["case_seed"] = int(self.case_seed)
+        if self.builder is not None:
+            entry["builder"] = self.builder
+        return entry
+
+
+def _trusted_stub_case(
+    entries: List[Dict[str, Any]],
+    *,
+    expected_builder: Dict[str, Any],
+    case_seed: int,
+    size_parameter: int,
+) -> Optional["GraphCase"]:
+    """Build a stub-backed case from manifest entries of one sweep point.
+
+    Trust requires a complete graph record *and* that the entry's recorded
+    builder spec and case seed match what resolution derives today — a
+    builder-version (or case-revision) bump, a changed seed derivation or a
+    foreign manifest all fail the comparison and fall back to a real build.
+    """
+    from ..experiments.config import GraphCase
+
+    for entry in entries:
+        graph = entry.get("graph")
+        if not isinstance(graph, dict):
+            continue
+        if entry.get("builder") != expected_builder:
+            continue
+        if entry.get("case_seed") != case_seed:
+            continue
+        try:
+            stub = GraphStub(
+                trusted_fingerprint=str(graph["fingerprint"]),
+                name=str(graph.get("name", "graph")),
+                num_vertices=int(graph["num_vertices"]),
+                num_edges=int(graph["num_edges"]),
+            )
+            source = int(graph["source"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        return GraphCase(graph=stub, source=source, size_parameter=size_parameter)
+    return None
 
 
 def resolve_sweep_plans(
@@ -188,6 +307,7 @@ def resolve_sweep_plans(
     trials: int,
     backend: str = "auto",
     dynamics: Any = None,
+    manifest: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> List[SweepCellPlan]:
     """Resolve every cell of a sweep, in the exact serial execution order.
 
@@ -199,14 +319,52 @@ def resolve_sweep_plans(
     submission (building a farm manifest), worker-side plan reconstruction
     (a leased key must re-resolve to the same plan), and any tooling that
     asks "what would this sweep run".
+
+    ``manifest`` (a previous run's journal manifest entries, see
+    :meth:`SweepCellPlan.manifest_entry`) turns on the zero-compute warm
+    path: a sweep point whose recorded builder spec and case seed match
+    today's derivation is planned around a :class:`GraphStub` with the
+    recorded fingerprint instead of building the graph.  The graph is built
+    only where trust fails — and, with ``REPRO_VERIFY_MANIFEST=1``, always,
+    with the rebuild cross-checked against the record
+    (:class:`ManifestMismatchError`).
     """
     from ..core.rng import derive_seed
+
+    case_spec = getattr(config.graph_builder, "case_spec", None)
+    verify = os.environ.get("REPRO_VERIFY_MANIFEST", "") == "1"
+    by_size: Dict[int, List[Dict[str, Any]]] = {}
+    for entry in manifest or ():
+        if isinstance(entry, dict) and isinstance(entry.get("size"), int):
+            by_size.setdefault(entry["size"], []).append(entry)
 
     plans: List[SweepCellPlan] = []
     index = 0
     for size_parameter in sizes:
         case_seed = derive_seed(base_seed, config.experiment_id, "graph", size_parameter)
-        case = config.build_case(size_parameter, case_seed)
+        builder = case_spec(size_parameter, case_seed) if case_spec is not None else None
+        case = None
+        if builder is not None and size_parameter in by_size:
+            case = _trusted_stub_case(
+                by_size[size_parameter],
+                expected_builder=builder,
+                case_seed=case_seed,
+                size_parameter=size_parameter,
+            )
+            if case is not None and verify:
+                rebuilt = config.build_case(size_parameter, case_seed)
+                stub = case.graph
+                if (
+                    graph_fingerprint(rebuilt.graph) != stub.trusted_fingerprint
+                    or int(rebuilt.source) != int(case.source)
+                ):
+                    raise ManifestMismatchError(
+                        f"manifest record for {config.experiment_id} size "
+                        f"{size_parameter} does not match a rebuild: did a "
+                        f"builder change land without a version bump?"
+                    )
+        if case is None:
+            case = config.build_case(size_parameter, case_seed)
         budget = config.round_budget(size_parameter)
         for spec in config.protocols:
             plan = resolve_cell(
@@ -227,6 +385,8 @@ def resolve_sweep_plans(
                     spec=spec,
                     budget=budget,
                     plan=plan,
+                    case_seed=case_seed,
+                    builder=builder,
                 )
             )
             index += 1

@@ -30,6 +30,22 @@ Read API (always available):
 ``GET /ls?prefix=<hex>&proto=<name>``
     JSON ``{"store", "count", "entries": [...]}`` of the ``repro store ls``
     rows, optionally filtered by key prefix and/or protocol name.
+``GET /report/<section>`` / ``GET /report/<section>.json``
+    The experiment report rendered from cached cells only — zero simulation
+    and, on a warm manifest, zero graph construction.  ``<section>`` is a
+    registry experiment id, ``coupling``, ``fairness``, or ``all``; query
+    params ``only`` (comma-separated section filter, mirroring the CLI's
+    ``--only``), ``seed``, ``trials``, ``scale`` and ``backend`` select the
+    cell set.  Rendered reports are cached in memory keyed on the request
+    params and revalidated against the underlying cell-set fingerprint, so
+    a warm report answers without touching the experiment code at all.
+
+Every cacheable GET answer carries an ``ETag`` (object routes use the
+content-addressed key itself; journals and listings hash their bytes;
+reports use the cell-set fingerprint) and honours ``If-None-Match`` with a
+``304 Not Modified``, so polling dashboards and
+:class:`~repro.store.backends.RemoteBackend` readers revalidate instead of
+re-downloading.
 
 Write API (enabled only when the service is started with an auth token;
 every request must carry ``Authorization: Bearer <token>``, and a service
@@ -96,12 +112,35 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # responses
     # ------------------------------------------------------------------
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self, status: int, body: bytes, content_type: str, *, etag: Optional[str] = None
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if etag is not None:
+            self.send_header("ETag", f'"{etag}"')
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _if_none_match(self) -> set:
+        """The validators of the request's ``If-None-Match`` header, unquoted."""
+        tags = set()
+        for part in self.headers.get("If-None-Match", "").split(","):
+            part = part.strip()
+            if part.startswith("W/"):
+                part = part[2:].strip()
+            if part:
+                tags.add(part.strip('"'))
+        return tags
+
+    def _send_validated(self, body: bytes, content_type: str, etag: str) -> None:
+        """200 with an ETag, or 304 when the client already holds these bytes."""
+        tags = self._if_none_match()
+        if etag in tags or "*" in tags:
+            self._send(304, b"", content_type, etag=etag)
+            return
+        self._send(200, body, content_type, etag=etag)
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -183,7 +222,8 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 if row["key"].startswith(prefix) and (not proto or row["protocol"] == proto)
             ]
             payload = {"store": str(store.root), "count": len(entries), "entries": entries}
-            self._send_json(200, payload)
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._send_validated(body, "application/json", hashlib.sha256(body).hexdigest())
             return
 
         match = re.fullmatch(r"/cells/([^/]+)(/object)?", route)
@@ -194,19 +234,29 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 return
             # The sidecar is the commit marker: an object without one is
             # invisible, payload included, so a half-written cell can never
-            # be served.
+            # be served.  Objects are immutable and content-addressed, so
+            # the key itself is a perfect ETag for both routes.
             sidecar_bytes = store.backend.local.read_sidecar_bytes(key)
             if sidecar_bytes is None:
                 self._error(404, f"no object {key}")
                 return
             if not want_object:
-                self._send(200, sidecar_bytes, "application/json")
+                self._send_validated(sidecar_bytes, "application/json", key)
                 return
             npz_bytes = store.backend.local.read_npz_bytes(key)
             if npz_bytes is None:
                 self._error(404, f"object {key} has no NPZ payload")
                 return
-            self._send(200, npz_bytes, "application/octet-stream")
+            # An HTTP read (or revalidation) is a read: bump the payload's
+            # read stamp so `gc --max-bytes` LRU ordering sees served-hot
+            # cells as hot, not as eviction candidates.
+            store.backend.local.mark_read(key)
+            self._send_validated(npz_bytes, "application/octet-stream", key)
+            return
+
+        match = re.fullmatch(r"/report/([A-Za-z0-9_-]+)(\.json)?", route)
+        if match:
+            self._report(match.group(1), as_json=bool(match.group(2)), query=query)
             return
 
         if route == "/sweeps":
@@ -235,10 +285,78 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             if text is None:
                 self._error(404, f"no sweep {sweep}")
                 return
-            self._send(200, text.encode("utf-8"), "application/x-ndjson")
+            body = text.encode("utf-8")
+            self._send_validated(body, "application/x-ndjson", hashlib.sha256(body).hexdigest())
             return
 
         self._error(404, f"unknown route {route!r}")
+
+    def _report(self, name: str, *, as_json: bool, query: Dict[str, Any]) -> None:
+        """Serve ``/report/<section>[.json]`` from cached cells only.
+
+        The experiment layer is imported lazily so the store service stays
+        importable (and every other route keeps working) in stripped-down
+        deployments that only ship the store package.
+        """
+        from ..experiments import reporting
+
+        known = reporting.report_section_ids()
+        if name == "all":
+            sections = list(known)
+        elif name in known:
+            sections = [name]
+        else:
+            self._error(
+                404,
+                f"unknown report section {name!r}; choose from: all, {', '.join(known)}",
+            )
+            return
+        only: list = []
+        for raw in query.get("only", []):
+            only.extend(part for part in raw.split(",") if part)
+        if only:
+            unknown = [part for part in only if part not in known]
+            if unknown:
+                self._error(
+                    400,
+                    f"unknown report section(s) {', '.join(map(repr, unknown))}; "
+                    f"choose from: {', '.join(known)}",
+                )
+                return
+            sections = [section for section in sections if section in set(only)]
+        try:
+            base_seed = int((query.get("seed") or ["0"])[0])
+            trials_raw = (query.get("trials") or [""])[0]
+            trials = int(trials_raw) if trials_raw else None
+            scale = float((query.get("scale") or ["1.0"])[0])
+        except ValueError:
+            self._error(400, "report params seed/trials/scale must be numeric")
+            return
+        backend = (query.get("backend") or ["auto"])[0]
+        kwargs = dict(
+            sections=sections, base_seed=base_seed, trials=trials, scale=scale, backend=backend
+        )
+        params = (tuple(sections), base_seed, trials, scale, backend)
+        try:
+            # The fingerprint is cheap (key derivation + stat calls, no
+            # simulation) and pins the exact cell set: it validates the
+            # in-memory render cache *and* doubles as the HTTP ETag.
+            fingerprint = reporting.report_fingerprint(self.server.store, **kwargs)
+            cached = self.server.report_cache_get(params, fingerprint)
+            if cached is None:
+                payload = reporting.store_report_payload(self.server.store, **kwargs)
+                json_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
+                html_bytes = reporting.render_report_html(payload).encode("utf-8")
+                self.server.report_cache_put(params, fingerprint, json_bytes, html_bytes)
+            else:
+                json_bytes, html_bytes = cached
+        except StoreError as exc:
+            self._error(500, f"report failed: {exc}")
+            return
+        if as_json:
+            self._send_validated(json_bytes, "application/json", fingerprint)
+        else:
+            self._send_validated(html_bytes, "text/html; charset=utf-8", fingerprint)
 
     # ------------------------------------------------------------------
     # write routes (only with an auth token; read-only otherwise)
@@ -443,6 +561,29 @@ class _StoreHTTPServer(ThreadingHTTPServer):
         self.request_counts: Dict[str, int] = {}
         self._in_flight = 0
         self._idle = threading.Condition(self._counter_lock)
+        self._report_lock = threading.Lock()
+        self._report_cache: Dict[tuple, Tuple[str, bytes, bytes]] = {}
+
+    # ------------------------------------------------------------------
+    # rendered-report cache (validated by the cell-set fingerprint)
+    # ------------------------------------------------------------------
+    def report_cache_get(self, params: tuple, fingerprint: str) -> Optional[Tuple[bytes, bytes]]:
+        """Cached (json, html) bytes for ``params`` iff still fingerprint-fresh."""
+        with self._report_lock:
+            entry = self._report_cache.get(params)
+            if entry is not None and entry[0] == fingerprint:
+                return entry[1], entry[2]
+        return None
+
+    def report_cache_put(
+        self, params: tuple, fingerprint: str, json_bytes: bytes, html_bytes: bytes
+    ) -> None:
+        with self._report_lock:
+            # Bounded: a long-running server probed with many param combos
+            # must not hoard renders; drop the oldest insertion beyond 32.
+            while len(self._report_cache) >= 32:
+                self._report_cache.pop(next(iter(self._report_cache)))
+            self._report_cache[params] = (fingerprint, json_bytes, html_bytes)
 
     def count_request(self, route: str, *, method: str = "GET") -> None:
         """Tally one request per route kind (observability + test hooks).
@@ -455,6 +596,8 @@ class _StoreHTTPServer(ThreadingHTTPServer):
         """
         if route.startswith("/cells/"):
             kind = "/cells/*/object" if route.endswith("/object") else "/cells/*"
+        elif route.startswith("/report/"):
+            kind = "/report/*"
         elif route == "/sweeps/submit" and method == "POST":
             kind = "/sweeps/submit"
         elif route.startswith("/sweeps/"):
