@@ -17,6 +17,9 @@ Sub-commands
     submit/inspect leased sweeps on a hub.
 ``worker``
     Run a stateless sweep worker against a ``repro store serve`` hub.
+``trace summary|export``
+    Aggregate ``REPRO_TRACE`` span files into a per-phase wall-time table,
+    or export them as Chrome tracing JSON (``export --chrome``).
 
 The experiment-running sub-commands accept ``--store [PATH|URL]`` (cache
 every cell in a content-addressed result store; a bare ``--store`` uses
@@ -488,6 +491,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after computing this many cells (default: run to completion)",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="summarize or export REPRO_TRACE span files",
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_summary_parser = trace_subparsers.add_parser(
+        "summary", help="per-phase wall-time table aggregated over trace files"
+    )
+    trace_summary_parser.add_argument(
+        "paths", nargs="+", help="trace JSONL files or REPRO_TRACE directories"
+    )
+
+    trace_export_parser = trace_subparsers.add_parser(
+        "export", help="convert trace files for external viewers"
+    )
+    trace_export_parser.add_argument(
+        "paths", nargs="+", help="trace JSONL files or REPRO_TRACE directories"
+    )
+    trace_export_parser.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit Chrome tracing JSON (load in chrome://tracing or Perfetto)",
+    )
+    trace_export_parser.add_argument(
+        "--output", default=None, metavar="PATH", help="write here instead of stdout"
+    )
+
     return parser
 
 
@@ -928,6 +959,57 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from ..telemetry import chrome_trace, read_events, summarize_events, trace_files
+
+    files = []
+    for target in args.paths:
+        found = trace_files(target)
+        if not found:
+            print(f"no trace files under {target!r}", file=sys.stderr)
+            return 2
+        files.extend(found)
+    events = read_events(files)
+    if not events:
+        print("no trace events found", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "summary":
+        rows = [
+            [
+                row["phase"],
+                str(row["count"]),
+                str(row["events"]),
+                f"{row['total_seconds']:.4f}",
+                f"{row['mean_seconds']:.4f}",
+                f"{row['min_seconds']:.4f}",
+                f"{row['max_seconds']:.4f}",
+            ]
+            for row in summarize_events(events)
+        ]
+        print(
+            format_table(
+                ["phase", "spans", "events", "total s", "mean s", "min s", "max s"],
+                rows,
+            )
+        )
+        return 0
+
+    if not args.chrome:
+        print("trace export: pass --chrome to select the output format", file=sys.stderr)
+        return 2
+    payload = json.dumps(chrome_trace(events), separators=(",", ":"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {len(events)} events to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -946,6 +1028,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_store(args)
     if args.command == "worker":
         return _command_worker(args)
+    if args.command == "trace":
+        return _command_trace(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..graphs.graph import Graph, GraphError
+from ..telemetry import span, trace_enabled, trace_event
 from .agents import default_agent_count
 from .engine import default_max_rounds
 from .kernels import KERNEL_REGISTRY, batch_generator, get_kernel_class
@@ -345,14 +346,40 @@ def run_batch(
     retire(np.flatnonzero(kernel.complete_rows(active)), 0)
 
     round_index = 0
-    while active and round_index < budget:
-        round_index += 1
-        kernel.step(active)
-        if track_counts:
-            record_round(active, round_index)
-        finished = np.flatnonzero(kernel.complete_rows(active))
-        if finished.size:
-            retire(finished, round_index)
+    # Strided per-round trace samples: computed only when REPRO_TRACE is set,
+    # and assembled from side-effect-free reads (informed counts, frontier row
+    # lengths) so trajectories and store keys stay bit-identical either way.
+    sample_stride = max(1, budget // 64) if trace_enabled() else 0
+    with span(
+        "kernel.rounds",
+        protocol=kernel.name,
+        n=graph.num_vertices,
+        trials=num_trials,
+        budget=budget,
+        frontier=kernel.frontier_resolved,
+    ):
+        while active and round_index < budget:
+            round_index += 1
+            kernel.step(active)
+            if sample_stride and round_index % sample_stride == 0:
+                sample = {
+                    "round": round_index,
+                    "active": active,
+                    "informed": int(
+                        np.asarray(kernel.informed_vertex_counts(active)).sum()
+                    ),
+                }
+                frontier_rows = getattr(kernel, "_frontier_rows", None)
+                if frontier_rows is not None:
+                    sample["frontier"] = int(
+                        sum(len(rows) for rows in frontier_rows[:active])
+                    )
+                trace_event("kernel.round", **sample)
+            if track_counts:
+                record_round(active, round_index)
+            finished = np.flatnonzero(kernel.complete_rows(active))
+            if finished.size:
+                retire(finished, round_index)
     # Trials still running at budget exhaustion executed every round.
     for row in range(active):
         rounds_executed[int(kernel.trial_ids[row])] = round_index

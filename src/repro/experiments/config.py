@@ -93,6 +93,33 @@ part of the store key):
     version bump).  Off by default because it forfeits the zero-compute
     warm path; turn it on in CI or after editing a builder.
 
+Observability environment knobs
+-------------------------------
+Three further variables turn on the telemetry layer
+(:mod:`repro.telemetry`).  Telemetry observes, it never participates: no
+store key, seed derivation, or kernel trajectory depends on whether any of
+these is set — fixed-seed runs are bit-identical either way.
+
+``REPRO_TRACE``
+    A directory path: every instrumented phase (graph build, store key
+    derivation, kernel round loop, store read/write, lease/publish, report
+    render) appends one JSONL span record to ``trace-<pid>.jsonl`` there,
+    plus strided per-round informed-count/frontier samples from the kernel
+    loop.  Inspect with ``repro trace summary <dir>`` and
+    ``repro trace export --chrome <dir>``.  Unset (the default), spans are
+    a shared no-op object: no allocation, no I/O.
+``REPRO_LOG``
+    A stdlib logging level name (``DEBUG``, ``INFO``, ``WARNING``, ...):
+    structured key=value logs from the worker, farm, and remote-store
+    layers go to stderr at that level.  Unset, the ``repro`` loggers stay
+    unconfigured (silent under the stdlib default handling).
+``REPRO_METRICS``
+    Set to ``"0"`` to switch off *optional* background metric collection —
+    client-side counters (remote retry/degraded-read accounting) and the
+    workers' fleet-snapshot pushes to the hub.  The store service's own
+    request accounting and ``GET /metrics`` endpoint are unconditional:
+    they are part of the service contract, not an option.
+
 Publish wire format
 -------------------
 Distributed sweeps move these same two artifacts over HTTP.  A worker

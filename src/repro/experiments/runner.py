@@ -70,6 +70,7 @@ from ..store import (
     resolve_sweep_plans,
     sweep_payload,
 )
+from ..telemetry import span
 from .config import ExperimentConfig, GraphCase, ProtocolSpec
 
 __all__ = ["CellResult", "ExperimentResult", "run_trial_set", "run_experiment"]
@@ -220,73 +221,83 @@ def run_trial_set(
     so a cache hit returns a :class:`TrialSet` bit-identical to a recompute;
     ``force=True`` recomputes and overwrites the cached artifact.
     """
-    plan = resolve_cell(
-        protocol_spec,
-        case,
-        trials=trials,
-        base_seed=base_seed,
-        experiment_id=experiment_id,
-        max_rounds=max_rounds,
-        record_history=record_history,
-        backend=backend,
-        dynamics=dynamics,
-    )
+    with span("store.resolve", protocol=protocol_spec.name, n=case.graph.num_vertices):
+        plan = resolve_cell(
+            protocol_spec,
+            case,
+            trials=trials,
+            base_seed=base_seed,
+            experiment_id=experiment_id,
+            max_rounds=max_rounds,
+            record_history=record_history,
+            backend=backend,
+            dynamics=dynamics,
+        )
     store_obj = resolve_store(store)
     if store_obj is not None and not force:
-        cached = store_obj.get_trial_set(plan.key)
+        with span("store.read", key=plan.key):
+            cached = store_obj.get_trial_set(plan.key)
         if cached is not None:
             cached._store_status = ("cached", plan.key)
             return cached
 
-    if plan.backend == "compiled":
-        batch = run_compiled(
-            protocol_spec.name,
-            case.graph,
-            case.source,
-            seeds=list(plan.seeds),
-            max_rounds=max_rounds,
-            record_history=record_history,
-            dynamics=plan.dynamics,
-            **plan.kwargs,
-        )
-        trial_set = batch.to_trial_set()
-    elif plan.use_batched:
-        batch = run_batch(
-            protocol_spec.name,
-            case.graph,
-            case.source,
-            seeds=list(plan.seeds),
-            max_rounds=max_rounds,
-            record_history=record_history,
-            dynamics=plan.dynamics,
-            **plan.kwargs,
-        )
-        trial_set = batch.to_trial_set()
-        # Which state representation the kernels engaged ("sparse"/"dense");
-        # informational only — the two are bit-identical.
-        for result in trial_set.results:
-            result.metadata["frontier"] = batch.frontier_resolved
-    else:
-        engine = Engine(max_rounds=max_rounds, record_history=record_history)
-        results: List[RunResult] = []
-        for seed in plan.seeds:
-            protocol = make_protocol(
-                protocol_spec.name, dynamics=plan.dynamics, **plan.kwargs
+    with span(
+        "cell.execute",
+        protocol=protocol_spec.name,
+        backend=plan.backend,
+        n=case.graph.num_vertices,
+        trials=trials,
+    ):
+        if plan.backend == "compiled":
+            batch = run_compiled(
+                protocol_spec.name,
+                case.graph,
+                case.source,
+                seeds=list(plan.seeds),
+                max_rounds=max_rounds,
+                record_history=record_history,
+                dynamics=plan.dynamics,
+                **plan.kwargs,
             )
-            results.append(engine.run(protocol, case.graph, case.source, seed=seed))
-        trial_set = TrialSet(
-            protocol=protocol_spec.name,
-            graph_name=case.graph.name,
-            num_vertices=case.graph.num_vertices,
-        )
-        for result in results:
-            trial_set.add(result)
+            trial_set = batch.to_trial_set()
+        elif plan.use_batched:
+            batch = run_batch(
+                protocol_spec.name,
+                case.graph,
+                case.source,
+                seeds=list(plan.seeds),
+                max_rounds=max_rounds,
+                record_history=record_history,
+                dynamics=plan.dynamics,
+                **plan.kwargs,
+            )
+            trial_set = batch.to_trial_set()
+            # Which state representation the kernels engaged ("sparse"/"dense");
+            # informational only — the two are bit-identical.
+            for result in trial_set.results:
+                result.metadata["frontier"] = batch.frontier_resolved
+        else:
+            engine = Engine(max_rounds=max_rounds, record_history=record_history)
+            results: List[RunResult] = []
+            for seed in plan.seeds:
+                protocol = make_protocol(
+                    protocol_spec.name, dynamics=plan.dynamics, **plan.kwargs
+                )
+                results.append(engine.run(protocol, case.graph, case.source, seed=seed))
+            trial_set = TrialSet(
+                protocol=protocol_spec.name,
+                graph_name=case.graph.name,
+                num_vertices=case.graph.num_vertices,
+            )
+            for result in results:
+                trial_set.add(result)
 
     trial_set.backend = plan.backend
     for result in trial_set.results:
         result.metadata["backend"] = plan.backend
     if store_obj is not None:
-        store_obj.put_trial_set(plan.key, trial_set, cell=plan.payload)
+        with span("store.write", key=plan.key):
+            store_obj.put_trial_set(plan.key, trial_set, cell=plan.payload)
         trial_set._store_status = ("computed", plan.key)
     return trial_set
 
@@ -304,7 +315,8 @@ def _materialize_case(case_payload: Tuple) -> GraphCase:
     if kind == "case":
         return payload
     builder, size_parameter, case_seed = payload
-    return builder(size_parameter, case_seed)
+    with span("graph.build", size=size_parameter):
+        return builder(size_parameter, case_seed)
 
 
 def _run_cell(task: Tuple) -> CellResult:

@@ -64,10 +64,25 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ...telemetry import default_registry, get_logger, kv, metrics_enabled, span
 from .base import StoreBackend, check_key, encode_object_frame
 from .local import LocalBackend
 
 __all__ = ["CACHE_ENV_VAR", "RemoteBackend", "default_cache_root", "is_store_url"]
+
+_LOG = get_logger("store.remote")
+
+
+def _count(name: str, help: str) -> None:
+    """Bump a client-side counter in the process-global default registry.
+
+    Deliberately module-level (not instance state): backends are pickled
+    into worker processes and rebuilt on unpickle, and the counters' only
+    consumer — the worker's fleet-health push — reads the global registry.
+    """
+    if metrics_enabled():
+        default_registry().counter(name, help).inc()
+
 
 #: Environment variable overriding where remote backends cache objects.
 CACHE_ENV_VAR = "REPRO_STORE_CACHE"
@@ -283,6 +298,27 @@ class RemoteBackend(StoreBackend):
         attempts = self.retries + 1 if idempotent else 1
         started = time.monotonic()
         last_reason = "unknown error"
+
+        def _attempt_failed(attempt_index: int, reason: str) -> None:
+            # Every failed attempt is visible: a DEBUG line with enough
+            # context to reconstruct the retry schedule, and a counter the
+            # fault-proxy CI job (and the worker fleet push) can assert on.
+            _count(
+                "repro_remote_attempt_failures_total",
+                "Failed request attempts against store services (each retryable failure).",
+            )
+            _LOG.debug(
+                "request attempt failed %s",
+                kv(
+                    url=self.url,
+                    method=method,
+                    path=path,
+                    attempt=f"{attempt_index + 1}/{attempts}",
+                    elapsed=round(time.monotonic() - started, 4),
+                    reason=reason,
+                ),
+            )
+
         for attempt in range(attempts):
             if attempt:
                 delay = self.backoff * (2 ** (attempt - 1))
@@ -299,6 +335,7 @@ class RemoteBackend(StoreBackend):
                             f"truncated response for {path} "
                             f"({len(body)} of {declared} bytes)"
                         )
+                        _attempt_failed(attempt, last_reason)
                         continue
                     self._note_up()
                     return response.status, body, _strip_etag(response.headers.get("ETag"))
@@ -313,6 +350,7 @@ class RemoteBackend(StoreBackend):
                     return 404, body, None
                 if exc.code in _TRANSIENT_STATUSES:
                     last_reason = f"HTTP {exc.code} for {path}"
+                    _attempt_failed(attempt, last_reason)
                     continue
                 self._note_up()  # the hub answered; it just said no
                 raise _HTTPStatusError(exc.code, body) from exc
@@ -322,9 +360,25 @@ class RemoteBackend(StoreBackend):
                 # RemoteDisconnected/BadStatusLine on a dropped connection).
                 reason = getattr(exc, "reason", None)
                 last_reason = f"{reason or exc!r} for {path}"
+                _attempt_failed(attempt, last_reason)
                 continue
         elapsed = time.monotonic() - started
         self._note_down(last_reason)
+        _count(
+            "repro_remote_unavailable_total",
+            "Request retry loops exhausted against store services.",
+        )
+        _LOG.warning(
+            "request failed after retries %s",
+            kv(
+                url=self.url,
+                method=method,
+                path=path,
+                attempts=attempts,
+                elapsed=round(elapsed, 4),
+                reason=last_reason,
+            ),
+        )
         raise StoreUnavailableError(self.url, last_reason, attempts=attempts, elapsed=elapsed)
 
     def _note_up(self) -> None:
@@ -340,13 +394,23 @@ class RemoteBackend(StoreBackend):
         """Whether to swallow an outage on a read path (warn once per outage)."""
         if not self.degrade:
             return False
+        _count(
+            "repro_remote_degraded_reads_total",
+            "Reads served from the local cache because the store service was unreachable.",
+        )
         if not self._warned_down:
             self._warned_down = True
+            _LOG.warning(
+                "store unreachable, degrading to the local cache %s",
+                kv(url=self.url, error=str(exc)),
+            )
             warnings.warn(
                 f"store service unreachable, degrading to the local cache: {exc}",
                 RuntimeWarning,
                 stacklevel=3,
             )
+        else:
+            _LOG.debug("degraded read %s", kv(url=self.url, error=str(exc)))
         return True
 
     def _get(self, path: str, *, query: Optional[Dict[str, str]] = None) -> Optional[bytes]:
@@ -537,13 +601,14 @@ class RemoteBackend(StoreBackend):
         key = check_key(key)
         frame = encode_object_frame(npz_bytes, sidecar_bytes)
         try:
-            self._request(
-                "PUT",
-                f"/cells/{key}",
-                data=frame,
-                idempotent=True,  # content-addressed: replaying a PUT is safe
-                content_type="application/octet-stream",
-            )
+            with span("store.publish", key=key, bytes=len(frame)):
+                self._request(
+                    "PUT",
+                    f"/cells/{key}",
+                    data=frame,
+                    idempotent=True,  # content-addressed: replaying a PUT is safe
+                    content_type="application/octet-stream",
+                )
         except _HTTPStatusError as exc:
             if exc.code == 409:
                 raise StoreConflictError(exc.detail()) from exc

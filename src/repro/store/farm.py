@@ -40,15 +40,39 @@ these method calls.
 from __future__ import annotations
 
 import json
+import math
+import re
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..telemetry import MetricsRegistry, default_registry, get_logger, kv
 from .artifacts import ResultStore, StoreError
 from .journal import SweepJournal, sweep_id as compute_sweep_id
 
 __all__ = ["FarmCell", "FarmError", "SweepFarm", "UnknownLeaseError", "UnknownSweepError"]
+
+_LOG = get_logger("store.farm")
+
+#: Bounds on worker-pushed fleet snapshots: names must look like metric
+#: names, and one sweep tracks at most this many workers / metrics per
+#: worker so an abusive (or buggy) fleet cannot grow hub memory unbounded.
+_FLEET_NAME_RE = re.compile(r"^[a-z][a-z0-9_]{0,63}$")
+_MAX_FLEET_WORKERS = 256
+_MAX_FLEET_METRICS = 32
+
+#: Prometheus help strings of the lease-accounting counters (mirrors of the
+#: per-sweep ``stats`` dict, aggregated farm-wide).
+_STAT_HELP = {
+    "granted": "Leases granted to workers.",
+    "expired": "Leases that expired without completion (crashed or partitioned worker).",
+    "failed": "Leases released early by workers reporting an error.",
+    "completes": "Verified cell completions.",
+    "duplicate_completes": "Idempotent duplicate or late completions.",
+    "recovered": "Cells found already committed in the store.",
+    "conflicts": "Sweep re-submissions with a conflicting manifest.",
+}
 
 
 class FarmError(StoreError):
@@ -108,17 +132,36 @@ class _FarmSweep:
         }
     )
     finished_journaled: bool = False
+    #: Worker-pushed fleet-health snapshots: ``{worker: {metric: value}}``.
+    workers: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
 class SweepFarm:
     """Lease-based work queue over the cells of submitted sweeps."""
 
-    def __init__(self, store: ResultStore, *, lease_ttl: float = 60.0) -> None:
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        lease_ttl: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.store = store
         self.lease_ttl = float(lease_ttl)
+        # The hub's store service passes its per-server registry so farm
+        # counters land on that server's /metrics; standalone farms fall
+        # back to the process-global default registry.
+        self._registry = registry if registry is not None else default_registry()
         self._lock = threading.Lock()
         self._sweeps: Dict[str, _FarmSweep] = {}
         self._token_counter = 0
+
+    def _count(self, sweep: _FarmSweep, stat: str) -> None:
+        """One accounting event: the per-sweep stats dict (the protocol
+        contract reported by :meth:`status`) and the farm-wide registry
+        counter move together."""
+        sweep.stats[stat] += 1
+        self._registry.counter(f"repro_farm_{stat}_total", _STAT_HELP.get(stat, "")).inc()
 
     # ------------------------------------------------------------------
     # submission & recovery
@@ -146,7 +189,11 @@ class SweepFarm:
             known = self._sweeps.get(sid)
             if known is not None:
                 if [c.key for c in known.cells] != [c.key for c in rows]:
-                    known.stats["conflicts"] += 1
+                    self._count(known, "conflicts")
+                    _LOG.warning(
+                        "sweep re-submitted with a conflicting manifest %s",
+                        kv(sweep=sid, cells=len(rows)),
+                    )
                     raise FarmError(
                         f"sweep {sid} re-submitted with a different cell manifest "
                         "(mixed code versions across the fleet?)"
@@ -224,11 +271,20 @@ class SweepFarm:
         now = time.monotonic()
         for cell in sweep.cells:
             if cell.state == "leased" and cell.lease_deadline < now:
+                _LOG.info(
+                    "lease expired %s",
+                    kv(
+                        sweep=sweep.sweep_id,
+                        key=cell.key,
+                        worker=cell.worker,
+                        lease=cell.lease_token,
+                    ),
+                )
                 sweep.by_token.pop(cell.lease_token, None)
                 cell.state = "pending"
                 cell.lease_token = ""
                 cell.worker = ""
-                sweep.stats["expired"] += 1
+                self._count(sweep, "expired")
 
     def lease(self, sid: str, worker: str) -> Optional[Dict[str, Any]]:
         """Grant the lowest-index available cell to ``worker``.
@@ -256,7 +312,11 @@ class SweepFarm:
                 cell.lease_token = token
                 cell.lease_deadline = time.monotonic() + self.lease_ttl
                 sweep.by_token[token] = cell
-                sweep.stats["granted"] += 1
+                self._count(sweep, "granted")
+                _LOG.debug(
+                    "lease granted %s",
+                    kv(sweep=sid, key=cell.key, worker=cell.worker, lease=token),
+                )
                 return {
                     "sweep": sid,
                     "lease": token,
@@ -286,10 +346,14 @@ class SweepFarm:
             self._expire_locked(sweep)
             cell = sweep.by_token.pop(token, None)
             if cell is not None and cell.state == "leased":
+                _LOG.info(
+                    "lease failed by worker %s",
+                    kv(sweep=sid, key=cell.key, worker=cell.worker, reason=reason),
+                )
                 cell.state = "pending"
                 cell.lease_token = ""
                 cell.worker = ""
-                sweep.stats["failed"] += 1
+                self._count(sweep, "failed")
             return self._status_locked(sweep)
 
     # ------------------------------------------------------------------
@@ -311,7 +375,7 @@ class SweepFarm:
         cell.worker = worker
         cell.lease_token = ""
         if status == "recovered":
-            sweep.stats["recovered"] += 1
+            self._count(sweep, "recovered")
         if journal is not None:
             journal.cell(
                 index=cell.index,
@@ -355,7 +419,10 @@ class SweepFarm:
                     raise FarmError(f"sweep {sid} has no cell {key}")
                 cell = matches[0]
                 if cell.state == "done":
-                    sweep.stats["duplicate_completes"] += 1
+                    self._count(sweep, "duplicate_completes")
+                    _LOG.debug(
+                        "duplicate complete %s", kv(sweep=sid, key=key, worker=worker)
+                    )
                     return self._status_locked(sweep)
             if self.store.backend.local.read_sidecar_bytes(key) is None:
                 raise FarmError(
@@ -363,10 +430,14 @@ class SweepFarm:
                     "(publish it before completing)"
                 )
             if cell.state == "done":
-                sweep.stats["duplicate_completes"] += 1
+                self._count(sweep, "duplicate_completes")
+                _LOG.debug(
+                    "duplicate complete %s", kv(sweep=sid, key=key, worker=worker)
+                )
                 return self._status_locked(sweep)
             journal = SweepJournal(self.store, sweep.payload)
-            sweep.stats["completes"] += 1
+            self._count(sweep, "completes")
+            _LOG.debug("cell completed %s", kv(sweep=sid, key=key, worker=worker))
             self._mark_done(sweep, cell, status="farmed", worker=worker, journal=journal)
             return self._status_locked(sweep)
 
@@ -377,12 +448,17 @@ class SweepFarm:
         counts = {"pending": 0, "leased": 0, "done": 0}
         for cell in sweep.cells:
             counts[cell.state] += 1
-        return {
+        doc = {
             "sweep": sweep.sweep_id,
             "cells": len(sweep.cells),
             **counts,
             "stats": dict(sweep.stats),
         }
+        # Only present once a worker pushed a snapshot: pre-telemetry status
+        # documents keep their exact shape.
+        if sweep.workers:
+            doc["workers"] = {name: dict(m) for name, m in sweep.workers.items()}
+        return doc
 
     def status(self, sid: str) -> Dict[str, Any]:
         """Queue counts and accounting counters of one sweep."""
@@ -391,3 +467,72 @@ class SweepFarm:
             self._expire_locked(sweep)
             self._absorb_store(sweep)
             return self._status_locked(sweep)
+
+    # ------------------------------------------------------------------
+    # fleet health
+    # ------------------------------------------------------------------
+    def worker_metrics(
+        self, sid: str, worker: str, metrics: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Absorb one worker's pushed fleet-health snapshot.
+
+        Snapshots are observability only — they never influence leasing or
+        completion.  Validation is therefore lenient but bounded: metric
+        names must look like metric names (``[a-z][a-z0-9_]*``), values must
+        be finite numbers, and both the workers-per-sweep and
+        metrics-per-worker counts are capped.  Accepted values are stored on
+        the sweep (surfaced by :meth:`status`) and exported as
+        ``repro_fleet_<metric>{sweep=...,worker=...}`` gauges.
+        """
+        worker = str(worker).strip()
+        if not worker or len(worker) > 64:
+            raise FarmError("worker metrics need a worker name of 1-64 characters")
+        accepted: Dict[str, float] = {}
+        for name, value in (metrics or {}).items():
+            if not isinstance(name, str) or not _FLEET_NAME_RE.fullmatch(name):
+                continue
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                continue
+            if not math.isfinite(number):
+                continue
+            accepted[name] = number
+            if len(accepted) >= _MAX_FLEET_METRICS:
+                break
+        with self._lock:
+            sweep = self._ensure(sid)
+            if worker not in sweep.workers and len(sweep.workers) >= _MAX_FLEET_WORKERS:
+                raise FarmError(
+                    f"sweep {sid} already tracks {_MAX_FLEET_WORKERS} workers"
+                )
+            sweep.workers[worker] = accepted
+        for name, number in accepted.items():
+            self._registry.gauge(
+                f"repro_fleet_{name}",
+                "Worker-pushed fleet health snapshot value.",
+                labels=("sweep", "worker"),
+            ).labels(sweep=sid, worker=worker).set(number)
+        _LOG.debug(
+            "fleet metrics absorbed %s",
+            kv(sweep=sid, worker=worker, metrics=len(accepted)),
+        )
+        return {"sweep": sid, "worker": worker, "accepted": sorted(accepted)}
+
+    def export_queue_gauges(self) -> None:
+        """Refresh the farm-wide queue-depth gauges (scrape-time hook)."""
+        counts = {"pending": 0, "leased": 0, "done": 0}
+        with self._lock:
+            sweeps = len(self._sweeps)
+            for sweep in self._sweeps.values():
+                for cell in sweep.cells:
+                    counts[cell.state] += 1
+        gauge = self._registry.gauge(
+            "repro_farm_cells", "Farmed cells across submitted sweeps, by state.",
+            labels=("state",),
+        )
+        for state, value in counts.items():
+            gauge.labels(state=state).set(value)
+        self._registry.gauge(
+            "repro_farm_sweeps", "Sweeps currently tracked by the farm."
+        ).set(sweeps)

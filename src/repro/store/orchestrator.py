@@ -37,6 +37,7 @@ from ..core.batch import (
     trial_seeds,
 )
 from ..graphs.graph import Graph
+from ..telemetry import span
 from .artifacts import StoreError
 from .keys import cell_key, dynamics_spec, graph_fingerprint, trial_cell_payload
 
@@ -138,7 +139,8 @@ class CellPlan:
     @cached_property
     def key(self) -> str:
         """The cell's content address in a result store."""
-        return cell_key(self.payload)
+        with span("store.key", protocol=self.protocol_name):
+            return cell_key(self.payload)
 
 
 def resolve_cell(
@@ -364,7 +366,8 @@ def resolve_sweep_plans(
                         f"builder change land without a version bump?"
                     )
         if case is None:
-            case = config.build_case(size_parameter, case_seed)
+            with span("graph.build", size=size_parameter):
+                case = config.build_case(size_parameter, case_seed)
         budget = config.round_budget(size_parameter)
         for spec in config.protocols:
             plan = resolve_cell(

@@ -30,6 +30,11 @@ Read API (always available):
 ``GET /ls?prefix=<hex>&proto=<name>``
     JSON ``{"store", "count", "entries": [...]}`` of the ``repro store ls``
     rows, optionally filtered by key prefix and/or protocol name.
+``GET /metrics``
+    Prometheus text exposition of the per-server registry: request counts,
+    latencies and bytes by route kind, report-cache hit/miss, farm lease
+    accounting and queue depth, worker-pushed fleet health, and scrape-time
+    store object/byte gauges.  See :mod:`repro.telemetry.metrics`.
 ``GET /report/<section>`` / ``GET /report/<section>.json``
     The experiment report rendered from cached cells only — zero simulation
     and, on a warm manifest, zero graph construction.  ``<section>`` is a
@@ -65,6 +70,11 @@ without a token keeps answering 405 to every write, exactly as before):
 ``POST /sweeps/<id>/lease`` / ``heartbeat`` / ``complete`` / ``fail``
     The worker protocol: grant the next missing cell, renew a lease,
     record a published cell done, release a lease early.
+``POST /sweeps/<id>/metrics``
+    Fleet health: a worker pushes its ``{"worker": ..., "metrics": {...}}``
+    snapshot (cells completed, publish retries, degradations, heartbeat
+    RTT); the hub surfaces it in the sweep status document and on
+    ``GET /metrics`` as ``repro_fleet_*`` gauges.
 
 Graceful shutdown: :meth:`StoreService.request_stop` stops accepting new
 connections while in-flight requests run to completion
@@ -80,11 +90,13 @@ import hmac
 import json
 import re
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..telemetry import MetricsRegistry, span
 from .artifacts import ResultStore, StoreError
 from .backends import KEY_HEX_LENGTH, decode_object_frame
 from .farm import FarmError, SweepFarm, UnknownLeaseError, UnknownSweepError
@@ -102,6 +114,31 @@ _SWEEP_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 #: still bounding what an unauthenticated request can make the server read).
 _MAX_BODY_BYTES = 256 * 1024 * 1024
 
+#: Prometheus exposition content type served by ``GET /metrics``.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _route_kind(route: str, method: str = "GET") -> str:
+    """Collapse one request path into its bounded route-kind bucket.
+
+    Unknown paths share one bucket — a long-running server probed with
+    unique junk URLs must not grow a metric series per path.
+    """
+    if route.startswith("/cells/"):
+        return "/cells/*/object" if route.endswith("/object") else "/cells/*"
+    if route.startswith("/report/"):
+        return "/report/*"
+    if route == "/sweeps/submit" and method == "POST":
+        return "/sweeps/submit"
+    if route.startswith("/sweeps/"):
+        tail = route.rsplit("/", 1)[-1]
+        if tail in ("lease", "heartbeat", "complete", "fail", "status", "metrics"):
+            return f"/sweeps/*/{tail}"
+        return "/sweeps/*"
+    if route in ("/healthz", "/ls", "/sweeps", "/metrics"):
+        return route
+    return "<unknown>"
+
 
 class StoreRequestHandler(BaseHTTPRequestHandler):
     """One request against the served store."""
@@ -109,9 +146,17 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-store"
     protocol_version = "HTTP/1.1"
 
+    #: Status of the last response sent on this connection; stamped by
+    #: :meth:`send_response` so `_guarded` can label the latency metrics.
+    _response_status = 0
+
     # ------------------------------------------------------------------
     # responses
     # ------------------------------------------------------------------
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._response_status = code
+        super().send_response(code, message)
+
     def _send(
         self, status: int, body: bytes, content_type: str, *, etag: Optional[str] = None
     ) -> None:
@@ -122,6 +167,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self.server.count_bytes(len(body))
 
     def _if_none_match(self) -> set:
         """The validators of the request's ``If-None-Match`` header, unquoted."""
@@ -183,10 +229,18 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     def _guarded(self, dispatch) -> None:
         """Run one route dispatch inside the in-flight request window."""
         self.server.begin_request()
+        self._response_status = 0
+        started = time.monotonic()
         try:
             dispatch()
         finally:
             self.server.end_request()
+            route = urllib.parse.urlsplit(self.path).path.rstrip("/") or "/"
+            self.server.observe_request(
+                _route_kind(route, self.command),
+                self._response_status,
+                time.monotonic() - started,
+            )
 
     # ------------------------------------------------------------------
     # GET routes
@@ -224,6 +278,12 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             payload = {"store": str(store.root), "count": len(entries), "entries": entries}
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             self._send_validated(body, "application/json", hashlib.sha256(body).hexdigest())
+            return
+
+        if route == "/metrics":
+            self.server.collect_scrape_gauges()
+            body = self.server.metrics.render().encode("utf-8")
+            self._send(200, body, _METRICS_CONTENT_TYPE)
             return
 
         match = re.fullmatch(r"/cells/([^/]+)(/object)?", route)
@@ -344,9 +404,10 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             fingerprint = reporting.report_fingerprint(self.server.store, **kwargs)
             cached = self.server.report_cache_get(params, fingerprint)
             if cached is None:
-                payload = reporting.store_report_payload(self.server.store, **kwargs)
-                json_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
-                html_bytes = reporting.render_report_html(payload).encode("utf-8")
+                with span("report.render", sections=",".join(sections)):
+                    payload = reporting.store_report_payload(self.server.store, **kwargs)
+                    json_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
+                    html_bytes = reporting.render_report_html(payload).encode("utf-8")
                 self.server.report_cache_put(params, fingerprint, json_bytes, html_bytes)
             else:
                 json_bytes, html_bytes = cached
@@ -482,7 +543,9 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                 self._error(409, str(exc))
             return
 
-        match = re.fullmatch(r"/sweeps/([^/]+)/(lease|heartbeat|complete|fail)", route)
+        match = re.fullmatch(
+            r"/sweeps/([^/]+)/(lease|heartbeat|complete|fail|metrics)", route
+        )
         if not match:
             self._error(404, f"unknown write route {route!r}")
             return
@@ -499,6 +562,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
                     self._send_json(200, {"granted": True, **grant})
             elif action == "heartbeat":
                 self._send_json(200, farm.heartbeat(sweep_id, str(payload.get("lease", ""))))
+            elif action == "metrics":
+                result = farm.worker_metrics(
+                    sweep_id,
+                    str(payload.get("worker", "")),
+                    payload.get("metrics") or {},
+                )
+                self._send_json(200, result)
             elif action == "complete":
                 result = farm.complete(
                     sweep_id,
@@ -556,9 +626,39 @@ class _StoreHTTPServer(ThreadingHTTPServer):
         self.store = store
         self.quiet = quiet
         self.token = token
-        self.farm = SweepFarm(store, lease_ttl=lease_ttl)
+        # Per-server registry: two services in one process (a common test
+        # shape) must never see each other's request counts, so nothing
+        # here lands in the process-global default registry.
+        self.metrics = MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "repro_service_requests_total",
+            "Requests received, by route kind and HTTP method.",
+            labels=("route", "method"),
+        )
+        self._responses_total = self.metrics.counter(
+            "repro_service_responses_total",
+            "Responses sent, by route kind and status code.",
+            labels=("route", "status"),
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_service_request_seconds",
+            "Request handling latency, by route kind.",
+            labels=("route",),
+        )
+        self._bytes_sent = self.metrics.counter(
+            "repro_service_bytes_sent_total",
+            "Response body bytes written to clients.",
+        )
+        self._report_cache_hits = self.metrics.counter(
+            "repro_report_cache_hits_total",
+            "Report requests answered from the fingerprint-validated render cache.",
+        )
+        self._report_cache_misses = self.metrics.counter(
+            "repro_report_cache_misses_total",
+            "Report requests that had to render (cold or stale cache entry).",
+        )
+        self.farm = SweepFarm(store, lease_ttl=lease_ttl, registry=self.metrics)
         self._counter_lock = threading.Lock()
-        self.request_counts: Dict[str, int] = {}
         self._in_flight = 0
         self._idle = threading.Condition(self._counter_lock)
         self._report_lock = threading.Lock()
@@ -572,7 +672,9 @@ class _StoreHTTPServer(ThreadingHTTPServer):
         with self._report_lock:
             entry = self._report_cache.get(params)
             if entry is not None and entry[0] == fingerprint:
+                self._report_cache_hits.inc()
                 return entry[1], entry[2]
+        self._report_cache_misses.inc()
         return None
 
     def report_cache_put(
@@ -588,32 +690,59 @@ class _StoreHTTPServer(ThreadingHTTPServer):
     def count_request(self, route: str, *, method: str = "GET") -> None:
         """Tally one request per route kind (observability + test hooks).
 
-        Unknown paths share one bucket — a long-running server probed with
-        unique junk URLs must not grow a counter key per path.  Write
-        methods get their own buckets (``PUT /cells/*``,
-        ``POST /sweeps/*/lease``, ...) so farm traffic is visible next to
-        the read-path counters.
+        The tally lives in the per-server metrics registry (labeled by route
+        kind and method) and is therefore served live by ``GET /metrics`` —
+        not only flushed at shutdown.  Write methods get their own buckets
+        (``PUT /cells/*``, ``POST /sweeps/*/lease``, ...) so farm traffic is
+        visible next to the read-path counters.
         """
-        if route.startswith("/cells/"):
-            kind = "/cells/*/object" if route.endswith("/object") else "/cells/*"
-        elif route.startswith("/report/"):
-            kind = "/report/*"
-        elif route == "/sweeps/submit" and method == "POST":
-            kind = "/sweeps/submit"
-        elif route.startswith("/sweeps/"):
-            tail = route.rsplit("/", 1)[-1]
-            if tail in ("lease", "heartbeat", "complete", "fail", "status"):
-                kind = f"/sweeps/*/{tail}"
-            else:
-                kind = "/sweeps/*"
-        elif route in ("/healthz", "/ls", "/sweeps"):
-            kind = route
-        else:
-            kind = "<unknown>"
-        if method != "GET":
-            kind = f"{method} {kind}"
-        with self._counter_lock:
-            self.request_counts[kind] = self.request_counts.get(kind, 0) + 1
+        self._requests_total.labels(route=_route_kind(route, method), method=method).inc()
+
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        """The historical flat counter view, derived from the registry.
+
+        Keys keep their pre-registry shape — bare route kinds for GETs,
+        ``"<METHOD> <kind>"`` for writes — so the CLI shutdown banner and
+        the exact-count assertions in the test suite are unchanged.
+        """
+        counts: Dict[str, int] = {}
+        for values, series in self._requests_total.series_items():
+            route, method = values
+            key = route if method == "GET" else f"{method} {route}"
+            value = int(series.value)
+            if value:
+                counts[key] = counts.get(key, 0) + value
+        return counts
+
+    def observe_request(self, kind: str, status: int, elapsed: float) -> None:
+        """Record one finished request's status and latency."""
+        self._responses_total.labels(route=kind, status=str(status or 0)).inc()
+        self._request_seconds.labels(route=kind).observe(elapsed)
+
+    def count_bytes(self, nbytes: int) -> None:
+        if nbytes:
+            self._bytes_sent.inc(nbytes)
+
+    def collect_scrape_gauges(self) -> None:
+        """Refresh scrape-time gauges: store contents and farm queue depth.
+
+        Called per ``/metrics`` request rather than continuously — gauges
+        describe current state, so computing them anywhere else would only
+        buy staleness.
+        """
+        local = self.store.backend.local
+        keys = local.list_keys()
+        total = 0
+        for key in keys:
+            total += local.object_size(key) or 0
+        self.metrics.gauge(
+            "repro_store_objects", "Committed objects in the served store."
+        ).set(len(keys))
+        self.metrics.gauge(
+            "repro_store_bytes", "Committed object bytes in the served store."
+        ).set(total)
+        self.farm.export_queue_gauges()
 
     # ------------------------------------------------------------------
     # in-flight accounting (graceful shutdown)

@@ -43,12 +43,15 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import default_registry, get_logger, kv, metrics_enabled, span
 from .artifacts import ResultStore, StoreError, StoreUnavailableError
 from .backends.remote import RemoteBackend
 from .journal import sweep_id as compute_sweep_id
 from .orchestrator import SweepCellPlan, resolve_sweep_plans
 
 __all__ = ["run_worker", "submit_sweep", "sweep_status", "STALL_ENV_VAR"]
+
+_LOG = get_logger("store.worker")
 
 #: Test/fault-injection hook: a worker sleeps this many seconds between
 #: taking a lease and starting the simulation, giving kill-mid-cell tests a
@@ -168,7 +171,12 @@ def sweep_status(url: str, sid: str, *, token: str, cache: Any = None) -> Dict[s
 
 
 class _Heartbeat:
-    """Background lease renewal; flags the lease lost instead of raising."""
+    """Background lease renewal; flags the lease lost instead of raising.
+
+    Successful renewals are timed: ``beats`` / ``rtt_total`` / ``rtt_last``
+    feed the worker's fleet-health snapshot (heartbeat RTT is the cheapest
+    live proxy for worker-to-hub latency).
+    """
 
     def __init__(self, backend: RemoteBackend, sid: str, token: str, interval: float) -> None:
         self._backend = backend
@@ -177,12 +185,16 @@ class _Heartbeat:
         self._interval = max(interval, 0.05)
         self._stop = threading.Event()
         self.lost = False
+        self.beats = 0
+        self.rtt_total = 0.0
+        self.rtt_last = 0.0
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def _run(self) -> None:
         from .artifacts import StoreConflictError
 
         while not self._stop.wait(self._interval):
+            started = time.monotonic()
             try:
                 self._backend.post_json(
                     f"/sweeps/{self._sid}/heartbeat",
@@ -193,12 +205,19 @@ class _Heartbeat:
                 # 409: the lease expired (and may be re-granted).  The cell
                 # is a pure function, so a racing double-compute publishes
                 # identical bytes; abandoning just avoids the wasted work.
+                _LOG.warning(
+                    "heartbeat rejected, lease lost %s",
+                    kv(sweep=self._sid, lease=self._token),
+                )
                 self.lost = True
                 return
             except (StoreError, StoreUnavailableError):
                 # Hub unreachable or restarting: keep trying until the main
                 # loop finishes or the lease genuinely expires.
                 continue
+            self.rtt_last = time.monotonic() - started
+            self.rtt_total += self.rtt_last
+            self.beats += 1
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -250,18 +269,79 @@ def run_worker(
     stall = float(os.environ.get(STALL_ENV_VAR, "0") or 0)
     computed = 0
     abandoned = 0
+    heartbeats = 0
+    heartbeat_rtt_total = 0.0
+    heartbeat_rtt_last = 0.0
     status: Dict[str, Any] = {}
     hub_down_since: Optional[float] = None
+
+    # Client-side telemetry (retry/degradation counters) accumulates in the
+    # process-global registry; deltas from these baselines are what this
+    # worker itself caused during this run.
+    registry = default_registry()
+    base_retries = registry.counter_value("repro_remote_attempt_failures_total")
+    base_degraded = registry.counter_value("repro_remote_degraded_reads_total")
+    base_unavailable = registry.counter_value("repro_remote_unavailable_total")
+
+    def _fleet_snapshot() -> Dict[str, float]:
+        snapshot: Dict[str, float] = {
+            "cells_completed": computed,
+            "cells_abandoned": abandoned,
+            "remote_retries": registry.counter_value("repro_remote_attempt_failures_total")
+            - base_retries,
+            "degraded_reads": registry.counter_value("repro_remote_degraded_reads_total")
+            - base_degraded,
+            "hub_unavailable": registry.counter_value("repro_remote_unavailable_total")
+            - base_unavailable,
+            "heartbeats": heartbeats,
+        }
+        if heartbeats:
+            snapshot["heartbeat_rtt_seconds"] = heartbeat_rtt_total / heartbeats
+            snapshot["heartbeat_rtt_last_seconds"] = heartbeat_rtt_last
+        return snapshot
+
+    def _push_metrics() -> None:
+        """Push this worker's fleet-health snapshot to the hub (best-effort).
+
+        Fleet health is observability only: an unreachable hub — or an older
+        one without the ``/sweeps/<id>/metrics`` route (its 404 surfaces as
+        a ``None`` response, not an exception) — must never fail the loop.
+        """
+        if not metrics_enabled():
+            return
+        try:
+            backend.post_json(
+                f"/sweeps/{sid}/metrics",
+                {"worker": worker_name, "metrics": _fleet_snapshot()},
+                idempotent=True,
+            )
+        except StoreError as exc:
+            _LOG.debug("fleet metrics push failed %s", kv(sweep=sid, error=str(exc)))
+
+    _LOG.info(
+        "worker starting %s",
+        kv(worker=worker_name, sweep=sid, hub=url, cells=len(by_key)),
+    )
 
     while True:
         if max_cells is not None and computed >= max_cells:
             break
         try:
-            grant = backend.post_json(f"/sweeps/{sid}/lease", {"worker": worker_name})
+            with span("farm.lease", sweep=sid, worker=worker_name):
+                grant = backend.post_json(f"/sweeps/{sid}/lease", {"worker": worker_name})
         except StoreUnavailableError:
             now = time.monotonic()
+            if hub_down_since is None:
+                _LOG.warning(
+                    "hub unreachable, retrying %s",
+                    kv(worker=worker_name, sweep=sid, hub=url, patience=hub_patience),
+                )
             hub_down_since = hub_down_since or now
             if now - hub_down_since > hub_patience:
+                _LOG.error(
+                    "hub unreachable beyond patience, giving up %s",
+                    kv(worker=worker_name, sweep=sid, hub=url),
+                )
                 raise
             time.sleep(min(poll_interval * 4, 2.0))
             continue
@@ -279,9 +359,15 @@ def run_worker(
         lease_token = grant["lease"]
         ttl = float(grant.get("ttl", 60.0))
         cell = by_key[key]
+        _LOG.debug(
+            "lease received %s",
+            kv(worker=worker_name, sweep=sid, key=key, lease=lease_token, ttl=ttl),
+        )
         if stall > 0:
             time.sleep(stall)  # fault-injection window (kill -9 tests)
-        with _Heartbeat(backend, sid, lease_token, interval=ttl / 3.0) as heartbeat:
+        with span(
+            "worker.cell", sweep=sid, key=key, worker=worker_name
+        ), _Heartbeat(backend, sid, lease_token, interval=ttl / 3.0) as heartbeat:
             case = _case_for(cell)
             trial_set = run_trial_set(
                 cell.spec,
@@ -307,9 +393,18 @@ def run_worker(
                 if npz is None or sidecar is None:  # pragma: no cover - raced gc
                     raise StoreError(f"cell {key} vanished from the local cache mid-publish")
                 backend.publish_object(key, npz, sidecar)
-            if heartbeat.lost:
-                abandoned += 1
-                continue
+        heartbeats += heartbeat.beats
+        heartbeat_rtt_total += heartbeat.rtt_total
+        if heartbeat.beats:
+            heartbeat_rtt_last = heartbeat.rtt_last
+        if heartbeat.lost:
+            abandoned += 1
+            _LOG.warning(
+                "abandoning cell, lease lost mid-run %s",
+                kv(worker=worker_name, sweep=sid, key=key),
+            )
+            _push_metrics()
+            continue
         try:
             status = backend.post_json(
                 f"/sweeps/{sid}/complete",
@@ -322,7 +417,17 @@ def run_worker(
             # keep looping — the next lease call retries the hub anyway.
             status = {}
         computed += 1
+        _LOG.debug(
+            "cell completed %s",
+            kv(worker=worker_name, sweep=sid, key=key, computed=computed),
+        )
+        _push_metrics()
 
+    _push_metrics()
+    _LOG.info(
+        "worker finished %s",
+        kv(worker=worker_name, sweep=sid, computed=computed, abandoned=abandoned),
+    )
     return {
         "worker": worker_name,
         "computed": computed,

@@ -1,0 +1,95 @@
+"""Structured stdlib logging behind the ``REPRO_LOG`` environment knob.
+
+Every module logs through ``get_logger("store.worker")``-style children of
+the ``repro`` logger.  With ``REPRO_LOG`` unset nothing is configured: no
+handler is attached, propagation stays on (so pytest's ``caplog`` works),
+and the stdlib default WARNING threshold keeps the stack silent — exactly
+the pre-telemetry behavior.  Setting ``REPRO_LOG=debug`` (or ``info`` /
+``warning`` / ``error``) attaches one stderr handler with a key=value line
+format::
+
+    2026-08-07 12:00:00.123 DEBUG repro.store.remote request attempt failed \
+url=http://127.0.0.1:8321 attempt=1/4 elapsed=0.012 reason="HTTP 503"
+
+Messages are built with :func:`kv` so fields stay grep-able; values with
+spaces, quotes or ``=`` are JSON-quoted.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from typing import Any
+
+__all__ = ["LOG_ENV_VAR", "get_logger", "kv"]
+
+LOG_ENV_VAR = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_CONFIG_LOCK = threading.Lock()
+_CONFIGURED = False
+
+
+def kv(**fields: Any) -> str:
+    """Render keyword fields as a ``key=value`` string, in call order."""
+    parts = []
+    for key, value in fields.items():
+        text = str(value)
+        if not text or any(char in text for char in ' "=\n'):
+            text = json.dumps(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def _parse_level(raw: str) -> int:
+    level = _LEVELS.get(raw.strip().lower())
+    if level is not None:
+        return level
+    try:
+        return int(raw)
+    except ValueError:
+        return logging.INFO
+
+
+def _configure() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    raw = os.environ.get(LOG_ENV_VAR, "").strip()
+    if not raw:
+        return
+    with _CONFIG_LOCK:
+        if _CONFIGURED:
+            return
+        root = logging.getLogger("repro")
+        handler = logging.StreamHandler(sys.stderr)
+        formatter = logging.Formatter(
+            "%(asctime)s.%(msecs)03d %(levelname)s %(name)s %(message)s",
+            datefmt="%Y-%m-%d %H:%M:%S",
+        )
+        handler.setFormatter(formatter)
+        root.addHandler(handler)
+        root.setLevel(_parse_level(raw))
+        # The handler owns output now; propagating to the stdlib root logger
+        # would double-print under basicConfig'd host applications.
+        root.propagate = False
+        _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, configuring it on first use."""
+    _configure()
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,301 @@
+"""Trace spans: append-only JSONL phase timings gated on ``REPRO_TRACE``.
+
+``span("phase", **attrs)`` is a context manager.  While ``REPRO_TRACE`` is
+unset it returns a process-wide no-op singleton — no allocation, no I/O, no
+record — so instrumented hot paths (the kernel round loop, store reads) cost
+one environment lookup.  When ``REPRO_TRACE`` names a directory, every span
+appends one JSON line to ``trace-<pid>.jsonl`` there on exit::
+
+    {"ph": "X", "name": "kernel.rounds", "ts": 12.481, "dur": 0.932,
+     "wall": 1754500000.1, "pid": 4242, "tid": 140.., "depth": 1,
+     "parent": "cell.execute", "attrs": {"protocol": "push", "n": 16384}}
+
+``ts``/``dur`` come from :func:`time.monotonic` (robust against clock steps);
+``wall`` is :func:`time.time` at span entry so files from different processes
+can be aligned.  ``trace_event`` records instantaneous events (``"ph": "i"``)
+— the kernel round loop uses it for strided informed-count/frontier samples.
+
+Spans never feed back into computation: no store key, seed, or trajectory
+depends on whether tracing is on.  The reader half of the module
+(:func:`read_events`, :func:`summarize_events`, :func:`chrome_trace`) backs
+``repro trace summary`` and ``repro trace export --chrome``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "span",
+    "trace_event",
+    "trace_enabled",
+    "trace_files",
+    "read_events",
+    "summarize_events",
+    "chrome_trace",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def trace_enabled() -> bool:
+    """Whether spans currently record (``REPRO_TRACE`` names a directory)."""
+    return bool(os.environ.get(TRACE_ENV_VAR, "").strip())
+
+
+class _NullSpan:
+    """Singleton no-op: the disabled-mode fast path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _TraceWriter:
+    """Lazily opened append-only JSONL sink, one file per process.
+
+    The pid is re-checked on every write so forked workers (the process-pool
+    scheduler) each land in their own ``trace-<pid>.jsonl`` instead of
+    interleaving writes into an inherited handle.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._handle = None
+        self._pid: Optional[int] = None
+        self._dir: Optional[str] = None
+
+    def write(self, record: Dict[str, Any]) -> None:
+        directory = os.environ.get(TRACE_ENV_VAR, "").strip()
+        if not directory:
+            return
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True, default=str)
+        with self._lock:
+            pid = os.getpid()
+            if self._handle is None or self._pid != pid or self._dir != directory:
+                if self._handle is not None:
+                    try:
+                        self._handle.close()
+                    except OSError:
+                        pass
+                path = Path(directory)
+                try:
+                    path.mkdir(parents=True, exist_ok=True)
+                    self._handle = open(
+                        path / f"trace-{pid}.jsonl", "a", encoding="utf-8"
+                    )
+                except OSError:
+                    self._handle = None
+                    self._pid = self._dir = None
+                    return  # tracing is best-effort: never fail the traced work
+                self._pid, self._dir = pid, directory
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass
+
+
+_WRITER = _TraceWriter()
+_STACK = threading.local()
+
+
+def _stack() -> List[str]:
+    names = getattr(_STACK, "names", None)
+    if names is None:
+        names = _STACK.names = []
+    return names
+
+
+class _Span:
+    """An enabled span: records name, nesting, and monotonic duration."""
+
+    __slots__ = ("name", "attrs", "_start", "_wall", "_depth", "_parent")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        names = _stack()
+        self._depth = len(names)
+        self._parent = names[-1] if names else None
+        names.append(self.name)
+        self._wall = time.time()
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.monotonic() - self._start
+        names = _stack()
+        if names and names[-1] == self.name:
+            names.pop()
+        record: Dict[str, Any] = {
+            "ph": "X",
+            "name": self.name,
+            "ts": round(self._start, 6),
+            "dur": round(duration, 6),
+            "wall": round(self._wall, 6),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": self._depth,
+        }
+        if self._parent is not None:
+            record["parent"] = self._parent
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        _WRITER.write(record)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing one phase; a shared no-op when disabled."""
+    if not os.environ.get(TRACE_ENV_VAR, "").strip():
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def trace_event(name: str, **attrs: Any) -> None:
+    """Record one instantaneous event (no duration); no-op when disabled."""
+    if not os.environ.get(TRACE_ENV_VAR, "").strip():
+        return
+    record: Dict[str, Any] = {
+        "ph": "i",
+        "name": name,
+        "ts": round(time.monotonic(), 6),
+        "wall": round(time.time(), 6),
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    _WRITER.write(record)
+
+
+# ----------------------------------------------------------------------
+# readers: back the `repro trace` CLI
+# ----------------------------------------------------------------------
+
+
+def trace_files(target: str) -> List[Path]:
+    """The JSONL files behind *target*: the file itself, or ``dir/*.jsonl``."""
+    path = Path(target)
+    if path.is_dir():
+        return sorted(path.glob("*.jsonl"))
+    return [path]
+
+
+def read_events(paths: Iterable[Path]) -> List[Dict[str, Any]]:
+    """Parse trace records from *paths*, skipping malformed lines.
+
+    Torn final lines are expected — the writer appends while readers may run
+    concurrently — so anything that does not parse to a dict is dropped.
+    """
+    events: List[Dict[str, Any]] = []
+    for path in paths:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "name" in record:
+                events.append(record)
+    return events
+
+
+def summarize_events(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate spans into per-phase rows, heaviest total wall time first.
+
+    Instantaneous events (``"ph": "i"``) are counted but contribute no time.
+    """
+    phases: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        name = str(event.get("name"))
+        row = phases.setdefault(
+            name,
+            {
+                "phase": name,
+                "count": 0,
+                "events": 0,
+                "total_seconds": 0.0,
+                "min_seconds": None,
+                "max_seconds": 0.0,
+            },
+        )
+        if event.get("ph") == "i":
+            row["events"] += 1
+            continue
+        try:
+            duration = float(event.get("dur", 0.0))
+        except (TypeError, ValueError):
+            continue
+        row["count"] += 1
+        row["total_seconds"] += duration
+        row["max_seconds"] = max(row["max_seconds"], duration)
+        if row["min_seconds"] is None or duration < row["min_seconds"]:
+            row["min_seconds"] = duration
+    rows = []
+    for row in phases.values():
+        count = row["count"]
+        row["mean_seconds"] = row["total_seconds"] / count if count else 0.0
+        if row["min_seconds"] is None:
+            row["min_seconds"] = 0.0
+        rows.append(row)
+    rows.sort(key=lambda r: (-r["total_seconds"], r["phase"]))
+    return rows
+
+
+def chrome_trace(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Chrome ``chrome://tracing`` / Perfetto trace-event list.
+
+    Timestamps use the recorded wall clock (microseconds) so spans from
+    different processes line up on one timeline.
+    """
+    out: List[Dict[str, Any]] = []
+    for event in events:
+        try:
+            wall = float(event.get("wall", event.get("ts", 0.0)))
+        except (TypeError, ValueError):
+            continue
+        entry: Dict[str, Any] = {
+            "name": event.get("name", "?"),
+            "ph": "i" if event.get("ph") == "i" else "X",
+            "ts": int(wall * 1e6),
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+        }
+        if entry["ph"] == "X":
+            try:
+                entry["dur"] = max(0, int(float(event.get("dur", 0.0)) * 1e6))
+            except (TypeError, ValueError):
+                entry["dur"] = 0
+        else:
+            entry["s"] = "t"  # instant-event scope: thread
+        attrs = event.get("attrs")
+        if isinstance(attrs, dict) and attrs:
+            entry["args"] = attrs
+        out.append(entry)
+    out.sort(key=lambda entry: entry["ts"])
+    return out
