@@ -6,12 +6,22 @@ Sub-commands
     List every registered experiment with its paper reference.
 ``run <experiment-id>``
     Run one experiment (optionally scaled down) and print its table.
+    ``run --scenario FILE#name`` runs one scenario from a corpus manifest
+    instead of a registered experiment.
 ``run-all``
-    Run every registered experiment and print all tables.
+    Run every registered experiment and print all tables; with
+    ``--scenario FILE`` the manifest's scenarios join the roster.
 ``simulate``
-    Run a single protocol on a single graph and print the result.
+    Run one protocol on one graph and print the result.  Takes the same
+    ``--store/--backend/--workers/--dynamics`` flags as ``run``, so a
+    one-off simulation can hit the cache and the vectorized backends.
+``corpus run|status|report <manifest>``
+    Run (resumably), probe or render a scenario-corpus manifest — every
+    scenario becomes one store-backed sweep; a warm ``run`` recomputes
+    zero cells and constructs zero graphs.
 ``report``
-    Regenerate the Markdown experiment report (EXPERIMENTS.md content).
+    Regenerate the Markdown experiment report (EXPERIMENTS.md content);
+    ``--scenario FILE`` adds a manifest's scenarios as report sections.
 ``store serve|submit|status|ls|info|gc|export``
     Serve, inspect and manage the content-addressed result store, and
     submit/inspect leased sweeps on a hub.
@@ -36,7 +46,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .. import simulate
 from ..analysis.tables import format_table
 from ..core.protocols import PROTOCOL_REGISTRY
 from ..experiments import (
@@ -60,7 +69,7 @@ from ..graphs import (
     siamese_heavy_binary_tree,
     star,
 )
-from ..graphs.dynamic import resolve_dynamics
+from ..scenarios import resolve_dynamics
 from ..store import STORE_ENV_VAR, ResultStore
 
 __all__ = ["main", "build_parser"]
@@ -245,7 +254,22 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list registered experiments")
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment_id", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="experiment id (see 'list'); omit when using --scenario",
+    )
+    run_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE#NAME",
+        help=(
+            "run one scenario from a corpus manifest instead of a registered "
+            "experiment ('manifest.yaml#scenario-name'; the '#name' part is "
+            "optional when the manifest holds exactly one scenario)"
+        ),
+    )
     run_parser.add_argument("--seed", type=int, default=0, help="base random seed")
     run_parser.add_argument("--trials", type=int, default=None, help="override trials per cell")
     run_parser.add_argument(
@@ -257,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_options(run_parser)
 
     run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="also run every scenario of this corpus manifest",
+    )
     run_all_parser.add_argument("--seed", type=int, default=0)
     run_all_parser.add_argument("--trials", type=int, default=None)
     run_all_parser.add_argument("--scale", type=float, default=1.0)
@@ -271,10 +301,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--source", type=int, default=0)
     simulate_parser.add_argument("--seed", type=int, default=0)
     simulate_parser.add_argument("--agent-density", type=float, default=1.0)
-    _add_dynamics_option(simulate_parser)
+    simulate_parser.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="independent trials to run (default: 1; >1 prints summary stats)",
+    )
+    _add_execution_options(simulate_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="regenerate the Markdown experiment report"
+    )
+    report_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help=(
+            "register this corpus manifest's scenarios as report sections "
+            "(they join the ids accepted by --only and, with --serve, the "
+            "/report endpoints)"
+        ),
     )
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--trials", type=int, default=None)
@@ -329,6 +375,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_option(report_parser)
     _add_store_options(report_parser)
+
+    corpus_parser = subparsers.add_parser(
+        "corpus",
+        help="run, probe and report a scenario-corpus manifest (YAML/JSON)",
+    )
+    corpus_subparsers = corpus_parser.add_subparsers(
+        dest="corpus_command", required=True
+    )
+
+    corpus_run_parser = corpus_subparsers.add_parser(
+        "run",
+        help=(
+            "run (or resume) every scenario of a manifest as store-backed "
+            "sweeps; prints per-scenario counts and a final JSON summary "
+            "line with computed/cached cell and graph-construction counts"
+        ),
+    )
+    corpus_run_parser.add_argument("manifest", help="corpus manifest path")
+    corpus_run_parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    corpus_run_parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help="restrict the run to these scenario names",
+    )
+    corpus_run_parser.add_argument(
+        "--backend",
+        choices=["auto", "compiled", "batched", "sequential"],
+        default="auto",
+        help="trial-execution backend (as for 'run')",
+    )
+    corpus_run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run cells on a process pool of N workers (-1 = one per CPU)",
+    )
+    _add_store_options(corpus_run_parser)
+
+    corpus_status_parser = corpus_subparsers.add_parser(
+        "status",
+        help="probe which corpus cells the store already holds (JSON; no simulation)",
+    )
+    corpus_report_parser = corpus_subparsers.add_parser(
+        "report",
+        help="render the corpus Markdown report from cached cells (no simulation)",
+    )
+    for sub in (corpus_status_parser, corpus_report_parser):
+        sub.add_argument("manifest", help="corpus manifest path")
+        sub.add_argument("--seed", type=int, default=0, help="base random seed")
+        sub.add_argument(
+            "--backend",
+            choices=["auto", "compiled", "batched", "sequential"],
+            default="auto",
+            help="backend the cells were cached with (part of the cell key)",
+        )
+        sub.add_argument(
+            "--store",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="PATH|URL",
+            help=(
+                "result store to probe; with no value, uses "
+                f"${STORE_ENV_VAR} or '{DEFAULT_STORE_PATH}'"
+            ),
+        )
+    corpus_report_parser.add_argument(
+        "--output", default="-", help="output path, or '-' for stdout"
+    )
+    corpus_report_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on missing cells instead of rendering placeholders",
+    )
+    corpus_report_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "serve the corpus report over HTTP from the store "
+            "(GET /report/<scenario>[.json]) instead of writing a file"
+        ),
+    )
+    corpus_report_parser.add_argument(
+        "--host", default="127.0.0.1", help="--serve bind address (default: 127.0.0.1)"
+    )
+    corpus_report_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="--serve bind port (default: 8080; 0 = ephemeral)",
+    )
 
     store_parser = subparsers.add_parser(
         "store", help="serve, inspect and manage the content-addressed result store"
@@ -467,10 +606,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--name", default=None, help="worker name recorded in the sweep journal"
     )
     worker_parser.add_argument(
+        "--store",
         "--cache",
+        dest="cache",
         default=None,
         metavar="PATH",
-        help="local read-through cache directory (default: a private temp dir)",
+        help=(
+            "local read-through cache directory (default: a private temp "
+            "dir); --cache is the deprecated spelling"
+        ),
     )
     worker_parser.add_argument(
         "--poll-interval",
@@ -523,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_one(
-    experiment_id: str,
+    config,
     seed: int,
     trials: Optional[int],
     scale: float,
@@ -533,7 +677,6 @@ def _run_one(
     store=None,
     force: bool = False,
 ):
-    config = get_experiment(experiment_id)
     sizes = scaled_sizes(config.sizes, scale) if scale != 1.0 else None
     return run_experiment(
         config,
@@ -558,8 +701,24 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if (args.experiment_id is None) == (args.scenario is None):
+        print(
+            "run takes an experiment id or --scenario FILE#NAME (not both)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario is not None:
+        from ..scenarios import ScenarioError, resolve_scenario
+
+        try:
+            config = resolve_scenario(args.scenario).to_config()
+        except (ScenarioError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        config = get_experiment(args.experiment_id)
     result = _run_one(
-        args.experiment_id,
+        config,
         args.seed,
         args.trials,
         args.scale,
@@ -577,10 +736,18 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        from ..scenarios import ScenarioError, load_corpus, register_corpus
+
+        try:
+            register_corpus(load_corpus(args.scenario))
+        except (ScenarioError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     store = _resolve_store_arg(args)
     for experiment_id in list_experiment_ids():
         result = _run_one(
-            experiment_id,
+            get_experiment(experiment_id),
             args.seed,
             args.trials,
             args.scale,
@@ -596,25 +763,53 @@ def _command_run_all(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    from ..experiments.config import GraphCase, ProtocolSpec
+    from ..experiments.runner import run_trial_set
+
+    if args.workers is not None:
+        # Accepted for flag parity with run/run-all; a single cell has
+        # nothing to spread over a pool.
+        print("simulate runs one cell in-process; ignoring --workers", file=sys.stderr)
     graph = _build_graph(args.family, args.size, args.seed)
     kwargs = {}
     if args.protocol in ("visit-exchange", "meet-exchange", "hybrid-ppull-visitx"):
         kwargs["agent_density"] = args.agent_density
-    if args.dynamics is not None:
-        kwargs["dynamics"] = resolve_dynamics(args.dynamics)
-    result = simulate(
-        args.protocol, graph, source=args.source, seed=args.seed, **kwargs
+    trial_set = run_trial_set(
+        ProtocolSpec(name=args.protocol, kwargs=kwargs),
+        GraphCase(graph=graph, source=args.source, size_parameter=args.size),
+        trials=max(args.trials, 1),
+        base_seed=args.seed,
+        experiment_id="simulate",
+        backend=args.backend,
+        dynamics=resolve_dynamics(args.dynamics),
+        store=_resolve_store_arg(args),
+        force=args.force,
     )
+    first = trial_set.results[0]
     print(
-        f"{result.protocol} on {result.graph_name} (n={result.num_vertices}, "
-        f"m={result.num_edges}) from source {result.source}:"
+        f"{first.protocol} on {first.graph_name} (n={first.num_vertices}, "
+        f"m={first.num_edges}) from source {first.source}:"
     )
-    if result.completed:
-        print(f"  broadcast time = {result.broadcast_time} rounds")
+    if len(trial_set) == 1:
+        if first.completed:
+            print(f"  broadcast time = {first.broadcast_time} rounds")
+        else:
+            print(f"  did NOT complete within {first.rounds_executed} rounds")
     else:
-        print(f"  did NOT complete within {result.rounds_executed} rounds")
-    if result.num_agents:
-        print(f"  agents = {result.num_agents}")
+        mean = trial_set.mean_broadcast_time()
+        completed = len(trial_set.completed_results)
+        if mean is not None:
+            print(
+                f"  broadcast time = {mean:.1f} rounds "
+                f"(mean over {completed}/{len(trial_set)} completed trials)"
+            )
+        else:
+            print(f"  no trial completed ({len(trial_set)} ran)")
+    if first.num_agents:
+        print(f"  agents = {first.num_agents}")
+    status = trial_set.store_status
+    if status is not None:
+        print(f"  store: {status[0]} (cell {status[1][:16]})")
     return 0
 
 
@@ -639,6 +834,14 @@ def _command_report(args: argparse.Namespace) -> int:
         fairness_result_from_store,
     )
 
+    if args.scenario is not None:
+        from ..scenarios import ScenarioError, load_corpus, register_corpus
+
+        try:
+            register_corpus(load_corpus(args.scenario))
+        except (ScenarioError, OSError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     wanted = _report_sections(args)
     store = _resolve_store_arg(args)
     if args.serve:
@@ -707,7 +910,7 @@ def _command_report(args: argparse.Namespace) -> int:
             if experiment_id in ("coupling", "fairness"):
                 continue
             result = _run_one(
-                experiment_id,
+                get_experiment(experiment_id),
                 args.seed,
                 args.trials,
                 args.scale,
@@ -735,6 +938,94 @@ def _command_report(args: argparse.Namespace) -> int:
             handle.write(text)
         print(f"wrote {args.output}")
     return 0
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    import json
+
+    from ..scenarios import (
+        ScenarioError,
+        corpus_report,
+        corpus_status,
+        load_corpus,
+        register_corpus,
+        run_corpus,
+    )
+
+    try:
+        corpus = load_corpus(args.manifest)
+    except (ScenarioError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if getattr(args, "no_store", False):
+        print(
+            "corpus runs are store-backed; --no-store makes no sense here",
+            file=sys.stderr,
+        )
+        return 2
+    store = _resolve_store_arg(args)
+    if store is None:
+        store = ResultStore(_default_store_path())
+
+    try:
+        if args.corpus_command == "run":
+            summary = run_corpus(
+                corpus,
+                store=store,
+                base_seed=args.seed,
+                backend=args.backend,
+                workers=args.workers,
+                force=args.force,
+                names=args.only,
+            )
+            for row in summary.scenarios:
+                line = (
+                    f"{row.name}: {row.total_cells} cells "
+                    f"({row.computed} computed, {row.cached} cached)"
+                )
+                if row.rumor_cells:
+                    line += (
+                        f" + {row.rumor_cells} rumor cells "
+                        f"({row.rumor_computed} computed)"
+                    )
+                print(line)
+            print(json.dumps(summary.as_dict(), sort_keys=True))
+            return 0
+        if args.corpus_command == "status":
+            summary = corpus_status(
+                corpus, store=store, base_seed=args.seed, backend=args.backend
+            )
+            print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+            return 0
+        if args.corpus_command == "report":
+            if args.serve:
+                # Scenario sections render from the same /report endpoints as
+                # the standard experiments; registering the corpus in this
+                # process is what makes the service know them.
+                register_corpus(corpus)
+                return _serve_loop(store.root, host=args.host, port=args.port, token=None)
+            try:
+                text = corpus_report(
+                    corpus,
+                    store=store,
+                    base_seed=args.seed,
+                    backend=args.backend,
+                    strict=args.strict,
+                )
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 1
+            if args.output == "-":
+                print(text)
+            else:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                print(f"wrote {args.output}")
+            return 0
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    raise SystemExit(f"unknown corpus command {args.corpus_command!r}")
 
 
 def _serve_loop(
@@ -1024,6 +1315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "report":
         return _command_report(args)
+    if args.command == "corpus":
+        return _command_corpus(args)
     if args.command == "store":
         return _command_store(args)
     if args.command == "worker":

@@ -46,7 +46,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ...graphs.dynamic import DynamicsRuntime, resolve_dynamics
+from ...graphs.dynamic import DynamicsRuntime, _resolve_dynamics
 from ...graphs.graph import Graph
 
 __all__ = [
@@ -182,7 +182,7 @@ class BatchKernel:
         self._any_observers = bool(self.trial_observers) and any(
             bool(group) for group in self.trial_observers
         )
-        schedule = resolve_dynamics(self.dynamics)
+        schedule = _resolve_dynamics(self.dynamics)
         self._dyn = DynamicsRuntime(schedule, graph) if schedule is not None else None
         #: Per-round masks shared by all trials (None = everything active).
         self._slot_active: Optional[np.ndarray] = None

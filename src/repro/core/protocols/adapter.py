@@ -29,7 +29,7 @@ the batched driver see the same topology round for round.
 
 from __future__ import annotations
 
-from ...graphs.dynamic import resolve_dynamics
+from ...graphs.dynamic import _resolve_dynamics
 from ..engine import RoundProtocol
 from ..rng import make_rng
 
@@ -43,7 +43,7 @@ class KernelProtocolAdapter(RoundProtocol):
     kernel_class = None
 
     def __init__(self, **kernel_kwargs) -> None:
-        self._dynamics = resolve_dynamics(kernel_kwargs.pop("dynamics", None))
+        self._dynamics = _resolve_dynamics(kernel_kwargs.pop("dynamics", None))
         self._kernel_kwargs = dict(kernel_kwargs)
         self._kernel = None
 

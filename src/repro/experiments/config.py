@@ -55,6 +55,55 @@ version bump in its module's ``BUILDER_VERSION`` (or ``BUILDER_VERSIONS``
 entry); the spec then no longer matches and affected cells rebuild and
 re-fingerprint honestly.
 
+Scenario specs and the corpus manifest
+--------------------------------------
+Experiments don't have to be hand-registered factories: the scenario layer
+(:mod:`repro.scenarios`) compiles declarative *scenario specs* into these
+same :class:`ExperimentConfig` objects, so the runner, store, farm and
+reporting machinery above applies to them unchanged.
+
+Every axis shares one **spec grammar** (:mod:`repro.specs`): a spec is a
+dict with a ``kind`` key, or the equivalent compact string
+``kind:key=value,key=value`` (values coerce ``true``/``false`` → bool,
+then int, then float, then string).  The same grammar spells graph
+sources (``sbm:num_blocks=8,p_in=0.05,p_out=0.001``), dynamics schedules
+(``bernoulli-edges:rate=0.1``) and protocols (``push-pull``), on the CLI
+and in manifests alike.  :func:`repro.scenarios.resolve_scenario` is the
+entry point, mirroring :func:`repro.scenarios.resolve_dynamics` and
+:func:`repro.store.resolve_store`.
+
+A **corpus manifest** (YAML or JSON; see :mod:`repro.scenarios.corpus`
+for the full schema) names a set of scenarios::
+
+    corpus: my-corpus            # corpus name
+    defaults:                    # merged under every scenario entry
+      trials: 3
+      protocols: [push, push-pull]
+    scenarios:
+      - name: communities        # experiment id of the compiled config
+        graph: {kind: sbm, num_blocks: 4, p_in: 0.2, p_out: 0.01}
+        sizes: [256, 512, 1024]  # sweep sizes (default: [256,512,1024];
+                                 # file scenarios default to [1])
+        source: max-degree       # vertex id | zero | max-degree |
+                                 #   min-degree | random
+        dynamics: "bernoulli-edges:rate=0.1,seed=7"   # optional
+        max_rounds: {model: n log n, factor: 40}      # optional budget
+        rumors: {count: 3, interval: 4, trials: 2}    # optional
+                                 # multi-rumor contention block
+
+Graph kinds cover the paper families (``star``, ``double-star``, ...),
+the random families (``random-regular``, ``erdos-renyi``, ...), the
+corpus generators (``powerlaw``, ``sbm``, ``geometric``) and ingested
+files (``file`` with ``path``/``format``/``canonicalize``; the builder
+spec identifies the file by content hash, not path).  ``repro corpus
+run|status|report`` drives a manifest end to end against the store;
+``repro run --scenario FILE#name`` runs one scenario.
+
+*Migration note*: ``repro.graphs.dynamic.resolve_dynamics`` is now a
+deprecated shim for :func:`repro.scenarios.resolve_dynamics` (same
+arguments, same result) and will be removed one release after the
+scenario corpus; the shim emits a ``DeprecationWarning``.
+
 Execution-tier environment knobs
 --------------------------------
 The kernels pick their state representation and execution backend

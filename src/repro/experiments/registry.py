@@ -17,14 +17,22 @@ __all__ = ["register", "get_experiment", "list_experiment_ids", "all_experiments
 _REGISTRY: Dict[str, Callable[[], ExperimentConfig]] = {}
 
 
-def register(experiment_id: str, factory: Callable[[], ExperimentConfig]) -> None:
+def register(
+    experiment_id: str,
+    factory: Callable[[], ExperimentConfig],
+    *,
+    replace: bool = False,
+) -> None:
     """Register a configuration factory under a stable experiment id.
 
     A factory (rather than an instance) is registered so that building the
     configuration stays cheap at import time and experiments can be
-    re-instantiated independently.
+    re-instantiated independently.  ``replace=True`` allows overwriting an
+    existing registration — scenario corpora register their scenarios on
+    every load, and re-loading a manifest must be idempotent rather than an
+    error.
     """
-    if experiment_id in _REGISTRY:
+    if experiment_id in _REGISTRY and not replace:
         raise ValueError(f"experiment id {experiment_id!r} is already registered")
     _REGISTRY[experiment_id] = factory
 

@@ -56,7 +56,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..core.rng import make_rng
-from ..graphs.dynamic import DynamicsRuntime, resolve_dynamics
+from ..graphs.dynamic import DynamicsRuntime, _resolve_dynamics
 from ..graphs.graph import Graph, GraphError
 
 __all__ = ["DynamicAgentsResult", "DynamicAgentsSimulation", "DynamicVisitExchange"]
@@ -176,7 +176,7 @@ class DynamicAgentsSimulation:
         self.failure_round = failure_round
         self.failure_fraction = float(failure_fraction)
         self.lazy = bool(lazy)
-        self.dynamics = resolve_dynamics(dynamics)
+        self.dynamics = _resolve_dynamics(dynamics)
 
     # ------------------------------------------------------------------
     # public entry points

@@ -42,11 +42,13 @@ static all-active schedule reproduces the undynamic trajectories bit for bit.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..specs import SpecError, parse_spec_string
 from .graph import Graph, GraphError
 
 __all__ = [
@@ -453,7 +455,7 @@ class ComposedSchedule(TopologySchedule):
     def __init__(self, schedules: Sequence[TopologySchedule]) -> None:
         if not schedules:
             raise ValueError("ComposedSchedule needs at least one schedule")
-        self.schedules = [resolve_dynamics(s) for s in schedules]
+        self.schedules = [_resolve_dynamics(s) for s in schedules]
 
     def activity(self, graph: Graph, round_index: int) -> RoundActivity:
         edge_state = None
@@ -555,50 +557,30 @@ _SCHEDULE_KINDS = {
 }
 
 
-def _coerce(text: str):
-    """Parse a CLI spec value: int, float, bool, or the bare string."""
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text
-
-
-def _parse_spec_string(text: str) -> Dict[str, Any]:
-    """Parse the CLI form ``kind:key=value,key=value`` into a spec dict."""
-    kind, _, rest = text.partition(":")
-    spec: Dict[str, Any] = {"kind": kind.strip()}
-    if rest.strip():
-        for item in rest.split(","):
-            key, sep, value = item.partition("=")
-            if not sep:
-                raise ValueError(
-                    f"malformed dynamics spec item {item!r} (expected key=value)"
-                )
-            spec[key.strip()] = _coerce(value.strip())
-    return spec
-
-
-def resolve_dynamics(spec) -> Optional[TopologySchedule]:
+def _resolve_dynamics(spec) -> Optional[TopologySchedule]:
     """Resolve a ``dynamics=`` spec into a :class:`TopologySchedule`.
 
     Accepts ``None`` (no dynamics), a schedule instance (returned unchanged),
     a spec dict ``{"kind": <name>, **params}`` or the equivalent CLI string
-    ``"<kind>:key=value,key=value"``.  Kinds: ``static``, ``bernoulli-edges``
-    (params ``rate``, ``seed``), ``flapping`` (``period``, ``down_rounds``,
+    ``"<kind>:key=value,key=value"`` (the shared grammar of
+    :mod:`repro.specs`).  Kinds: ``static``, ``bernoulli-edges`` (params
+    ``rate``, ``seed``), ``flapping`` (``period``, ``down_rounds``,
     ``edge_fraction`` or ``edges``, ``seed``, ``random_phase``),
     ``node-crashes`` (``crash_round``, ``fraction`` or ``vertices``, ``seed``,
     ``duration``), ``edge-churn`` (``fail_rate``, ``recover_rate``, ``seed``)
     and ``compose`` (``schedules``: a list of nested specs).
+
+    This is the internal resolver the package itself calls; the public
+    :func:`resolve_dynamics` name is a deprecated shim around it (the
+    unified entry point is :func:`repro.scenarios.resolve_dynamics`).
     """
     if spec is None or isinstance(spec, TopologySchedule):
         return spec
     if isinstance(spec, str):
-        spec = _parse_spec_string(spec)
+        try:
+            spec = parse_spec_string(spec)
+        except SpecError as exc:
+            raise ValueError(f"malformed dynamics spec: {exc}") from None
     if not isinstance(spec, dict):
         raise TypeError(
             "dynamics must be None, a TopologySchedule, a spec dict or a spec string"
@@ -606,7 +588,7 @@ def resolve_dynamics(spec) -> Optional[TopologySchedule]:
     params = dict(spec)
     kind = params.pop("kind", None)
     if kind == "compose":
-        return ComposedSchedule([resolve_dynamics(s) for s in params.pop("schedules")])
+        return ComposedSchedule([_resolve_dynamics(s) for s in params.pop("schedules")])
     try:
         cls = _SCHEDULE_KINDS[kind]
     except KeyError:
@@ -618,3 +600,25 @@ def resolve_dynamics(spec) -> Optional[TopologySchedule]:
         rate = params.pop("rate")
         return cls(rate, **params)
     return cls(**params)
+
+
+def resolve_dynamics(spec) -> Optional[TopologySchedule]:
+    """Deprecated alias of the dynamics resolver — use the scenario layer.
+
+    The per-axis resolvers were unified behind one spec surface:
+    :func:`repro.scenarios.resolve_dynamics` accepts exactly the same values
+    (``None``, a schedule, a spec dict, a spec string) and
+    :func:`repro.scenarios.resolve_scenario` composes dynamics with graph
+    sources and protocols in one grammar.  This shim forwards unchanged and
+    will be removed one release after the scenario corpus (see the migration
+    note in :mod:`repro.experiments.config`).
+    """
+    warnings.warn(
+        "repro.graphs.dynamic.resolve_dynamics is deprecated; use "
+        "repro.scenarios.resolve_dynamics (same arguments, same result) or "
+        "repro.scenarios.resolve_scenario for full scenario specs. "
+        "This shim will be removed one release after the scenario corpus.",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _resolve_dynamics(spec)

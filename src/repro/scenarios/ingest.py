@@ -1,0 +1,332 @@
+"""Graph ingestion: edge-list / CSV / Matrix Market files → CSR graphs.
+
+Real-world topologies (road networks, commute graphs, social snapshots)
+arrive as text files; this module parses them into :class:`repro.graphs.Graph`
+instances so ingested scenarios flow through exactly the same
+content-addressed machinery as the generative families.  The contract that
+makes that sound:
+
+* **Structural fingerprints.**  The ingested graph is fingerprinted by
+  :func:`repro.store.keys.graph_fingerprint` over its *parsed* CSR arrays
+  (semantics v2), never over the raw bytes — two files listing the same
+  edges in different orders produce the same graph, the same fingerprint
+  and therefore the same store cells.
+* **Loud canonicalization.**  For that order-independence to hold, the
+  parser must not silently interpret defects: duplicate edges (including a
+  pair listed in both directions) and self-loops raise :class:`IngestError`
+  naming the file, the line and the offending pair.  Passing
+  ``canonicalize=True`` instead drops self-loops and collapses duplicates —
+  and that choice is recorded in the builder spec, so a canonicalized and a
+  strict ingest of the same file are distinct builder params (even though a
+  clean file yields the same graph either way).
+* **A versioned ``file`` builder.**  The family registers
+  ``("file", BUILDER_VERSION)`` where the version covers the *parser*:
+  any change to format sniffing, label relabeling, or canonicalization
+  semantics must bump it, invalidating manifest-trusted warm starts.  The
+  builder params identify the input by its content hash
+  (:func:`file_fingerprint`), not its path, so moving a fixture does not
+  invalidate its cells.
+
+Formats (sniffed from the suffix, or forced via ``format=``):
+
+``edges``
+    Whitespace-separated pairs, one edge per line; ``#``/``%`` comments;
+    extra columns (weights, timestamps) are ignored.
+``csv``
+    Comma-separated pairs; an optional header row whose first two fields
+    are recognized names (``source,target``, ``from,to``, ...) is skipped;
+    extra columns ignored.
+``mtx``
+    Matrix Market ``coordinate`` format, 1-based indices.  ``symmetric``
+    entries are undirected edges as-is; ``general`` entries are direction-
+    canonicalized first (so ``i j`` plus ``j i`` is a duplicate).  The
+    declared dimension is kept, preserving isolated vertices.
+
+Vertex labels in ``edges``/``csv`` files are opaque tokens, relabeled to
+``0..k-1`` by sorted order — numeric when every label parses as an
+integer, lexicographic otherwise — so the contiguous ids are a pure
+function of the label *set*, not of file order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graphs.builders import register_builder
+from ..graphs.graph import Graph, GraphError
+
+__all__ = [
+    "BUILDER_VERSION",
+    "IngestError",
+    "file_fingerprint",
+    "ingest_graph",
+    "sniff_format",
+]
+
+#: Version of the ``file`` builder family.  Covers the parser: bump on any
+#: change to format sniffing, relabeling, or canonicalization semantics.
+BUILDER_VERSION = 1
+register_builder("file", BUILDER_VERSION)
+
+_FORMATS = ("edges", "csv", "mtx")
+
+#: Header names recognized (case-insensitively) in a CSV first row.
+_CSV_HEADER_TOKENS = {
+    "source", "target", "src", "dst", "from", "to",
+    "u", "v", "node1", "node2", "id1", "id2",
+}
+
+
+class IngestError(GraphError):
+    """An input file cannot be parsed into a valid simple undirected graph."""
+
+
+def file_fingerprint(path) -> str:
+    """SHA-256 hex digest of a file's raw bytes.
+
+    This is the *input* identity used in ``file`` builder specs (cheap: no
+    parse, no construction) — distinct from the structural fingerprint of
+    the parsed graph, which is what store cell keys hash.
+    """
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def sniff_format(path) -> str:
+    """Guess the file format from its suffix, falling back to content.
+
+    ``.mtx``/``.mm`` → ``mtx``; ``.csv`` → ``csv``; a leading
+    ``%%MatrixMarket`` banner → ``mtx``; anything else → ``edges``.
+    """
+    suffix = Path(path).suffix.lower()
+    if suffix in (".mtx", ".mm"):
+        return "mtx"
+    if suffix == ".csv":
+        return "csv"
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(64)
+    except OSError:
+        return "edges"
+    if head.startswith(b"%%MatrixMarket"):
+        return "mtx"
+    return "edges"
+
+
+def _data_lines(path) -> List[Tuple[int, str]]:
+    """Non-empty, non-comment lines with their 1-based line numbers."""
+    lines: List[Tuple[int, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#") or text.startswith("%"):
+                continue
+            lines.append((number, text))
+    return lines
+
+
+def _relabel(
+    raw_pairs: List[Tuple[str, str]],
+) -> Tuple[int, List[Tuple[int, int]]]:
+    """Map opaque labels to 0..k-1 by sorted order (numeric when possible)."""
+    labels = {label for pair in raw_pairs for label in pair}
+    try:
+        ordered = sorted(labels, key=int)
+    except ValueError:
+        ordered = sorted(labels)
+    index = {label: i for i, label in enumerate(ordered)}
+    return len(ordered), [(index[a], index[b]) for a, b in raw_pairs]
+
+
+def _parse_pairs(path, *, delimiter: Optional[str], skip_header: bool):
+    """Shared edge-list/CSV parse: (line, label-pair) tuples."""
+    lines = _data_lines(path)
+    if skip_header and lines:
+        _, first = lines[0]
+        fields = [f.strip().lower() for f in first.split(delimiter)]
+        if len(fields) >= 2 and fields[0] in _CSV_HEADER_TOKENS and fields[1] in _CSV_HEADER_TOKENS:
+            lines = lines[1:]
+    pairs: List[Tuple[int, Tuple[str, str]]] = []
+    for number, text in lines:
+        fields = [f.strip() for f in text.split(delimiter)]
+        fields = [f for f in fields if f]
+        if len(fields) < 2:
+            raise IngestError(
+                f"{path}: line {number}: expected at least two fields, got {text!r}"
+            )
+        pairs.append((number, (fields[0], fields[1])))
+    return pairs
+
+
+def _parse_mtx(path):
+    """Matrix Market coordinate parse → (num_vertices, line/pair tuples)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline()
+    tokens = header.strip().lower().split()
+    if len(tokens) < 5 or tokens[0] != "%%matrixmarket" or tokens[1] != "matrix":
+        raise IngestError(f"{path}: missing %%MatrixMarket matrix banner")
+    layout, symmetry = tokens[2], tokens[4]
+    if layout != "coordinate":
+        raise IngestError(
+            f"{path}: only 'coordinate' Matrix Market layout is supported, got {layout!r}"
+        )
+    if symmetry not in ("general", "symmetric"):
+        raise IngestError(
+            f"{path}: unsupported Matrix Market symmetry {symmetry!r} "
+            "(expected 'general' or 'symmetric')"
+        )
+    lines = _data_lines(path)
+    if not lines:
+        raise IngestError(f"{path}: missing Matrix Market size line")
+    number, size_line = lines[0]
+    fields = size_line.split()
+    if len(fields) < 3:
+        raise IngestError(f"{path}: line {number}: malformed size line {size_line!r}")
+    try:
+        rows, cols, nnz = int(fields[0]), int(fields[1]), int(fields[2])
+    except ValueError:
+        raise IngestError(
+            f"{path}: line {number}: malformed size line {size_line!r}"
+        ) from None
+    if rows != cols:
+        raise IngestError(
+            f"{path}: adjacency matrix must be square, got {rows}x{cols}"
+        )
+    entries: List[Tuple[int, Tuple[int, int]]] = []
+    for number, text in lines[1:]:
+        fields = text.split()
+        try:
+            i, j = int(fields[0]), int(fields[1])
+        except (IndexError, ValueError):
+            raise IngestError(
+                f"{path}: line {number}: malformed coordinate entry {text!r}"
+            ) from None
+        if not (1 <= i <= rows and 1 <= j <= rows):
+            raise IngestError(
+                f"{path}: line {number}: index ({i}, {j}) outside declared "
+                f"dimension {rows}"
+            )
+        entries.append((number, (i - 1, j - 1)))
+    if len(entries) != nnz:
+        raise IngestError(
+            f"{path}: declared {nnz} entries but found {len(entries)}"
+        )
+    return rows, entries
+
+
+def _check_and_canonicalize(
+    path,
+    num_vertices: int,
+    located_pairs: List[Tuple[int, Tuple[int, int]]],
+    *,
+    canonicalize: bool,
+) -> np.ndarray:
+    """Apply the duplicate/self-loop policy and return a clean (m, 2) array.
+
+    Strict mode (the default) raises :class:`IngestError` on the first
+    self-loop or duplicate — including a pair listed in both directions —
+    naming the file, line and pair.  ``canonicalize=True`` drops self-loops
+    and collapses duplicates instead; the caller records that flag in the
+    builder spec.
+    """
+    if not located_pairs:
+        raise IngestError(f"{path}: no edges found")
+    lines = np.array([number for number, _ in located_pairs], dtype=np.int64)
+    us = np.array([pair[0] for _, pair in located_pairs], dtype=np.int64)
+    vs = np.array([pair[1] for _, pair in located_pairs], dtype=np.int64)
+
+    loops = us == vs
+    if loops.any():
+        if not canonicalize:
+            at = int(np.flatnonzero(loops)[0])
+            raise IngestError(
+                f"{path}: line {int(lines[at])}: self-loop on vertex "
+                f"{int(us[at])}; pass canonicalize=True to drop self-loops"
+            )
+        keep = ~loops
+        lines, us, vs = lines[keep], us[keep], vs[keep]
+        if us.size == 0:
+            raise IngestError(f"{path}: no edges left after dropping self-loops")
+
+    lo = np.minimum(us, vs)
+    hi = np.maximum(us, vs)
+    packed = lo * np.int64(num_vertices) + hi
+    unique, first_index, counts = np.unique(
+        packed, return_index=True, return_counts=True
+    )
+    if (counts > 1).any() and not canonicalize:
+        dup = unique[counts > 1][0]
+        where = np.flatnonzero(packed == dup)
+        u, v = int(dup // num_vertices), int(dup % num_vertices)
+        raise IngestError(
+            f"{path}: duplicate edge ({u}, {v}) at lines "
+            f"{', '.join(str(int(lines[i])) for i in where)} (a pair listed "
+            "in both directions counts); pass canonicalize=True to collapse "
+            "duplicates"
+        )
+    order = np.sort(first_index)
+    return np.stack([lo[order], hi[order]], axis=1)
+
+
+def ingest_graph(
+    path,
+    *,
+    format: str = "auto",
+    canonicalize: bool = False,
+    name: Optional[str] = None,
+) -> Graph:
+    """Parse a graph file into a :class:`~repro.graphs.Graph`.
+
+    ``format`` is one of ``"auto"`` (sniff, see :func:`sniff_format`),
+    ``"edges"``, ``"csv"`` or ``"mtx"``.  Strict by default: duplicate
+    edges and self-loops raise :class:`IngestError`; ``canonicalize=True``
+    cleans them instead (record that flag wherever the ingest identity
+    matters — the ``file`` builder spec does).  ``name`` defaults to the
+    file's stem.
+    """
+    path = Path(path)
+    fmt = format if format != "auto" else sniff_format(path)
+    if fmt not in _FORMATS:
+        raise IngestError(
+            f"unknown ingest format {format!r}; expected one of "
+            f"{', '.join(_FORMATS)} or 'auto'"
+        )
+    if not path.exists():
+        raise IngestError(f"{path}: no such file")
+
+    if fmt == "mtx":
+        num_vertices, located = _parse_mtx(path)
+    else:
+        delimiter = "," if fmt == "csv" else None
+        raw = _parse_pairs(path, delimiter=delimiter, skip_header=fmt == "csv")
+        num_vertices, pairs = _relabel([pair for _, pair in raw])
+        located = [(number, pair) for (number, _), pair in zip(raw, pairs)]
+    edges = _check_and_canonicalize(
+        path, num_vertices, located, canonicalize=canonicalize
+    )
+    return Graph(num_vertices, edges, name=name if name is not None else path.stem)
+
+
+def file_builder_params(
+    path, *, format: str = "auto", canonicalize: bool = False
+) -> Dict[str, Any]:
+    """The ``file`` family's canonical builder params for one input file.
+
+    Content-addressed: the file is identified by its byte hash plus the
+    parse options, never its path — so a manifest-trusted warm start
+    survives moving the fixture, while editing a single byte of it (or
+    flipping ``canonicalize``) honestly invalidates the trust.
+    """
+    fmt = format if format != "auto" else sniff_format(path)
+    return {
+        "sha256": file_fingerprint(path),
+        "format": fmt,
+        "canonicalize": bool(canonicalize),
+    }

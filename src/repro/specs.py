@@ -1,0 +1,96 @@
+"""The shared spec-string grammar: one surface for every resolvable axis.
+
+Historically each configuration axis grew its own spelling: dynamics specs
+were ``"<kind>:key=value,key=value"`` strings parsed inside
+:mod:`repro.graphs.dynamic`, store designators were paths-or-URLs, and graph
+sources were hard-coded CLI choices.  The scenario layer
+(:mod:`repro.scenarios`) unifies them: **every** axis — graph source,
+dynamics schedule, protocol — accepts either a spec dict ``{"kind": <name>,
+**params}`` or the equivalent compact string ``"<kind>:key=value,..."``,
+and this module is the single implementation of that grammar.
+
+Grammar of the string form::
+
+    spec        := kind [":" item ("," item)*]
+    item        := key "=" value
+    value       := int | float | "true" | "false" | bare string
+
+Values are coerced in that order (ints before floats before strings), which
+matches how the dynamics CLI strings have always parsed; dicts and strings
+round-trip through :func:`parse_spec_string` / :func:`format_spec_string`
+for any spec whose values are scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["SpecError", "coerce_scalar", "parse_spec_string", "format_spec_string"]
+
+
+class SpecError(ValueError):
+    """A spec dict or spec string does not conform to the shared grammar."""
+
+
+def coerce_scalar(text: str) -> Any:
+    """Parse one spec value: int, float, bool, or the bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_spec_string(text: str) -> Dict[str, Any]:
+    """Parse the compact form ``kind:key=value,key=value`` into a spec dict.
+
+    The result always carries a ``"kind"`` entry (the part before the first
+    ``:``); the remaining items become keyword parameters with
+    :func:`coerce_scalar`-typed values.  Raises :class:`SpecError` on a
+    malformed item or an empty kind.
+    """
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise SpecError(f"spec string {text!r} has no kind before the ':'")
+    spec: Dict[str, Any] = {"kind": kind}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise SpecError(
+                    f"malformed spec item {item!r} (expected key=value)"
+                )
+            spec[key.strip()] = coerce_scalar(value.strip())
+    return spec
+
+
+def format_spec_string(spec: Dict[str, Any]) -> str:
+    """Render a scalar-valued spec dict in the compact ``kind:k=v,...`` form.
+
+    The inverse of :func:`parse_spec_string` for dicts whose values are
+    ints/floats/bools/strings; nested values raise :class:`SpecError`
+    (nested specs only exist in the dict form).
+    """
+    params = dict(spec)
+    kind = params.pop("kind", None)
+    if not kind:
+        raise SpecError(f"spec dict {spec!r} has no 'kind'")
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, bool):
+            rendered = "true" if value else "false"
+        elif isinstance(value, (int, float, str)):
+            rendered = str(value)
+        else:
+            raise SpecError(
+                f"spec value {key}={value!r} is not a scalar; "
+                "use the dict form for nested specs"
+            )
+        items.append(f"{key}={rendered}")
+    return str(kind) + (":" + ",".join(items) if items else "")

@@ -36,7 +36,7 @@ from typing import Any, Dict, Optional, Sequence
 import numpy as np
 
 from ..core.results import _json_safe
-from ..graphs.dynamic import resolve_dynamics
+from ..graphs.dynamic import _resolve_dynamics
 from ..graphs.graph import Graph
 
 __all__ = [
@@ -127,7 +127,7 @@ def dynamics_spec(dynamics: Any) -> Optional[Dict[str, Any]]:
     returns the schedule's round-trippable ``spec()`` form, which is what the
     cell key hashes.
     """
-    schedule = resolve_dynamics(dynamics)
+    schedule = _resolve_dynamics(dynamics)
     return None if schedule is None else schedule.spec()
 
 

@@ -1,0 +1,143 @@
+"""Tests for the generative corpus families (repro.scenarios.generators)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    powerlaw_configuration,
+    random_geometric,
+    stochastic_block_model,
+)
+
+
+def degrees(graph) -> np.ndarray:
+    return np.diff(graph.indptr)
+
+
+def same_structure(a, b) -> bool:
+    return (
+        a.num_vertices == b.num_vertices
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+    )
+
+
+class TestPowerlawConfiguration:
+    def test_degree_floor_and_heavy_tail(self):
+        graph = powerlaw_configuration(
+            4000, 2.5, np.random.default_rng(7), min_degree=2
+        )
+        d = degrees(graph)
+        assert graph.num_vertices == 4000
+        # The erased configuration model may lose parallel/self stubs, but
+        # no vertex is left isolated.
+        assert d.min() >= 1
+        # Heavy tail: the hubs dwarf the typical vertex by an order of
+        # magnitude — the signature a regular or Poisson family never shows.
+        assert d.max() >= 10 * np.median(d)
+
+    def test_exponent_controls_tail_weight(self):
+        rng = np.random.default_rng(3)
+        shallow = powerlaw_configuration(4000, 2.1, rng)
+        rng = np.random.default_rng(3)
+        steep = powerlaw_configuration(4000, 3.5, rng)
+        assert degrees(shallow).max() > degrees(steep).max()
+
+    def test_deterministic_in_seed(self):
+        a = powerlaw_configuration(500, 2.5, np.random.default_rng(11))
+        b = powerlaw_configuration(500, 2.5, np.random.default_rng(11))
+        c = powerlaw_configuration(500, 2.5, np.random.default_rng(12))
+        assert same_structure(a, b)
+        assert not same_structure(a, c)
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            powerlaw_configuration(100, 1.0, rng)
+        with pytest.raises(ValueError):
+            powerlaw_configuration(1, 2.5, rng)
+
+
+class TestStochasticBlockModel:
+    def test_intra_density_dominates(self):
+        n, blocks = 1200, 4
+        graph = stochastic_block_model(n, blocks, 0.08, 0.004, np.random.default_rng(5))
+        block_of = np.arange(n) * blocks // n
+        intra = inter = 0
+        for u, v in graph.edges():
+            if block_of[u] == block_of[v]:
+                intra += 1
+            else:
+                inter += 1
+        per_block = n // blocks
+        intra_pairs = blocks * per_block * (per_block - 1) / 2
+        inter_pairs = n * (n - 1) / 2 - intra_pairs
+        assert intra / intra_pairs == pytest.approx(0.08, rel=0.25)
+        assert inter / inter_pairs == pytest.approx(0.004, rel=0.35)
+        assert intra / intra_pairs > 5 * (inter / inter_pairs)
+
+    def test_deterministic_in_seed(self):
+        a = stochastic_block_model(400, 4, 0.1, 0.01, np.random.default_rng(2))
+        b = stochastic_block_model(400, 4, 0.1, 0.01, np.random.default_rng(2))
+        c = stochastic_block_model(400, 4, 0.1, 0.01, np.random.default_rng(3))
+        assert same_structure(a, b)
+        assert not same_structure(a, c)
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            stochastic_block_model(100, 0, 0.1, 0.01, rng)
+        with pytest.raises(ValueError):
+            stochastic_block_model(100, 4, 1.5, 0.01, rng)
+
+
+class TestRandomGeometric:
+    def test_mean_degree_matches_area_law(self):
+        n, radius = 3000, 0.05
+        graph = random_geometric(n, radius, np.random.default_rng(9))
+        # E[deg] ≈ π r² n for interior points; boundary effects pull it
+        # down, so allow a generous band.
+        expected = math.pi * radius**2 * n
+        mean = degrees(graph).mean()
+        assert 0.5 * expected < mean < 1.3 * expected
+
+    def test_no_isolated_vertices_by_default(self):
+        graph = random_geometric(400, 0.02, np.random.default_rng(1))
+        assert degrees(graph).min() >= 1
+
+    def test_deterministic_in_seed(self):
+        a = random_geometric(500, 0.06, np.random.default_rng(4))
+        b = random_geometric(500, 0.06, np.random.default_rng(4))
+        c = random_geometric(500, 0.06, np.random.default_rng(5))
+        assert same_structure(a, b)
+        assert not same_structure(a, c)
+
+    def test_bruteforce_fallback_matches_kdtree(self):
+        pytest.importorskip("scipy")
+        from repro.scenarios.generators import _geometric_pairs_bruteforce
+
+        rng = np.random.default_rng(6)
+        points = rng.random((300, 2))
+        from scipy.spatial import cKDTree
+
+        tree_pairs = cKDTree(points).query_pairs(0.1, output_type="ndarray")
+        us, vs = _geometric_pairs_bruteforce(points, 0.1, chunk=64)
+        brute = np.stack([us, vs], axis=1)
+
+        def canon(arr):
+            return set(map(tuple, np.sort(np.asarray(arr), axis=1).tolist()))
+
+        assert canon(tree_pairs) == canon(brute)
+
+
+class TestRegistry:
+    def test_families_registered_with_versions(self):
+        from repro.graphs.builders import builder_version
+        from repro.scenarios.generators import BUILDER_VERSIONS
+
+        for family, version in BUILDER_VERSIONS.items():
+            assert builder_version(family) == version

@@ -1,0 +1,200 @@
+"""Tests for graph ingestion (repro.scenarios.ingest)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import IngestError, file_fingerprint, ingest_graph, sniff_format
+from repro.scenarios.ingest import BUILDER_VERSION, file_builder_params
+from repro.store.keys import graph_fingerprint
+
+
+def edge_set(graph):
+    """The undirected edge set as canonical (lo, hi) tuples."""
+    return {tuple(sorted(e)) for e in graph.edges()}
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "toy.edges"
+        path.write_text("# a comment\n0 1\n1 2\n2 3\n3 0\n")
+        graph = ingest_graph(path)
+        assert graph.num_vertices == 4
+        assert edge_set(graph) == {(0, 1), (1, 2), (2, 3), (0, 3)}
+        assert graph.name == "toy"
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "weighted.edges"
+        path.write_text("0 1 0.5 1999\n1 2 0.25 2001\n")
+        graph = ingest_graph(path)
+        assert edge_set(graph) == {(0, 1), (1, 2)}
+
+    def test_string_labels_relabeled_lexicographically(self, tmp_path):
+        path = tmp_path / "named.edges"
+        path.write_text("carol alice\nbob carol\n")
+        graph = ingest_graph(path)
+        # alice=0, bob=1, carol=2 by sorted label order.
+        assert graph.num_vertices == 3
+        assert edge_set(graph) == {(0, 2), (1, 2)}
+
+    def test_numeric_labels_sorted_numerically(self, tmp_path):
+        path = tmp_path / "sparse-ids.edges"
+        path.write_text("10 2\n2 100\n")
+        graph = ingest_graph(path)
+        # 2=0, 10=1, 100=2 — numeric, not lexicographic ("10" < "2").
+        assert edge_set(graph) == {(0, 1), (0, 2)}
+
+    def test_order_independent_fingerprint(self, tmp_path):
+        a = tmp_path / "a.edges"
+        b = tmp_path / "b.edges"
+        a.write_text("0 1\n1 2\n2 3\n")
+        b.write_text("2 3\n# reordered listing, reversed pairs\n2 1\n1 0\n")
+        assert graph_fingerprint(ingest_graph(a)) == graph_fingerprint(ingest_graph(b))
+        # ... while the *input* identity (byte hash) honestly differs.
+        assert file_fingerprint(a) != file_fingerprint(b)
+
+
+class TestCsvFormat:
+    def test_round_trip_with_header(self, tmp_path):
+        path = tmp_path / "net.csv"
+        path.write_text("source,target,weight\n0,1,3\n1,2,5\n")
+        graph = ingest_graph(path)
+        assert edge_set(graph) == {(0, 1), (1, 2)}
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("0,1\n1,2\n")
+        assert edge_set(ingest_graph(path)) == {(0, 1), (1, 2)}
+
+    def test_header_detection_needs_both_fields(self, tmp_path):
+        # "from,7" is data whose first label happens to be a header token.
+        path = tmp_path / "tricky.csv"
+        path.write_text("from,7\n7,8\n")
+        graph = ingest_graph(path)
+        assert graph.num_vertices == 3
+
+
+class TestMatrixMarketFormat:
+    def test_symmetric_round_trip(self, tmp_path):
+        path = tmp_path / "toy.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% comment\n4 4 3\n2 1\n3 2\n4 3\n"
+        )
+        graph = ingest_graph(path)
+        assert graph.num_vertices == 4
+        assert edge_set(graph) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_general_with_isolated_vertex(self, tmp_path):
+        # Declared dimension 5 keeps vertex 4 even though no edge touches it.
+        path = tmp_path / "iso.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n5 5 2\n1 2 1.0\n2 3 1.0\n"
+        )
+        graph = ingest_graph(path)
+        assert graph.num_vertices == 5
+        assert edge_set(graph) == {(0, 1), (1, 2)}
+
+    def test_general_both_directions_is_duplicate(self, tmp_path):
+        path = tmp_path / "dup.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.0\n2 1 1.0\n"
+        )
+        with pytest.raises(IngestError, match="duplicate edge"):
+            ingest_graph(path)
+
+    def test_rejects_non_square_and_bad_counts(self, tmp_path):
+        rect = tmp_path / "rect.mtx"
+        rect.write_text("%%MatrixMarket matrix coordinate real general\n3 4 1\n1 2 1\n")
+        with pytest.raises(IngestError, match="square"):
+            ingest_graph(rect)
+        short = tmp_path / "short.mtx"
+        short.write_text("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1\n")
+        with pytest.raises(IngestError, match="declared 2 entries"):
+            ingest_graph(short)
+
+
+class TestStrictness:
+    def test_self_loop_rejected_with_location(self, tmp_path):
+        path = tmp_path / "loopy.edges"
+        path.write_text("0 1\n2 2\n")
+        with pytest.raises(IngestError) as excinfo:
+            ingest_graph(path)
+        message = str(excinfo.value)
+        assert "line 2" in message and "self-loop" in message
+
+    def test_duplicate_rejected_including_reversed(self, tmp_path):
+        path = tmp_path / "dup.edges"
+        path.write_text("0 1\n1 2\n1 0\n")
+        with pytest.raises(IngestError) as excinfo:
+            ingest_graph(path)
+        message = str(excinfo.value)
+        assert "duplicate edge (0, 1)" in message
+        assert "lines 1, 3" in message
+
+    def test_canonicalize_cleans_instead(self, tmp_path):
+        path = tmp_path / "messy.edges"
+        path.write_text("0 1\n1 1\n1 0\n1 2\n")
+        with pytest.raises(IngestError):
+            ingest_graph(path)
+        graph = ingest_graph(path, canonicalize=True)
+        assert edge_set(graph) == {(0, 1), (1, 2)}
+
+    def test_empty_input_rejected(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("# nothing but comments\n")
+        with pytest.raises(IngestError, match="no edges"):
+            ingest_graph(path)
+
+    def test_missing_file_and_unknown_format(self, tmp_path):
+        with pytest.raises(IngestError, match="no such file"):
+            ingest_graph(tmp_path / "absent.edges")
+        path = tmp_path / "x.edges"
+        path.write_text("0 1\n")
+        with pytest.raises(IngestError, match="unknown ingest format"):
+            ingest_graph(path, format="graphml")
+
+
+class TestBuilderIdentity:
+    def test_sniff_format(self, tmp_path):
+        assert sniff_format(tmp_path / "a.mtx") == "mtx"
+        assert sniff_format(tmp_path / "a.mm") == "mtx"
+        assert sniff_format(tmp_path / "a.csv") == "csv"
+        banner = tmp_path / "banner.txt"
+        banner.write_text("%%MatrixMarket matrix coordinate real general\n1 1 0\n")
+        assert sniff_format(banner) == "mtx"
+        plain = tmp_path / "plain.txt"
+        plain.write_text("0 1\n")
+        assert sniff_format(plain) == "edges"
+
+    def test_params_are_content_addressed(self, tmp_path):
+        a = tmp_path / "a.edges"
+        a.write_text("0 1\n1 2\n")
+        params = file_builder_params(a)
+        assert set(params) == {"sha256", "format", "canonicalize"}
+        assert params["format"] == "edges"
+        # Moving the file does not change its identity...
+        moved = tmp_path / "sub" / "renamed.edges"
+        moved.parent.mkdir()
+        moved.write_bytes(a.read_bytes())
+        assert file_builder_params(moved) == params
+        # ...while editing a byte, or flipping canonicalize, does.
+        a.write_text("0 1\n1 2\n2 3\n")
+        assert file_builder_params(a)["sha256"] != params["sha256"]
+        assert file_builder_params(moved, canonicalize=True) != params
+
+    def test_file_family_is_registered(self):
+        from repro.graphs.builders import builder_spec
+
+        spec = builder_spec("file", {"sha256": "ab", "format": "edges"})
+        assert spec["family"] == "file"
+        assert spec["version"] == BUILDER_VERSION
+
+    def test_ingested_graph_is_csr_valid(self, tmp_path):
+        path = tmp_path / "tri.edges"
+        path.write_text("0 1\n1 2\n0 2\n")
+        graph = ingest_graph(path)
+        degrees = np.diff(graph.indptr)
+        assert degrees.tolist() == [2, 2, 2]
+        assert graph.num_edges == 3
